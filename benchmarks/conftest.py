@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_eN_*`` module regenerates one of the paper's results (see
+DESIGN.md section 3 and EXPERIMENTS.md).  Experiment runners execute
+once per session and their tables print with ``-s``; the ``benchmark``
+fixture times a representative kernel of each experiment.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a paper-experiment benchmark"
+    )
+
+
+@pytest.fixture(scope="session")
+def print_result():
+    def _print(result):
+        print()
+        print(result.format())
+    return _print

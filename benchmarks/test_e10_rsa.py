@@ -1,0 +1,40 @@
+"""E10 (paper sections 2 and 5): the RSA op the port abandoned."""
+
+import pytest
+
+from repro.experiments.e10_rsa import measure_widths, run_e10
+from repro.rabbit.board import Board
+from repro.rabbit.programs.rsa_c import RsaC
+
+
+@pytest.fixture(scope="module")
+def e10_result():
+    return run_e10()
+
+
+@pytest.mark.experiment("E10")
+def test_e10_reproduces(e10_result, print_result):
+    print_result(e10_result)
+    assert e10_result.reproduced, e10_result.summary
+
+
+def test_e10_scaling_is_superquadratic(e10_result):
+    rows = {r["operand bits"]: r["modexp cycles"] for r in e10_result.rows}
+    assert rows[32] / rows[16] > 4.5
+
+
+def test_e10_even_16_bit_modexp_is_slow(e10_result):
+    # A toy 16-bit modexp already costs >0.1 s at 30 MHz.
+    rows = {r["operand bits"]: r["seconds @30MHz"] for r in e10_result.rows}
+    assert rows[16] > 0.05
+
+
+@pytest.mark.benchmark(group="e10-rsa")
+def test_bench_16bit_modexp(benchmark):
+    implementation = RsaC(Board(), n_bytes=2)
+
+    def modexp():
+        return implementation.modexp(0x1234, 0xFFF1, 0xFFFB)
+
+    result, _cycles = benchmark.pedantic(modexp, rounds=1, iterations=1)
+    assert result == pow(0x1234, 0xFFF1, 0xFFFB)

@@ -1,0 +1,58 @@
+"""E2 (paper section 6): the C optimization sweep.
+
+Regenerates the row-per-knob table: root-RAM data, loop unrolling,
+debug off, peephole optimizer, xmem placement, and all-at-once.
+Asserted shape: each knob small, combined gain in the tens of percent,
+nowhere near the assembly's 10x.
+"""
+
+import pytest
+
+from repro.dync.compiler import CompilerOptions, compile_source
+from repro.experiments.e2_sweep import run_e2, SWEEP
+from repro.rabbit.programs.aes_c import AES_C_SOURCE
+
+
+@pytest.fixture(scope="module")
+def e2_result():
+    return run_e2(keys=1, blocks_per_key=2)
+
+
+@pytest.mark.experiment("E2")
+def test_e2_reproduces(e2_result, print_result):
+    print_result(e2_result)
+    assert e2_result.reproduced, e2_result.summary
+
+
+def test_e2_every_knob_modest(e2_result):
+    # No single C-level knob recovers even half of the assembly gap.
+    baseline = e2_result.rows[0]["cycles/block"]
+    for row in e2_result.rows[1:]:
+        assert row["cycles/block"] > baseline / 5
+
+
+def test_e2_xmem_is_slowest(e2_result):
+    xmem_row = next(r for r in e2_result.rows if "xmem" in r["configuration"])
+    baseline = e2_result.rows[0]["cycles/block"]
+    assert xmem_row["cycles/block"] >= baseline
+
+
+def test_e2_all_on_is_fastest(e2_result):
+    all_on = next(r for r in e2_result.rows if r["configuration"] == "all optimizations")
+    assert all_on["cycles/block"] == min(r["cycles/block"] for r in e2_result.rows)
+
+
+def test_e2_debug_instrumentation_counts():
+    debug = compile_source(AES_C_SOURCE, CompilerOptions(debug=True))
+    nodebug = compile_source(AES_C_SOURCE, CompilerOptions(debug=False))
+    assert debug.statements_instrumented > 50
+    assert nodebug.statements_instrumented == 0
+
+
+@pytest.mark.benchmark(group="e2-sweep")
+@pytest.mark.parametrize("label,options", SWEEP[:3], ids=lambda v: str(v)[:24])
+def test_bench_compile_variants(benchmark, label, options):
+    """Wall-clock compile time per configuration."""
+    benchmark.pedantic(
+        compile_source, args=(AES_C_SOURCE, options), rounds=2, iterations=1
+    )

@@ -1,0 +1,56 @@
+"""E4 (paper section 2): throughput cost of TLS on the embedded host.
+
+Regenerates the plaintext vs issl redirector comparison with crypto
+charged at the E1-calibrated cycle costs.  Asserted shape: the secure
+service loses roughly an order of magnitude of throughput, more with
+the unoptimized C cipher.
+"""
+
+import pytest
+
+from repro.experiments.e4_throughput import _run_rmc_service, run_e4
+from repro.issl.costmodel import RMC2000_ASM
+
+
+@pytest.fixture(scope="module")
+def e4_result():
+    return run_e4(requests=8, request_size=256)
+
+
+@pytest.mark.experiment("E4")
+def test_e4_reproduces(e4_result, print_result):
+    print_result(e4_result)
+    assert e4_result.reproduced, e4_result.summary
+
+
+def test_e4_order_of_magnitude(e4_result):
+    plain = e4_result.rows[0]["throughput kb/s"]
+    secure = e4_result.rows[1]["throughput kb/s"]
+    assert plain / secure >= 5.0
+
+
+def test_e4_c_port_cipher_is_worse(e4_result):
+    secure_asm = e4_result.rows[1]["throughput kb/s"]
+    secure_c = e4_result.rows[2]["throughput kb/s"]
+    assert secure_c < secure_asm / 5
+
+
+def test_e4_handshake_visible(e4_result):
+    # PSK handshake on the board costs visible milliseconds.
+    assert e4_result.rows[1]["handshake ms"] > 1.0
+
+
+@pytest.mark.benchmark(group="e4-throughput")
+def test_bench_secure_run(benchmark):
+    benchmark.pedantic(
+        _run_rmc_service, args=(True, 4, 128, RMC2000_ASM),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="e4-throughput")
+def test_bench_plain_run(benchmark):
+    benchmark.pedantic(
+        _run_rmc_service, args=(False, 4, 128, RMC2000_ASM),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,58 @@
+"""E5 (paper section 5.3 / figure 3): the three-connection ceiling.
+
+Regenerates the clients-vs-handlers table.  Asserted shape: peak
+concurrency pinned at the costatement count; the 4th client queues; a
+"recompile" with more costatements lifts the ceiling.
+"""
+
+import pytest
+
+from repro.experiments.e5_concurrency import run_e5, run_scenario
+
+
+@pytest.fixture(scope="module")
+def e5_result():
+    return run_e5(max_clients=5)
+
+
+@pytest.mark.experiment("E5")
+def test_e5_reproduces(e5_result, print_result):
+    print_result(e5_result)
+    assert e5_result.reproduced, e5_result.summary
+
+
+def test_e5_peak_never_exceeds_handlers(e5_result):
+    for row in e5_result.rows:
+        assert row["peak concurrent sessions"] <= row["handlers"]
+
+
+def test_e5_everyone_served_eventually(e5_result):
+    for row in e5_result.rows:
+        assert row["served"] == row["clients"]
+
+
+def test_e5_fourth_client_queues(e5_result):
+    three = next(r for r in e5_result.rows
+                 if r["clients"] == 3 and r["handlers"] == 3)
+    four = next(r for r in e5_result.rows
+                if r["clients"] == 4 and r["handlers"] == 3)
+    assert four["worst handshake wait (ms)"] > \
+        3 * three["worst handshake wait (ms)"]
+
+
+def test_e5_recompile_lifts_ceiling(e5_result):
+    narrow = next(r for r in e5_result.rows
+                  if r["clients"] == 5 and r["handlers"] == 3)
+    wide = next(r for r in e5_result.rows
+                if r["clients"] == 5 and r["handlers"] == 5)
+    assert wide["peak concurrent sessions"] == 5
+    assert wide["worst handshake wait (ms)"] < \
+        narrow["worst handshake wait (ms)"] / 2
+
+
+@pytest.mark.benchmark(group="e5-concurrency")
+def test_bench_four_client_scenario(benchmark):
+    benchmark.pedantic(
+        run_scenario, args=(4, 3), kwargs={"requests": 5},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""E6 (paper figure 2): same echo behaviour, disjoint APIs."""
+
+import pytest
+
+from repro.experiments.e6_api_gap import run_e6, run_echo_pair
+
+
+@pytest.fixture(scope="module")
+def e6_result():
+    return run_e6()
+
+
+@pytest.mark.experiment("E6")
+def test_e6_reproduces(e6_result, print_result):
+    print_result(e6_result)
+    assert e6_result.reproduced, e6_result.summary
+
+
+def test_e6_every_bsd_call_has_mapping(e6_result):
+    for row in e6_result.rows:
+        assert row["Dynamic C analogue"] != "-", row
+
+
+def test_e6_payloads_identical():
+    results = run_echo_pair(b"byte-for-byte")
+    assert results["bsd"] == results["dync"] == b"byte-for-byte\n"
+
+
+@pytest.mark.benchmark(group="e6-echo")
+def test_bench_echo_pair(benchmark):
+    benchmark.pedantic(run_echo_pair, rounds=2, iterations=1)

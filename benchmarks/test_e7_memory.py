@@ -1,0 +1,64 @@
+"""E7 (paper section 5.2): memory plans, xalloc-without-free, key sizes."""
+
+import pytest
+
+from repro.dync.runtime.xalloc import XallocError, XmemAllocator
+from repro.experiments.e7_memory import (
+    build_port_plan,
+    build_unix_plan,
+    run_e7,
+    xalloc_churn,
+)
+from repro.issl.config import CipherSuite, RMC2000_PORT, UNIX_FULL
+
+
+@pytest.fixture(scope="module")
+def e7_result():
+    return run_e7()
+
+
+@pytest.mark.experiment("E7")
+def test_e7_reproduces(e7_result, print_result):
+    print_result(e7_result)
+    assert e7_result.reproduced, e7_result.summary
+
+
+def test_e7_port_fits_the_board(e7_result):
+    port_plan = build_port_plan()
+    assert port_plan.fits, port_plan.violations()
+
+
+def test_e7_unix_plan_would_not_fit_the_board():
+    # The Unix build's appetite (big records, per-child stacks) dwarfs
+    # the RMC2000 -- retarget its plan at the board and it violates.
+    from repro.porting.memory_plan import MemoryPlan, RMC2000_BUDGET
+
+    plan = build_unix_plan()
+    retargeted = MemoryPlan(RMC2000_BUDGET, list(plan.objects))
+    assert not retargeted.fits
+
+
+def test_e7_port_dropped_key_sizes():
+    assert RMC2000_PORT.suites == (CipherSuite.PSK_AES128,)
+    assert len(UNIX_FULL.suites) == 4
+
+
+def test_e7_xalloc_has_no_free():
+    allocator = XmemAllocator(1024)
+    pointer = allocator.xalloc(100)
+    with pytest.raises(XallocError):
+        allocator.free(pointer)
+
+
+def test_e7_churn_scales_with_pool():
+    assert xalloc_churn(10_000, 1000) == 10
+    assert xalloc_churn(20_000, 1000) == 20
+
+
+@pytest.mark.benchmark(group="e7-memory")
+def test_bench_memory_plans(benchmark):
+    def both():
+        build_unix_plan().violations()
+        build_port_plan().violations()
+
+    benchmark(both)

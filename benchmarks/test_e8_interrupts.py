@@ -1,0 +1,45 @@
+"""E8 (paper section 5.1): serial interrupts, status/reset commands."""
+
+import pytest
+
+from repro.experiments.e8_interrupts import run_e8
+from repro.rabbit.board import Board
+from repro.rabbit.programs.serial_debug import SerialDebugMonitor
+
+
+@pytest.fixture(scope="module")
+def e8_result():
+    return run_e8()
+
+
+@pytest.mark.experiment("E8")
+def test_e8_reproduces(e8_result, print_result):
+    print_result(e8_result)
+    assert e8_result.reproduced, e8_result.summary
+
+
+def test_e8_latency_is_cycle_deterministic(e8_result):
+    row = e8_result.rows[0]
+    low, high = row["value"].split("..")
+    assert int(high) - int(low) <= 15
+
+
+@pytest.mark.benchmark(group="e8-interrupts")
+def test_bench_interrupt_round_trip(benchmark):
+    board = Board()
+    monitor = SerialDebugMonitor(board)
+    monitor.boot()
+
+    def status_round_trip():
+        return monitor.send_command(b"s")
+
+    reply = benchmark(status_round_trip)
+    assert reply[:1] == b"S"
+
+
+@pytest.mark.benchmark(group="e8-interrupts")
+def test_bench_main_loop_emulation(benchmark):
+    board = Board()
+    monitor = SerialDebugMonitor(board)
+    monitor.boot()
+    benchmark(board.run_cycles, 10_000)

@@ -1,0 +1,39 @@
+"""E9 (paper section 5): the porting-problem census."""
+
+import pytest
+
+from repro.experiments.e9_porting import run_e9
+from repro.porting import (
+    ISSL_UNIX_SOURCES,
+    ProblemClass,
+    format_report,
+    scan_sources,
+)
+
+
+@pytest.fixture(scope="module")
+def e9_result():
+    return run_e9()
+
+
+@pytest.mark.experiment("E9")
+def test_e9_reproduces(e9_result, print_result):
+    print_result(e9_result)
+    assert e9_result.reproduced, e9_result.summary
+
+
+def test_e9_all_three_classes_present(e9_result):
+    for row in e9_result.rows:
+        assert row["occurrences"] > 0, row
+
+
+def test_e9_report_formats():
+    report = scan_sources(ISSL_UNIX_SOURCES)
+    text = format_report(report)
+    for cls in ProblemClass:
+        assert cls.name in text
+
+
+@pytest.mark.benchmark(group="e9-porting")
+def test_bench_scan(benchmark):
+    benchmark(scan_sources, ISSL_UNIX_SOURCES)

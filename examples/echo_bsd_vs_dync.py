@@ -1,0 +1,68 @@
+"""Figure 2, executable: the same echo server against two socket APIs.
+
+    python examples/echo_bsd_vs_dync.py
+
+Runs the BSD-sockets echo server (Figure 2a) and the Dynamic C echo
+server (Figure 2b) on the simulated network against identical clients,
+then prints the API-call inventory each one needed -- the paper's point
+that "the significant differences in API" forced rewrites even when the
+functionality was identical.
+"""
+
+from repro.dync.runtime import CostateScheduler
+from repro.net.dynctcp import DyncTcpStack
+from repro.net.host import build_lan
+from repro.net.sim import Simulator
+from repro.porting.api_map import RULE_INDEX
+from repro.services.echo import bsd_echo_server, dync_echo_costate, echo_client
+
+
+def run_bsd(message: bytes) -> bytes:
+    sim = Simulator()
+    _lan, hosts = build_lan(sim, ["server", "client"])
+    hosts["server"].spawn(bsd_echo_server(hosts["server"], 7))
+    results: dict = {}
+    process = hosts["client"].spawn(
+        echo_client(hosts["client"], "10.0.0.1", 7, message, results)
+    )
+    sim.run_until_complete(process, timeout=60)
+    return results["echo"]
+
+
+def run_dync(message: bytes) -> bytes:
+    sim = Simulator()
+    _lan, hosts = build_lan(sim, ["rmc", "client"])
+    stack = DyncTcpStack(hosts["rmc"])
+    scheduler = CostateScheduler(sim)
+    scheduler.add(dync_echo_costate(stack, 7), name="echo")
+    scheduler.start()
+    results: dict = {}
+    process = hosts["client"].spawn(
+        echo_client(hosts["client"], "10.0.0.1", 7, message, results)
+    )
+    sim.run_until_complete(process, timeout=60)
+    return results["echo"]
+
+
+def main() -> None:
+    message = b"the quick brown fox"
+    bsd_echo = run_bsd(message)
+    dync_echo = run_dync(message)
+    print(f"BSD server echoed      : {bsd_echo!r}")
+    print(f"Dynamic C server echoed: {dync_echo!r}")
+    assert bsd_echo == dync_echo == message + b"\n"
+    print("\nSame behaviour -- different API (paper, Figure 2):\n")
+    print(f"  {'BSD sockets call':<12}  Dynamic C replacement")
+    print(f"  {'-' * 12}  {'-' * 50}")
+    for call in ("socket", "bind", "listen", "accept", "recv", "send",
+                 "close", "select"):
+        rule = RULE_INDEX[call]
+        print(f"  {call:<12}  {rule.replacement}")
+    print("\nPlus the inversion the paper stresses: on the RMC2000 the")
+    print("*application* drives the stack -- nothing is received until")
+    print("the program calls tcp_tick(), so a server needs a dedicated")
+    print("tick-driver loop (see secure_redirector_rmc2000.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Section 5, executable: scan the Unix issl sources for porting problems.
+
+    python examples/porting_report.py [file.c ...]
+
+With no arguments it scans the bundled reconstruction of the Unix issl
+service; pass your own C files to scan those instead.  The analyzer
+classifies every call into the paper's three problem classes and names
+the strategy the RMC2000 port applied.
+"""
+
+import sys
+
+from repro.porting import (
+    format_report,
+    ISSL_UNIX_SOURCES,
+    scan_sources,
+)
+from repro.porting.memory_plan import MemoryPlan, RMC2000_BUDGET, StorageClass
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        sources = {}
+        for path in argv:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources[path] = handle.read()
+    else:
+        sources = ISSL_UNIX_SOURCES
+        print("(scanning the bundled Unix issl reconstruction; pass .c "
+              "files to scan your own)\n")
+    report = scan_sources(sources)
+    print(format_report(report))
+
+    print("Zurell-style memory plan for the port (paper, section 5.2):")
+    plan = MemoryPlan(RMC2000_BUDGET)
+    plan.declare("firmware code", StorageClass.CODE, 48 * 1024)
+    plan.declare("AES tables", StorageClass.CONST, 512)
+    plan.declare("3 static sessions", StorageClass.STATIC, 3 * 1688)
+    plan.declare("circular log", StorageClass.STATIC, 1024)
+    plan.declare("stack", StorageClass.STACK, 512)
+    print(plan.report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

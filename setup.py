@@ -1,0 +1,9 @@
+"""Setup shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy ``setup.py develop`` code path).  All real
+metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""repro: a reproduction of "Porting a Network Cryptographic Service to
+the RMC2000" (Jan, de Dios, Edwards; DATE 2003).
+
+The package builds everything the paper's case study touches, in
+simulation:
+
+* :mod:`repro.crypto`   -- Rijndael/AES, RSA + bignum, hashes, PRNGs
+* :mod:`repro.net`      -- discrete-event TCP/IP with BSD and Dynamic C
+                           socket APIs
+* :mod:`repro.unixsim`  -- Unix host: processes, fork, signals, files
+* :mod:`repro.issl`     -- the ported TLS library, both build profiles
+* :mod:`repro.services` -- echo servers and the secure redirector
+* :mod:`repro.rabbit`   -- cycle-counting Rabbit 2000 board + assembler
+* :mod:`repro.dync`     -- Dynamic C: subset compiler and runtime
+                           semantics (costatements, xalloc, ...)
+* :mod:`repro.porting`  -- the porting-problem taxonomy and analyzer
+* :mod:`repro.core`     -- both deployments of the service, one call each
+* :mod:`repro.experiments` -- E1-E9 runners (``python -m repro.experiments``)
+
+Quick start::
+
+    from repro.core import build_rmc2000_deployment
+    deployment = build_rmc2000_deployment()
+    report = deployment.run_client(requests=3, request_size=64)
+    print(report.throughput_bps)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import build_rmc2000_deployment, build_unix_deployment
+
+__all__ = ["__version__", "build_rmc2000_deployment", "build_unix_deployment"]

@@ -1,0 +1,10 @@
+"""The paper's contribution as a library: both deployments of the
+secure redirector (see DESIGN.md section 2, row "core")."""
+
+from repro.core.deployments import (
+    Deployment,
+    build_rmc2000_deployment,
+    build_unix_deployment,
+)
+
+__all__ = ["Deployment", "build_rmc2000_deployment", "build_unix_deployment"]

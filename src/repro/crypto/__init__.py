@@ -1,0 +1,76 @@
+"""Cryptographic substrate for issl (see DESIGN.md, S6).
+
+Everything is implemented from scratch in this package: GF(2^8)
+arithmetic, Rijndael with variable key and block sizes, the T-table AES
+used as the optimized comparator, block modes, MD5/SHA-1/HMAC, a
+16-bit-limb bignum, RSA, and PRNGs.
+"""
+
+from repro.crypto.aes_ttable import AesTTable
+from repro.crypto.bignum import BigNum, BignumError, generate_prime, is_probable_prime
+from repro.crypto.hmac import Hmac, constant_time_equal, hmac_md5, hmac_sha1
+from repro.crypto.kdf import derive_key_block, derive_master_secret, ssl3_prf
+from repro.crypto.md5 import Md5, md5
+from repro.crypto.modes import (
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_xor,
+    ecb_decrypt,
+    ecb_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+from repro.crypto.prng import CipherRng, Lcg
+from repro.crypto.rijndael import Rijndael, RijndaelError, expand_key
+from repro.crypto.rsa import (
+    RsaError,
+    RsaPrivateKey,
+    RsaPublicKey,
+    decrypt,
+    encrypt,
+    generate_keypair,
+    sign_raw,
+    verify_raw,
+)
+from repro.crypto.sha1 import Sha1, sha1
+
+__all__ = [
+    "AesTTable",
+    "BigNum",
+    "BignumError",
+    "CipherRng",
+    "Hmac",
+    "Lcg",
+    "Md5",
+    "PaddingError",
+    "Rijndael",
+    "RijndaelError",
+    "RsaError",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "Sha1",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "constant_time_equal",
+    "ctr_xor",
+    "decrypt",
+    "derive_key_block",
+    "derive_master_secret",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "encrypt",
+    "expand_key",
+    "generate_keypair",
+    "generate_prime",
+    "hmac_md5",
+    "hmac_sha1",
+    "is_probable_prime",
+    "md5",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+    "sha1",
+    "sign_raw",
+    "ssl3_prf",
+    "verify_raw",
+]

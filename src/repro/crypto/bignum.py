@@ -1,0 +1,462 @@
+"""Arbitrary-precision integers on 16-bit limbs, from scratch.
+
+The paper singles out issl's RSA as un-ported "because it relied on a
+fairly complex bignum library that we considered too complicated to
+rework."  This module *is* that library for our issl: it deliberately
+mirrors the structure of an embedded C bignum -- little-endian arrays of
+16-bit limbs, carry-propagating loops, no reliance on Python's native
+big integers for the core arithmetic.  (Conversions to/from ``int``
+exist only at the API boundary and in tests.)
+
+Provided: add, sub, compare, schoolbook and Karatsuba multiply, shift,
+divmod, Barrett-free modexp (square-and-multiply), extended-GCD modular
+inverse, Miller-Rabin, and random prime generation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prng import Lcg
+
+LIMB_BITS = 16
+LIMB_BASE = 1 << LIMB_BITS
+LIMB_MASK = LIMB_BASE - 1
+
+#: Below this many limbs multiplication stays schoolbook.
+_KARATSUBA_CUTOFF = 24
+
+_SMALL_PRIMES = (
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+)
+
+
+class BignumError(ValueError):
+    """Raised on domain errors (negative results, division by zero...)."""
+
+
+def _trim(limbs: list[int]) -> list[int]:
+    while len(limbs) > 1 and limbs[-1] == 0:
+        limbs.pop()
+    return limbs
+
+
+class BigNum:
+    """An unsigned big integer stored as little-endian 16-bit limbs."""
+
+    __slots__ = ("limbs",)
+
+    def __init__(self, limbs: list[int] | None = None):
+        self.limbs = _trim(list(limbs) if limbs else [0])
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int) -> "BigNum":
+        if value < 0:
+            raise BignumError("BigNum is unsigned")
+        limbs = []
+        if value == 0:
+            limbs = [0]
+        while value:
+            limbs.append(value & LIMB_MASK)
+            value >>= LIMB_BITS
+        return cls(limbs)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BigNum":
+        """Big-endian byte string to BigNum."""
+        return cls.from_int(int.from_bytes(data, "big")) if data else cls([0])
+
+    # -- conversions ----------------------------------------------------
+    def to_int(self) -> int:
+        value = 0
+        for limb in reversed(self.limbs):
+            value = (value << LIMB_BITS) | limb
+        return value
+
+    def to_bytes(self, length: int | None = None) -> bytes:
+        if length is None:
+            length = max(1, (self.bit_length() + 7) // 8)
+        return self.to_int().to_bytes(length, "big")
+
+    def bit_length(self) -> int:
+        top = self.limbs[-1]
+        if top == 0:
+            return 0
+        return LIMB_BITS * (len(self.limbs) - 1) + top.bit_length()
+
+    def is_zero(self) -> bool:
+        return len(self.limbs) == 1 and self.limbs[0] == 0
+
+    def is_even(self) -> bool:
+        return (self.limbs[0] & 1) == 0
+
+    def bit(self, i: int) -> int:
+        """The ``i``-th bit (LSB = 0)."""
+        limb, off = divmod(i, LIMB_BITS)
+        if limb >= len(self.limbs):
+            return 0
+        return (self.limbs[limb] >> off) & 1
+
+    # -- comparison -----------------------------------------------------
+    def compare(self, other: "BigNum") -> int:
+        a, b = self.limbs, other.limbs
+        if len(a) != len(b):
+            return 1 if len(a) > len(b) else -1
+        for x, y in zip(reversed(a), reversed(b)):
+            if x != y:
+                return 1 if x > y else -1
+        return 0
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BigNum) and self.compare(other) == 0
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.limbs))
+
+    def __lt__(self, other: "BigNum") -> bool:
+        return self.compare(other) < 0
+
+    def __le__(self, other: "BigNum") -> bool:
+        return self.compare(other) <= 0
+
+    def __repr__(self) -> str:
+        return f"BigNum({hex(self.to_int())})"
+
+    # -- addition / subtraction -----------------------------------------
+    def add(self, other: "BigNum") -> "BigNum":
+        a, b = self.limbs, other.limbs
+        if len(a) < len(b):
+            a, b = b, a
+        out = []
+        carry = 0
+        for i, limb in enumerate(a):
+            total = limb + (b[i] if i < len(b) else 0) + carry
+            out.append(total & LIMB_MASK)
+            carry = total >> LIMB_BITS
+        if carry:
+            out.append(carry)
+        return BigNum(out)
+
+    def sub(self, other: "BigNum") -> "BigNum":
+        """``self - other``; raises if the result would be negative."""
+        if self.compare(other) < 0:
+            raise BignumError("negative result in unsigned subtraction")
+        a, b = self.limbs, other.limbs
+        out = []
+        borrow = 0
+        for i, limb in enumerate(a):
+            total = limb - (b[i] if i < len(b) else 0) - borrow
+            if total < 0:
+                total += LIMB_BASE
+                borrow = 1
+            else:
+                borrow = 0
+            out.append(total)
+        return BigNum(out)
+
+    # -- shifts -----------------------------------------------------------
+    def shl(self, nbits: int) -> "BigNum":
+        if nbits < 0:
+            raise BignumError("negative shift")
+        limb_shift, bit_shift = divmod(nbits, LIMB_BITS)
+        out = [0] * limb_shift
+        carry = 0
+        for limb in self.limbs:
+            total = (limb << bit_shift) | carry
+            out.append(total & LIMB_MASK)
+            carry = total >> LIMB_BITS
+        if carry:
+            out.append(carry)
+        return BigNum(out)
+
+    def shr(self, nbits: int) -> "BigNum":
+        if nbits < 0:
+            raise BignumError("negative shift")
+        limb_shift, bit_shift = divmod(nbits, LIMB_BITS)
+        src = self.limbs[limb_shift:]
+        if not src:
+            return BigNum([0])
+        out = []
+        for i, limb in enumerate(src):
+            nxt = src[i + 1] if i + 1 < len(src) else 0
+            out.append(
+                ((limb >> bit_shift) | (nxt << (LIMB_BITS - bit_shift)))
+                & LIMB_MASK
+                if bit_shift
+                else limb
+            )
+        return BigNum(out)
+
+    # -- multiplication ---------------------------------------------------
+    def mul(self, other: "BigNum") -> "BigNum":
+        if len(self.limbs) >= _KARATSUBA_CUTOFF and len(other.limbs) >= _KARATSUBA_CUTOFF:
+            return self._karatsuba(other)
+        return self._schoolbook(other)
+
+    def _schoolbook(self, other: "BigNum") -> "BigNum":
+        a, b = self.limbs, other.limbs
+        out = [0] * (len(a) + len(b))
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            carry = 0
+            for j, y in enumerate(b):
+                total = out[i + j] + x * y + carry
+                out[i + j] = total & LIMB_MASK
+                carry = total >> LIMB_BITS
+            k = i + len(b)
+            while carry:
+                total = out[k] + carry
+                out[k] = total & LIMB_MASK
+                carry = total >> LIMB_BITS
+                k += 1
+        return BigNum(out)
+
+    def _karatsuba(self, other: "BigNum") -> "BigNum":
+        half = max(len(self.limbs), len(other.limbs)) // 2
+        a_lo = BigNum(self.limbs[:half])
+        a_hi = BigNum(self.limbs[half:] or [0])
+        b_lo = BigNum(other.limbs[:half])
+        b_hi = BigNum(other.limbs[half:] or [0])
+        z0 = a_lo.mul(b_lo)
+        z2 = a_hi.mul(b_hi)
+        z1 = a_lo.add(a_hi).mul(b_lo.add(b_hi)).sub(z0).sub(z2)
+        shift = half * LIMB_BITS
+        return z2.shl(2 * shift).add(z1.shl(shift)).add(z0)
+
+    # -- division -----------------------------------------------------------
+    def divmod_binary(self, divisor: "BigNum") -> tuple["BigNum", "BigNum"]:
+        """Bit-at-a-time long division.
+
+        The form an embedded C implementation without a hardware divider
+        takes; kept as the reference oracle for :meth:`divmod`.
+        """
+        if divisor.is_zero():
+            raise BignumError("division by zero")
+        if self.compare(divisor) < 0:
+            return BigNum([0]), BigNum(self.limbs)
+        quotient = [0] * len(self.limbs)
+        remainder = BigNum([0])
+        for i in range(self.bit_length() - 1, -1, -1):
+            remainder = remainder.shl(1)
+            if self.bit(i):
+                remainder.limbs[0] |= 1
+            if remainder.compare(divisor) >= 0:
+                remainder = remainder.sub(divisor)
+                quotient[i // LIMB_BITS] |= 1 << (i % LIMB_BITS)
+        return BigNum(quotient), remainder
+
+    def _divmod_small(self, d: int) -> tuple["BigNum", "BigNum"]:
+        """Divide by a single limb value."""
+        quotient = [0] * len(self.limbs)
+        rem = 0
+        for i in range(len(self.limbs) - 1, -1, -1):
+            cur = (rem << LIMB_BITS) | self.limbs[i]
+            quotient[i] = cur // d
+            rem = cur % d
+        return BigNum(quotient), BigNum([rem])
+
+    def divmod(self, divisor: "BigNum") -> tuple["BigNum", "BigNum"]:
+        """Limb-wise long division (Knuth TAOCP vol. 2, Algorithm D)."""
+        if divisor.is_zero():
+            raise BignumError("division by zero")
+        if self.compare(divisor) < 0:
+            return BigNum([0]), BigNum(self.limbs)
+        if len(divisor.limbs) == 1:
+            return self._divmod_small(divisor.limbs[0])
+        # D1: normalize so the divisor's top limb has its high bit set.
+        shift = LIMB_BITS - divisor.limbs[-1].bit_length()
+        u = self.shl(shift).limbs[:]
+        v = divisor.shl(shift).limbs
+        n = len(v)
+        m = len(u) - n
+        if m < 0:
+            # Normalization cannot make the dividend shorter; guard anyway.
+            return BigNum([0]), BigNum(self.limbs)
+        u.append(0)
+        quotient = [0] * (m + 1)
+        v_top = v[-1]
+        v_next = v[-2]
+        # D2-D7: one quotient limb per iteration, estimated from the top
+        # two dividend limbs and corrected at most twice.
+        for j in range(m, -1, -1):
+            top = (u[j + n] << LIMB_BITS) | u[j + n - 1]
+            qhat = top // v_top
+            rhat = top - qhat * v_top
+            while qhat >= LIMB_BASE or (
+                qhat * v_next > ((rhat << LIMB_BITS) | u[j + n - 2])
+            ):
+                qhat -= 1
+                rhat += v_top
+                if rhat >= LIMB_BASE:
+                    break
+            # D4: multiply-and-subtract u[j..j+n] -= qhat * v.
+            borrow = 0
+            carry = 0
+            for i in range(n):
+                prod = qhat * v[i] + carry
+                carry = prod >> LIMB_BITS
+                sub = u[j + i] - (prod & LIMB_MASK) - borrow
+                if sub < 0:
+                    sub += LIMB_BASE
+                    borrow = 1
+                else:
+                    borrow = 0
+                u[j + i] = sub
+            sub = u[j + n] - carry - borrow
+            if sub < 0:
+                sub += LIMB_BASE
+                borrow = 1
+            else:
+                borrow = 0
+            u[j + n] = sub
+            # D6: rare add-back when the estimate overshot by one.
+            if borrow:
+                qhat -= 1
+                carry = 0
+                for i in range(n):
+                    total = u[j + i] + v[i] + carry
+                    u[j + i] = total & LIMB_MASK
+                    carry = total >> LIMB_BITS
+                u[j + n] = (u[j + n] + carry) & LIMB_MASK
+            quotient[j] = qhat
+        remainder = BigNum(u[:n]).shr(shift)
+        return BigNum(quotient), remainder
+
+    def mod(self, modulus: "BigNum") -> "BigNum":
+        return self.divmod(modulus)[1]
+
+    # -- modular arithmetic ---------------------------------------------------
+    def modexp(self, exponent: "BigNum", modulus: "BigNum") -> "BigNum":
+        """Left-to-right square-and-multiply modular exponentiation."""
+        if modulus.is_zero():
+            raise BignumError("zero modulus")
+        result = BigNum([1]).mod(modulus)
+        base = self.mod(modulus)
+        for i in range(exponent.bit_length() - 1, -1, -1):
+            result = result.mul(result).mod(modulus)
+            if exponent.bit(i):
+                result = result.mul(base).mod(modulus)
+        return result
+
+    def modinv(self, modulus: "BigNum") -> "BigNum":
+        """Modular inverse via the extended Euclidean algorithm."""
+        # Track signed Bezout coefficients as (sign, BigNum) pairs.
+        r0, r1 = BigNum(modulus.limbs), self.mod(modulus)
+        s0 = (1, BigNum([0]))
+        s1 = (1, BigNum([1]))
+        while not r1.is_zero():
+            q, r = r0.divmod(r1)
+            r0, r1 = r1, r
+            sign1, mag1 = s1
+            sign0, mag0 = s0
+            prod = q.mul(mag1)  # |q * s1|, carrying sign1
+            # new = s0 - q*s1: if the operand signs differ the magnitudes
+            # add; if they match, the larger magnitude decides the sign.
+            if sign0 != sign1:
+                new = (sign0, mag0.add(prod))
+            elif mag0.compare(prod) >= 0:
+                new = (sign0, mag0.sub(prod))
+            else:
+                new = (-sign0, prod.sub(mag0))
+            s0, s1 = s1, new
+        if r0.compare(BigNum([1])) != 0:
+            raise BignumError("inverse does not exist (gcd != 1)")
+        sign, mag = s0
+        mag = mag.mod(modulus)
+        if sign < 0 and not mag.is_zero():
+            mag = modulus.sub(mag)
+        return mag
+
+    def gcd(self, other: "BigNum") -> "BigNum":
+        a, b = BigNum(self.limbs), BigNum(other.limbs)
+        while not b.is_zero():
+            a, b = b, a.mod(b)
+        return a
+
+
+def _mr_round(n: BigNum, d: BigNum, r: int, a: BigNum) -> bool:
+    """One Miller-Rabin round; True means 'probably prime so far'."""
+    one = BigNum([1])
+    n_minus_1 = n.sub(one)
+    x = a.modexp(d, n)
+    if x.compare(one) == 0 or x.compare(n_minus_1) == 0:
+        return True
+    for _ in range(r - 1):
+        x = x.mul(x).mod(n)
+        if x.compare(n_minus_1) == 0:
+            return True
+    return False
+
+
+def is_probable_prime(n: BigNum, rng: Lcg, rounds: int = 16) -> bool:
+    """Miller-Rabin primality test with trial division pre-filter."""
+    if n.bit_length() <= 2:
+        return n.to_int() in (2, 3)
+    if n.is_even():
+        return False
+    for p in _SMALL_PRIMES:
+        prime = BigNum.from_int(p)
+        if n.mod(prime).is_zero():
+            return n.compare(prime) == 0
+    one = BigNum([1])
+    d = n.sub(one)
+    r = 0
+    while d.is_even():
+        d = d.shr(1)
+        r += 1
+    for _ in range(rounds):
+        a = random_below(n.sub(BigNum([3])), rng).add(BigNum([2]))
+        if not _mr_round(n, d, r, a):
+            return False
+    return True
+
+
+def random_bits(nbits: int, rng: Lcg) -> BigNum:
+    """A uniformly random BigNum with exactly ``nbits`` bits (MSB set)."""
+    if nbits <= 0:
+        raise BignumError("nbits must be positive")
+    limbs = []
+    remaining = nbits
+    while remaining > 0:
+        limbs.append(rng.next_u16() & LIMB_MASK)
+        remaining -= LIMB_BITS
+    value = BigNum(limbs)
+    # Clamp to nbits and force the top bit.
+    excess = value.bit_length() - nbits
+    if excess > 0:
+        value = value.shr(excess)
+    top = BigNum([1]).shl(nbits - 1)
+    limbs = value.limbs
+    result = BigNum(limbs)
+    if result.compare(top) < 0:
+        result = result.add(top)
+    return result
+
+
+def random_below(limit: BigNum, rng: Lcg) -> BigNum:
+    """A random BigNum in [0, limit)."""
+    if limit.is_zero():
+        raise BignumError("limit must be positive")
+    nbits = limit.bit_length()
+    while True:
+        limbs = []
+        remaining = nbits
+        while remaining > 0:
+            limbs.append(rng.next_u16() & LIMB_MASK)
+            remaining -= LIMB_BITS
+        candidate = BigNum(limbs).shr(max(0, len(limbs) * LIMB_BITS - nbits))
+        if candidate.compare(limit) < 0:
+            return candidate
+
+
+def generate_prime(nbits: int, rng: Lcg) -> BigNum:
+    """Generate a random probable prime of exactly ``nbits`` bits."""
+    while True:
+        candidate = random_bits(nbits, rng)
+        if candidate.is_even():
+            candidate = candidate.add(BigNum([1]))
+        if is_probable_prime(candidate, rng):
+            return candidate

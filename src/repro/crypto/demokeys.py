@@ -1,0 +1,40 @@
+"""Pre-generated key material for demos, examples, and tests.
+
+RSA key generation on the 16-bit-limb bignum takes a couple of seconds
+for a 512-bit modulus, so examples and the test suite share this fixed
+keypair instead of regenerating one per run.  It was produced by
+``generate_keypair(512, CipherRng(b"repro-demo-key-v1"))`` and is, of
+course, not a secret: never use it outside this simulation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.bignum import BigNum
+from repro.crypto.rsa import RsaPrivateKey
+
+_N_HEX = (
+    "89c76527593655c9ee9b2941f90d8d11b9f817419c82542abf4d1867c068c72b"
+    "260745cd419dc0966d73ccfdcb9740401943c7190efa972c9777a81e9d727457"
+)
+_E_HEX = "10001"
+_D_HEX = (
+    "7a7dac5fac3fd34b80f7af5978eb6444a33a7eaa95538532affb01bc93e25356"
+    "a6bf70f13f5c4e4d20f4d8d622a41ae34abb6e1a968db351e9eee2f9aa188d01"
+)
+_P_HEX = "d8f489a125d82d035fef05b009db7c6e0af1ee864608925e49f9ab9047b4ff81"
+_Q_HEX = "a29314d1229d613bd2bc37093c11134f583028fa74cbae0398eee34fc91f5fd7"
+
+
+def demo_rsa_key() -> RsaPrivateKey:
+    """The shared 512-bit demo RSA keypair (NOT a secret)."""
+    return RsaPrivateKey(
+        n=BigNum.from_int(int(_N_HEX, 16)),
+        e=BigNum.from_int(int(_E_HEX, 16)),
+        d=BigNum.from_int(int(_D_HEX, 16)),
+        p=BigNum.from_int(int(_P_HEX, 16)),
+        q=BigNum.from_int(int(_Q_HEX, 16)),
+    )
+
+
+#: The pre-shared key the RMC2000 port's PSK mode uses in demos/tests.
+DEMO_PSK = bytes(range(16))

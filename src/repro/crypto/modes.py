@@ -1,0 +1,108 @@
+"""Block cipher modes of operation and padding used by issl.
+
+issl secures a TCP byte stream, so its record layer needs CBC (with
+PKCS#7 padding) for bulk data; CTR and ECB are provided for key-stream
+and test purposes respectively.  All modes work with any object exposing
+``block_size``, ``encrypt_block`` and ``decrypt_block``.
+"""
+
+from __future__ import annotations
+
+
+class PaddingError(ValueError):
+    """Raised when PKCS#7 unpadding encounters malformed input."""
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size`` (always adds >= 1 byte)."""
+    if not 1 <= block_size <= 255:
+        raise ValueError(f"block_size out of range: {block_size}")
+    pad = block_size - (len(data) % block_size)
+    return data + bytes([pad] * pad)
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Remove PKCS#7 padding, validating every pad byte."""
+    if not data or len(data) % block_size:
+        raise PaddingError("input not a whole number of blocks")
+    pad = data[-1]
+    if not 1 <= pad <= block_size:
+        raise PaddingError(f"invalid pad byte {pad:#x}")
+    if data[-pad:] != bytes([pad] * pad):
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-pad]
+
+
+def _check_blocks(data: bytes, block_size: int, what: str) -> None:
+    if len(data) % block_size:
+        raise ValueError(
+            f"{what} length {len(data)} is not a multiple of {block_size}"
+        )
+
+
+def ecb_encrypt(cipher, plaintext: bytes) -> bytes:
+    """Electronic codebook; exposed for test vectors only."""
+    bs = cipher.block_size
+    _check_blocks(plaintext, bs, "plaintext")
+    return b"".join(
+        cipher.encrypt_block(plaintext[i: i + bs])
+        for i in range(0, len(plaintext), bs)
+    )
+
+
+def ecb_decrypt(cipher, ciphertext: bytes) -> bytes:
+    bs = cipher.block_size
+    _check_blocks(ciphertext, bs, "ciphertext")
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i: i + bs])
+        for i in range(0, len(ciphertext), bs)
+    )
+
+
+def cbc_encrypt(cipher, iv: bytes, plaintext: bytes) -> bytes:
+    """CBC over already-padded ``plaintext``."""
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise ValueError(f"IV must be {bs} bytes, got {len(iv)}")
+    _check_blocks(plaintext, bs, "plaintext")
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(plaintext), bs):
+        block = bytes(a ^ b for a, b in zip(plaintext[i: i + bs], prev))
+        prev = cipher.encrypt_block(block)
+        out += prev
+    return bytes(out)
+
+
+def cbc_decrypt(cipher, iv: bytes, ciphertext: bytes) -> bytes:
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise ValueError(f"IV must be {bs} bytes, got {len(iv)}")
+    _check_blocks(ciphertext, bs, "ciphertext")
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), bs):
+        block = ciphertext[i: i + bs]
+        plain = cipher.decrypt_block(block)
+        out += bytes(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return bytes(out)
+
+
+def ctr_keystream(cipher, nonce: bytes, nbytes: int) -> bytes:
+    """Generate ``nbytes`` of CTR keystream from a ``block_size`` nonce."""
+    bs = cipher.block_size
+    if len(nonce) != bs:
+        raise ValueError(f"nonce must be {bs} bytes, got {len(nonce)}")
+    counter = int.from_bytes(nonce, "big")
+    out = bytearray()
+    while len(out) < nbytes:
+        out += cipher.encrypt_block(counter.to_bytes(bs, "big"))
+        counter = (counter + 1) % (1 << (8 * bs))
+    return bytes(out[:nbytes])
+
+
+def ctr_xor(cipher, nonce: bytes, data: bytes) -> bytes:
+    """CTR mode: encryption and decryption are the same operation."""
+    stream = ctr_keystream(cipher, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

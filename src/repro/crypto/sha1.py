@@ -1,0 +1,91 @@
+"""SHA-1, implemented from scratch (RFC 3174).
+
+issl's record layer needs a MAC; SSL 3.0-era stacks used MD5 and SHA-1.
+This is a streaming implementation with the usual ``update``/``digest``
+interface so the record layer can MAC without buffering whole messages.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+class Sha1:
+    """Streaming SHA-1 hash."""
+
+    digest_size = 20
+    block_size = 64
+
+    def __init__(self, data: bytes = b""):
+        self._h = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Sha1":
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._compress(self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def _compress(self, chunk: bytes) -> None:
+        w = list(struct.unpack(">16L", chunk))
+        for i in range(16, 80):
+            w.append(_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = self._h
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            a, b, c, d, e = (
+                (_rotl(a, 5) + f + e + k + w[i]) & _MASK,
+                a,
+                _rotl(b, 30),
+                c,
+                d,
+            )
+        self._h = [(x + y) & _MASK for x, y in zip(self._h, (a, b, c, d, e))]
+
+    def copy(self) -> "Sha1":
+        clone = Sha1()
+        clone._h = list(self._h)
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def digest(self) -> bytes:
+        clone = self.copy()
+        bit_len = clone._length * 8
+        clone.update(b"\x80")
+        while len(clone._buffer) != 56:
+            clone.update(b"\x00")
+        # The final update consumes the buffer through _compress.
+        clone._buffer += struct.pack(">Q", bit_len)
+        clone._compress(clone._buffer)
+        return struct.pack(">5L", *clone._h)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest of ``data``."""
+    return Sha1(data).digest()

@@ -1,0 +1,1 @@
+"""Dynamic C: the compiler (S11) and the runtime semantics (S12)."""

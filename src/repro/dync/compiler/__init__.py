@@ -1,0 +1,20 @@
+"""Dynamic C subset compiler (DESIGN.md S11)."""
+
+from repro.dync.compiler.codegen import Compilation, CompileError, compile_source
+from repro.dync.compiler.options import BEST, CompilerOptions, DEFAULT
+from repro.dync.compiler.parser import ParseError, parse
+from repro.dync.compiler.peephole import peephole_optimize
+from repro.dync.compiler.program import CompiledProgram
+
+__all__ = [
+    "BEST",
+    "Compilation",
+    "CompileError",
+    "CompiledProgram",
+    "CompilerOptions",
+    "DEFAULT",
+    "ParseError",
+    "compile_source",
+    "parse",
+    "peephole_optimize",
+]

@@ -1,0 +1,115 @@
+"""Lexer for the Dynamic C subset (DESIGN.md S11).
+
+Tokens cover the C subset the compiler accepts plus the Dynamic C
+storage-class keywords (``root``, ``xmem``, ``shared``, ``protected``,
+``nodebug``) and ``auto``/``static`` (locals are *static by default*;
+``auto`` opts out, exactly inverted from ANSI C -- paper, Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "char", "int", "unsigned", "void", "const", "if", "else", "while",
+    "for", "return", "break", "continue", "auto", "static", "root",
+    "xmem", "shared", "protected", "nodebug",
+}
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=", "<", ">",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+]
+
+
+class LexError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'num', 'ident', 'keyword', 'op', 'string', 'eof'
+    value: object
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, l{self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                tokens.append(Token("num", int(source[start:pos], 16), line))
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                tokens.append(Token("num", int(source[start:pos]), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            word = source[start:pos]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch == "'":
+            end = pos + 1
+            value = None
+            if end < length and source[end] == "\\":
+                escape = source[end: end + 2]
+                value = {"\\n": 10, "\\r": 13, "\\t": 9, "\\0": 0,
+                         "\\\\": 92, "\\'": 39}.get(escape)
+                if value is None:
+                    raise LexError(f"bad escape {escape!r}", line)
+                end += 2
+            elif end < length:
+                value = ord(source[end])
+                end += 1
+            if end >= length or source[end] != "'":
+                raise LexError("unterminated char literal", line)
+            tokens.append(Token("num", value, line))
+            pos = end + 1
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,145 @@
+"""``#use``: Dynamic C's library mechanism (paper, Section 4.1).
+
+"Dynamic C does not support the #include directive, using instead #use,
+which gathers precompiled function prototypes from libraries.  Deciding
+which #use directives should replace the many #include directives in
+the source files took some effort."
+
+Model: a library registry maps names to Dynamic C subset source; a
+``#use "name.lib"`` line splices that library's definitions into the
+translation unit (once, however many times it is named -- libraries are
+gathered, not textually included).  The registry ships the small
+standard set the port needed, including the hand-written ``rand`` the
+paper describes writing, with an ``#include`` line producing the
+compile error a porter would have hit.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class LibraryError(ValueError):
+    """Unknown library, or use of the unsupported #include."""
+
+
+#: The standard libraries available to #use, as subset source.
+STANDARD_LIBRARIES: dict[str, str] = {
+    # The paper: "Dynamic C does not provide the standard random
+    # function" -- this is the reimplementation, an ANSI-C LCG.
+    "rand.lib": """
+        int __rand_state_lo;
+        int __rand_state_hi;
+
+        void srand_(int seed) {
+            __rand_state_lo = seed;
+            __rand_state_hi = 0;
+        }
+
+        int rand_(void) {
+            /* 16-bit LCG (Numerical Recipes flavour): state*25173+13849 */
+            __rand_state_lo = __rand_state_lo * 25173 + 13849;
+            return __rand_state_lo & 32767;
+        }
+    """,
+    # Small byte-buffer helpers (memcpy/memset shapes the port reused).
+    "string.lib": """
+        void memcpy_(char* dst, char* src, int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) dst[i] = src[i];
+        }
+
+        void memset_(char* dst, int value, int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) dst[i] = value;
+        }
+
+        int memcmp_(char* a, char* b, int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) {
+                if (a[i] != b[i]) return a[i] - b[i];
+            }
+            return 0;
+        }
+    """,
+    # Bounded-ring logging: the port's replacement for fprintf-to-file.
+    "ringlog.lib": """
+        char __ring[64];
+        int __ring_head;
+        int __ring_count;
+
+        void ringlog_put(int value) {
+            __ring[__ring_head] = value;
+            __ring_head = (__ring_head + 1) & 63;
+            if (__ring_count < 64) __ring_count = __ring_count + 1;
+        }
+
+        int ringlog_count(void) { return __ring_count; }
+    """,
+}
+
+_USE_RE = re.compile(r'^\s*#use\s+"?([A-Za-z0-9_.]+)"?\s*$', re.MULTILINE)
+_INCLUDE_RE = re.compile(r'^\s*#include\b.*$', re.MULTILINE)
+
+
+def expand_uses(source: str,
+                registry: dict[str, str] | None = None) -> str:
+    """Resolve every ``#use`` in ``source``; rejects ``#include``.
+
+    Each named library is spliced in exactly once, ahead of the user
+    code (libraries may depend on nothing; user code may depend on
+    libraries).  Unknown names raise :class:`LibraryError`.
+    """
+    registry = STANDARD_LIBRARIES if registry is None else registry
+    include = _INCLUDE_RE.search(source)
+    if include:
+        raise LibraryError(
+            f"Dynamic C does not support #include (line: "
+            f"{include.group(0).strip()!r}); use #use instead "
+            "(paper, section 4.1)"
+        )
+    used: list[str] = []
+    for match in _USE_RE.finditer(source):
+        name = match.group(1)
+        if name not in registry:
+            raise LibraryError(
+                f"no such library {name!r} "
+                f"(available: {sorted(registry)})"
+            )
+        if name not in used:
+            used.append(name)
+    body = _USE_RE.sub("", source)
+    pieces = [registry[name] for name in used]
+    pieces.append(body)
+    return "\n".join(pieces)
+
+
+# ---------------------------------------------------------------------------
+# #asm / #endasm preprocessing (paper, Section 4.1)
+# ---------------------------------------------------------------------------
+
+_ASM_BLOCK_RE = re.compile(
+    r"^[ \t]*#asm[ \t]*(nodebug)?[ \t]*\n(.*?)^[ \t]*#endasm[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+
+def extract_asm_blocks(source: str) -> tuple[str, list[str]]:
+    """Pull ``#asm ... #endasm`` regions out of ``source``.
+
+    Each block is replaced by the call statement ``__asm_block(N);`` so
+    the parser sees ordinary C; the code generator splices block N's
+    text back in at that point.  Lines inside a block beginning with
+    ``c `` are *embedded C* -- "it can also integrate C into assembly
+    code" (paper, 4.1) -- and are compiled as expression statements.
+    """
+    blocks: list[str] = []
+
+    def _replace(match: re.Match) -> str:
+        blocks.append(match.group(2))
+        return f"__asm_block({len(blocks) - 1});"
+
+    stripped = _ASM_BLOCK_RE.sub(_replace, source)
+    if "#asm" in stripped or "#endasm" in stripped:
+        raise LibraryError("unterminated or nested #asm block")
+    return stripped, blocks

@@ -1,0 +1,62 @@
+"""Compiler options: the knobs the paper's Section 6 experiments turned.
+
+"We tried a variety of optimizations on the C code, including moving
+data to root memory, unrolling loops, disabling debugging, and enabling
+compiler optimization, but this only improved run time by perhaps 20%."
+
+Each knob here is one of those:
+
+* ``debug``           -- Dynamic C instruments statements for the
+                         debugger; ``debug=False`` is the paper's
+                         "disabling debugging".
+* ``optimize``        -- peephole optimization ("enabling compiler
+                         optimization").
+* ``unroll``          -- source-level unrolling of countable loops.
+* ``data_placement``  -- where const tables live: ``"xmem"`` (bank
+                         window, slowest), ``"flash"`` (root flash,
+                         wait-stated), ``"root_ram"`` ("moving data to
+                         root memory": copied to zero-wait SRAM at init).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PLACEMENTS = ("flash", "root_ram", "xmem")
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """One compiler configuration (a point in the E2 sweep)."""
+
+    debug: bool = True
+    optimize: bool = False
+    unroll: bool = False
+    unroll_limit: int = 16
+    data_placement: str = "flash"
+
+    def __post_init__(self):
+        if self.data_placement not in PLACEMENTS:
+            raise ValueError(
+                f"data_placement must be one of {PLACEMENTS}, "
+                f"got {self.data_placement!r}"
+            )
+
+    def describe(self) -> str:
+        parts = [
+            "debug" if self.debug else "nodebug",
+            "opt" if self.optimize else "noopt",
+            "unroll" if self.unroll else "nounroll",
+            self.data_placement,
+        ]
+        return "+".join(parts)
+
+
+#: Dynamic C's out-of-the-box configuration (debugging on, no
+#: optimization), i.e. the paper's baseline measurement.
+DEFAULT = CompilerOptions()
+
+#: Everything the paper tried, turned on at once.
+BEST = CompilerOptions(
+    debug=False, optimize=True, unroll=True, data_placement="root_ram"
+)

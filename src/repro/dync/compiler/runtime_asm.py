@@ -1,0 +1,124 @@
+"""The compiler's runtime library, in assembly.
+
+The Rabbit has no hardware multiply or barrel shifter, so the naive
+compiler calls these helpers.  Conventions: DE holds the left operand,
+HL the right; results return in HL; A/B/C are scratch.
+"""
+
+RUNTIME_ASM = """
+; ---- runtime library (naive Dynamic C subset compiler) ----
+
+; HL = DE * HL (unsigned 16x16 -> low 16)
+__mul16:
+        ld   c, l
+        ld   a, h            ; A:C = multiplier
+        ld   hl, 0
+        ld   b, 16
+__mul16_loop:
+        add  hl, hl
+        rl   c
+        rla
+        jr   nc, __mul16_skip
+        add  hl, de
+__mul16_skip:
+        djnz __mul16_loop
+        ret
+
+; HL = DE << (HL & 255)
+__shl16:
+        ld   b, l
+        ex   de, hl
+        ld   a, b
+        or   a
+        ret  z
+__shl16_loop:
+        add  hl, hl
+        djnz __shl16_loop
+        ret
+
+; HL = DE >> (HL & 255), logical
+__shr16:
+        ld   b, l
+        ex   de, hl
+        ld   a, b
+        or   a
+        ret  z
+__shr16_loop:
+        srl  h
+        rr   l
+        djnz __shr16_loop
+        ret
+
+; HL = (DE == HL)
+__eq16:
+        ex   de, hl
+        or   a
+        sbc  hl, de
+        ld   hl, 1
+        ret  z
+        dec  hl
+        ret
+
+; HL = (DE != HL)
+__ne16:
+        ex   de, hl
+        or   a
+        sbc  hl, de
+        ld   hl, 0
+        ret  z
+        inc  hl
+        ret
+
+; HL = (DE < HL) signed: compute left - right in HL, test S xor V
+__lts16:
+        ex   de, hl
+        or   a
+        sbc  hl, de
+        jp   pe, __lts16_ov
+        jp   m, __cmp_true
+        jp   __cmp_false
+__lts16_ov:
+        jp   m, __cmp_false
+        jp   __cmp_true
+
+; HL = (DE > HL) signed: compute right - left
+__gts16:
+        or   a
+        sbc  hl, de
+        jp   pe, __gts16_ov
+        jp   m, __cmp_true
+        jp   __cmp_false
+__gts16_ov:
+        jp   m, __cmp_false
+        jp   __cmp_true
+
+; HL = (DE >= HL) signed: !(left < right)
+__ges16:
+        ex   de, hl
+        or   a
+        sbc  hl, de
+        jp   pe, __ges16_ov
+        jp   m, __cmp_false
+        jp   __cmp_true
+__ges16_ov:
+        jp   m, __cmp_true
+        jp   __cmp_false
+
+; HL = (DE <= HL) signed: !(right < left)
+__les16:
+        or   a
+        sbc  hl, de
+        jp   pe, __les16_ov
+        jp   m, __cmp_false
+        jp   __cmp_true
+__les16_ov:
+        jp   m, __cmp_true
+        jp   __cmp_false
+
+__cmp_true:
+        ld   hl, 1
+        ret
+__cmp_false:
+        ld   hl, 0
+        ret
+"""

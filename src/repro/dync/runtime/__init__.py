@@ -1,0 +1,57 @@
+"""Dynamic C runtime semantics (DESIGN.md S12)."""
+
+from repro.dync.runtime.costate import (
+    Costate,
+    CostateError,
+    CostateScheduler,
+    DEFAULT_PASS_OVERHEAD_S,
+    wait_delay,
+    waitfor,
+)
+from repro.dync.runtime.errors import (
+    ErrorDispatcher,
+    ErrorRecord,
+    RuntimeErrorCode,
+    ignore_most_errors,
+)
+from repro.dync.runtime.funcchain import FunctionChainError, FunctionChainRegistry
+from repro.dync.runtime.slice_stmt import Slice, SliceError, SliceScheduler
+from repro.dync.runtime.ucos import MicroCos, Semaphore, Task, UcosError
+from repro.dync.runtime.storage import (
+    BatteryBackedRam,
+    ProtectedVariable,
+    SharedVariable,
+    StaticLocals,
+    UnsharedMultibyte,
+)
+from repro.dync.runtime.xalloc import XallocError, XmemAllocator, XmemPointer
+
+__all__ = [
+    "BatteryBackedRam",
+    "Costate",
+    "CostateError",
+    "CostateScheduler",
+    "DEFAULT_PASS_OVERHEAD_S",
+    "ErrorDispatcher",
+    "ErrorRecord",
+    "FunctionChainError",
+    "MicroCos",
+    "FunctionChainRegistry",
+    "ProtectedVariable",
+    "RuntimeErrorCode",
+    "Semaphore",
+    "SharedVariable",
+    "Slice",
+    "SliceError",
+    "SliceScheduler",
+    "StaticLocals",
+    "Task",
+    "UcosError",
+    "UnsharedMultibyte",
+    "XallocError",
+    "XmemAllocator",
+    "XmemPointer",
+    "ignore_most_errors",
+    "wait_delay",
+    "waitfor",
+]

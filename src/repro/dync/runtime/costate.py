@@ -1,0 +1,181 @@
+"""Costatements and cofunctions: Dynamic C's cooperative multitasking.
+
+Dynamic C's big loop
+
+    for (;;) {
+        costate { ... yield; ... waitfor(expr); ... }
+        costate { ... }
+    }
+
+gives each costatement its own program counter; ``yield`` passes control
+to the next costatement and execution resumes after the ``yield`` on the
+next pass; ``waitfor(expr)`` is ``while (!expr) yield;``.
+
+Here a costatement is a Python generator added to a
+:class:`CostateScheduler`.  A bare ``yield`` is Dynamic C's ``yield``; the
+:func:`waitfor` helper is used as ``yield from waitfor(pred)``.  The
+scheduler itself runs as one process on the discrete-event simulator,
+charging a configurable amount of simulated time per pass through the
+big loop (a 30 MHz Rabbit spends real cycles just walking the loop).
+
+Cofunctions -- costatement bodies that take arguments and return a value
+-- map onto generator delegation: define a generator function and call
+it with ``result = yield from my_cofunc(args)``, which is faithful to
+their "callable costatement" semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.net.sim import Simulator
+
+#: Default simulated cost of one pass through the big loop.  At 30 MHz a
+#: few hundred cycles of loop/dispatch overhead is ~10 us.
+DEFAULT_PASS_OVERHEAD_S = 10e-6
+
+
+class CostateError(RuntimeError):
+    """Raised on scheduler misuse."""
+
+
+class Costate:
+    """One costatement: a generator with Dynamic C-style lifecycle."""
+
+    def __init__(self, gen: Generator, name: str = ""):
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "costate")
+        self.done = False
+        self.passes = 0
+
+    def step(self) -> float:
+        """Advance to the next yield (one scheduler pass).
+
+        Returns the CPU-busy seconds this step consumed: costatement
+        bodies that perform blocking computation (crypto, mostly) yield
+        a number, meaning "the CPU ground for this long without
+        yielding control" -- on a cooperative scheduler that stalls the
+        whole big loop, which is exactly the Rabbit's behaviour.
+        """
+        if self.done:
+            return 0.0
+        self.passes += 1
+        try:
+            yielded = next(self.gen)
+        except StopIteration:
+            self.done = True
+            return 0.0
+        if isinstance(yielded, (int, float)):
+            return float(yielded)
+        return 0.0
+
+    def abort(self) -> None:
+        """Dynamic C ``abort``: kill the costatement."""
+        if not self.done:
+            self.gen.close()
+            self.done = True
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "active"
+        return f"Costate({self.name!r}, {state}, passes={self.passes})"
+
+
+def waitfor(predicate: Callable[[], bool]):
+    """``waitfor(expr)`` == ``while (!expr) yield;``.
+
+    Use as ``yield from waitfor(lambda: sock_established(s))``.
+    """
+    while not predicate():
+        yield
+
+
+def wait_delay(scheduler: "CostateScheduler", seconds: float):
+    """``waitfor(DelaySec(n))``: park this costatement for sim time."""
+    deadline = scheduler.sim.now + seconds
+    while scheduler.sim.now < deadline:
+        yield
+
+
+class CostateScheduler:
+    """The big loop: round-robin over costatements, forever.
+
+    ``restart_done`` mirrors the default Dynamic C behaviour in which a
+    completed ``costate`` block simply runs again on the next pass; pass
+    a factory instead of a generator to enable it per costatement.
+    """
+
+    def __init__(self, sim: Simulator,
+                 pass_overhead_s: float = DEFAULT_PASS_OVERHEAD_S,
+                 name: str = "bigloop"):
+        self.sim = sim
+        self.pass_overhead_s = pass_overhead_s
+        self.name = name
+        self._costates: list[Costate] = []
+        self._factories: dict[Costate, Callable[[], Generator]] = {}
+        self._process = None
+        self.passes = 0
+        self.running = False
+
+    def add(self, gen: Generator, name: str = "") -> Costate:
+        """Register a one-shot costatement (runs to completion once)."""
+        costate = Costate(gen, name)
+        self._costates.append(costate)
+        return costate
+
+    def add_restarting(self, factory: Callable[[], Generator],
+                       name: str = "") -> Costate:
+        """Register a costatement that restarts after completing."""
+        costate = Costate(factory(), name or factory.__name__)
+        self._costates.append(costate)
+        self._factories[costate] = factory
+        return costate
+
+    def start(self):
+        """Spawn the big loop on the simulator; returns the process."""
+        if self.running:
+            raise CostateError("scheduler already started")
+        self.running = True
+        self._process = self.sim.spawn(self._big_loop(), name=self.name)
+        return self._process
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _big_loop(self):
+        while self.running:
+            self.passes += 1
+            busy = 0.0
+            for costate in list(self._costates):
+                if costate.done:
+                    factory = self._factories.get(costate)
+                    if factory is not None:
+                        costate.gen = factory()
+                        costate.done = False
+                    else:
+                        continue
+                busy += costate.step()
+            # One trip around the for(;;) loop costs real time, plus
+            # whatever blocking computation the costatements performed.
+            yield self.pass_overhead_s + busy
+
+    @property
+    def all_done(self) -> bool:
+        return all(
+            costate.done and costate not in self._factories
+            for costate in self._costates
+        )
+
+    def run_until_all_done(self, timeout: float = 60.0) -> None:
+        """Convenience for tests: start (if needed) and run the sim until
+        every one-shot costatement finishes."""
+        if not self.running:
+            self.start()
+        deadline = self.sim.now + timeout
+        while not self.all_done:
+            if self.sim.now >= deadline or not self.sim.pending_events:
+                raise CostateError(
+                    f"costates not done by t={self.sim.now}: "
+                    f"{[c for c in self._costates if not c.done]}"
+                )
+            self.sim.run(until=min(deadline, self.sim.now + 0.05))
+        self.stop()

@@ -1,0 +1,80 @@
+"""Runtime error dispatch: ``defineErrorHandler`` (paper, Section 4.1).
+
+There is no OS to catch divide-by-zero or library faults on the board;
+the hardware pushes information about the error onto the stack and calls
+a user-registered handler.  The paper's port registered a handler that
+retrieved that information with inline assembly and "simply ignored most
+errors."  This module gives the simulated board the same mechanism, and
+the default firmware handler reproduces the ignore-most policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class RuntimeErrorCode(enum.IntEnum):
+    """Error codes the Rabbit runtime can raise (subset)."""
+
+    DIVIDE_BY_ZERO = 0x01
+    DOMAIN = 0x02
+    RANGE = 0x03
+    ARRAY_INDEX = 0x04
+    STACK_OVERFLOW = 0x05
+    XMEM_ALLOC = 0x06
+    BAD_INTERRUPT = 0x07
+    WATCHDOG = 0x08
+    UNEXPECTED_RST = 0x09
+
+
+@dataclass
+class ErrorRecord:
+    """What the hardware pushes on the stack for the handler."""
+
+    code: RuntimeErrorCode
+    address: int
+    info: int = 0
+
+
+@dataclass
+class ErrorDispatcher:
+    """Holds the registered handler and the error history."""
+
+    history: list[ErrorRecord] = field(default_factory=list)
+    _handler: Callable[[ErrorRecord], bool] | None = None
+    unhandled: int = 0
+
+    def define_error_handler(self, handler: Callable[[ErrorRecord], bool]) -> None:
+        """``defineErrorHandler(void *errfcn)``.
+
+        The handler returns True if it dealt with the error; False means
+        the board resets (our caller decides what that entails).
+        """
+        self._handler = handler
+
+    def raise_error(self, code: RuntimeErrorCode, address: int = 0,
+                    info: int = 0) -> bool:
+        """Dispatch an error; returns True if a handler absorbed it."""
+        record = ErrorRecord(code, address, info)
+        self.history.append(record)
+        if self._handler is None:
+            self.unhandled += 1
+            return False
+        handled = self._handler(record)
+        if not handled:
+            self.unhandled += 1
+        return handled
+
+
+def ignore_most_errors(record: ErrorRecord) -> bool:
+    """The paper's policy: "we simply ignored most errors".
+
+    Watchdog and stack overflow still count as fatal (returning False),
+    since pretending those away is not survivable even in a demo.
+    """
+    return record.code not in (
+        RuntimeErrorCode.WATCHDOG,
+        RuntimeErrorCode.STACK_OVERFLOW,
+    )

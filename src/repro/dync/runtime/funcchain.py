@@ -1,0 +1,48 @@
+"""Function chains (paper, Section 4.4).
+
+``#makechain recover`` / ``#funcchain recover free_memory`` register
+code segments under a chain name; invoking ``recover()`` runs every
+registered segment.  The paper's port did not use the feature, but the
+runtime provides it, so we do too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class FunctionChainError(RuntimeError):
+    """Raised on unknown chains or duplicate registration."""
+
+
+class FunctionChainRegistry:
+    """All chains declared in a program (one registry per firmware image)."""
+
+    def __init__(self):
+        self._chains: dict[str, list[Callable[[], None]]] = {}
+
+    def makechain(self, name: str) -> None:
+        """``#makechain name``; declaring twice is a compile error."""
+        if name in self._chains:
+            raise FunctionChainError(f"chain {name!r} already declared")
+        self._chains[name] = []
+
+    def funcchain(self, name: str, segment: Callable[[], None]) -> None:
+        """``#funcchain name segment``: append a segment to a chain."""
+        if name not in self._chains:
+            raise FunctionChainError(f"no such chain {name!r}")
+        self._chains[name].append(segment)
+
+    def invoke(self, name: str) -> int:
+        """Call every segment in the chain; returns how many ran."""
+        if name not in self._chains:
+            raise FunctionChainError(f"no such chain {name!r}")
+        segments = list(self._chains[name])
+        for segment in segments:
+            segment()
+        return len(segments)
+
+    def segments(self, name: str) -> tuple[Callable[[], None], ...]:
+        if name not in self._chains:
+            raise FunctionChainError(f"no such chain {name!r}")
+        return tuple(self._chains[name])

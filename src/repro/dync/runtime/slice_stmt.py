@@ -1,0 +1,144 @@
+"""The ``slice`` statement: Dynamic C's preemptive multitasking
+(paper, Section 4.2).
+
+"Dynamic C provides both cooperative multitasking, through costatements
+and cofunctions, and preemptive multitasking through either the slice
+statement or a port of Labrosse's uC/OS-II real-time operating system."
+
+A ``slice (buffer, ticks) { body }`` runs its body with a time budget;
+when the budget expires the body is *preempted* mid-flight (its state
+saved in the buffer) and control moves on, resuming where it left off
+on the next pass.  Contrast costatements, which only switch at explicit
+``yield``/``waitfor`` points.
+
+Model: a slice body is a generator whose yields are *involuntary
+preemption points* -- the scheduler charges each step with simulated
+time (``tick_s`` per step by default, or the number a step yields) and
+force-switches whenever the slice's budget is exhausted, whether or not
+the body "wanted" to continue.  The paper's port used costatements, not
+slices; this module exists because the runtime offers both and E2-style
+comparisons of the two models are interesting (see the scheduler
+fairness tests).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.net.sim import Simulator
+
+#: One tick of the slice scheduler, in seconds (Dynamic C used the
+#: periodic interrupt, nominally 1/1024 s; scaled down for simulation).
+DEFAULT_TICK_S = 1e-4
+
+
+class SliceError(RuntimeError):
+    """Raised on scheduler misuse."""
+
+
+class Slice:
+    """One preemptively-scheduled task with a per-activation budget."""
+
+    def __init__(self, gen: Generator, budget_ticks: int, name: str = ""):
+        if budget_ticks <= 0:
+            raise SliceError("slice budget must be positive")
+        self.gen = gen
+        self.budget_ticks = budget_ticks
+        self.name = name or getattr(gen, "__name__", "slice")
+        self.done = False
+        self.activations = 0
+        self.preemptions = 0
+        self.ticks_consumed = 0
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "runnable"
+        return (f"Slice({self.name!r}, {state}, "
+                f"activations={self.activations}, "
+                f"preemptions={self.preemptions})")
+
+
+class SliceScheduler:
+    """Round-robin preemptive scheduler over :class:`Slice` tasks.
+
+    Each activation runs a task until it either finishes, voluntarily
+    yields a negative value (Dynamic C's "give up the rest of my
+    slice"), or exhausts its tick budget and is preempted.
+    """
+
+    def __init__(self, sim: Simulator, tick_s: float = DEFAULT_TICK_S,
+                 name: str = "slicer"):
+        self.sim = sim
+        self.tick_s = tick_s
+        self.name = name
+        self._slices: list[Slice] = []
+        self.running = False
+        self.rotations = 0
+
+    def add(self, gen: Generator, budget_ticks: int, name: str = "") -> Slice:
+        task = Slice(gen, budget_ticks, name)
+        self._slices.append(task)
+        return task
+
+    def start(self):
+        if self.running:
+            raise SliceError("scheduler already started")
+        self.running = True
+        return self.sim.spawn(self._loop(), name=self.name)
+
+    def stop(self) -> None:
+        self.running = False
+
+    @property
+    def all_done(self) -> bool:
+        return all(task.done for task in self._slices)
+
+    def _loop(self):
+        while self.running and not self.all_done:
+            self.rotations += 1
+            for task in self._slices:
+                if task.done:
+                    continue
+                consumed = yield from self._activate(task)
+                task.ticks_consumed += consumed
+        self.running = False
+
+    def _activate(self, task: Slice):
+        """Run one activation of ``task``; returns ticks consumed."""
+        task.activations += 1
+        remaining = task.budget_ticks
+        consumed = 0
+        while True:
+            if remaining <= 0:
+                # Budget exhausted with the body still mid-flight: the
+                # involuntary switch that makes this *preemptive*.
+                task.preemptions += 1
+                break
+            try:
+                yielded = next(task.gen)
+            except StopIteration:
+                task.done = True
+                break
+            if isinstance(yielded, (int, float)) and yielded < 0:
+                # Voluntary yield of the remainder of the slice.
+                consumed += 1
+                yield self.tick_s
+                break
+            ticks = int(yielded) if isinstance(yielded, (int, float)) \
+                and yielded > 0 else 1
+            ticks = min(ticks, remaining)
+            consumed += ticks
+            remaining -= ticks
+            yield ticks * self.tick_s
+        return consumed
+
+    def run_until_all_done(self, timeout: float = 60.0) -> None:
+        if not self.running:
+            self.start()
+        deadline = self.sim.now + timeout
+        while not self.all_done:
+            if self.sim.now >= deadline or not self.sim.pending_events:
+                raise SliceError(
+                    f"slices not done by t={self.sim.now}: "
+                    f"{[t for t in self._slices if not t.done]}"
+                )
+            self.sim.run(until=min(deadline, self.sim.now + 0.05))

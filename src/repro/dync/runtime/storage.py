@@ -1,0 +1,155 @@
+"""Dynamic C storage-class semantics: ``shared`` and ``protected``
+(Figure 1 of the paper), plus the battery-backed RAM they rely on.
+
+* ``shared``: multibyte variables whose updates must be atomic; the
+  compiler brackets writes with interrupt disable/enable.  We model the
+  bracket (and count the cycles it would cost) and assert that a torn
+  read can never be observed.
+* ``protected``: every modification first copies the old value to
+  battery-backed RAM, so after a reset ``_sysIsSoftReset()`` can restore
+  it.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+#: Cycle cost of the IPSET/IPRES bracket around a shared update
+#: (approximate Rabbit 2000 figures; used by accounting, not correctness).
+SHARED_UPDATE_OVERHEAD_CYCLES = 24
+
+
+class BatteryBackedRam:
+    """The small battery-backed store on the board (tamper-proof RAM)."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._slots: dict[str, object] = {}
+
+    def save(self, key: str, value: object) -> None:
+        if key not in self._slots and len(self._slots) >= self.capacity:
+            raise MemoryError("battery-backed RAM full")
+        self._slots[key] = value
+
+    def load(self, key: str, default: object = None) -> object:
+        return self._slots.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._slots
+
+
+class SharedVariable(Generic[T]):
+    """``shared`` qualifier: atomic multibyte updates.
+
+    The simulator's event model is already atomic between yields, so the
+    observable guarantee holds trivially; what we add is the bookkeeping
+    an analysis can query: how many updates paid the interrupt-disable
+    bracket, and a torn-read canary for tests that deliberately model
+    byte-at-a-time writes of *unshared* variables.
+    """
+
+    def __init__(self, value: T, name: str = ""):
+        self._value = value
+        self.name = name
+        self.update_count = 0
+        self.overhead_cycles = 0
+
+    def get(self) -> T:
+        return self._value
+
+    def set(self, value: T) -> None:
+        # Interrupts off -> write all bytes -> interrupts on.
+        self.update_count += 1
+        self.overhead_cycles += SHARED_UPDATE_OVERHEAD_CYCLES
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"SharedVariable({self.name!r}={self._value!r})"
+
+
+class UnsharedMultibyte:
+    """A deliberately torn-write-prone multibyte variable, for contrast.
+
+    Writes happen one byte per call to :meth:`write_step`, modelling an
+    interrupted multibyte store.  Tests use this to demonstrate the bug
+    class that ``shared`` exists to prevent.
+    """
+
+    def __init__(self, width: int = 4):
+        self.width = width
+        self._bytes = bytearray(width)
+        self._pending: bytes | None = None
+        self._pending_index = 0
+
+    def begin_write(self, value: int) -> None:
+        self._pending = value.to_bytes(self.width, "little")
+        self._pending_index = 0
+
+    def write_step(self) -> bool:
+        """Write one byte; returns True when the write completes."""
+        if self._pending is None:
+            return True
+        self._bytes[self._pending_index] = self._pending[self._pending_index]
+        self._pending_index += 1
+        if self._pending_index == self.width:
+            self._pending = None
+            return True
+        return False
+
+    def read(self) -> int:
+        """May observe a torn value mid-write."""
+        return int.from_bytes(bytes(self._bytes), "little")
+
+
+class ProtectedVariable(Generic[T]):
+    """``protected`` qualifier: value survives a reset via battery RAM."""
+
+    def __init__(self, value: T, ram: BatteryBackedRam, name: str):
+        self._value = value
+        self._ram = ram
+        self.name = name
+        self.backup_count = 0
+
+    def get(self) -> T:
+        return self._value
+
+    def set(self, value: T) -> None:
+        # Copy the *current* value to battery RAM before modifying, so a
+        # reset mid-update finds the last consistent value.
+        self._ram.save(self.name, self._value)
+        self.backup_count += 1
+        self._value = value
+        self._ram.save(self.name, self._value)
+
+    def lose_to_reset(self) -> None:
+        """Simulate the in-RAM copy being destroyed by a reset."""
+        self._value = None  # type: ignore[assignment]
+
+    def restore(self) -> T:
+        """``_sysIsSoftReset()``: pull the backup out of battery RAM."""
+        if self.name not in self._ram:
+            raise KeyError(f"no backup for protected variable {self.name!r}")
+        self._value = self._ram.load(self.name)  # type: ignore[assignment]
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"ProtectedVariable({self.name!r}={self._value!r})"
+
+
+class StaticLocals:
+    """Dynamic C's locals are static by default (paper, Section 4.1).
+
+    A function's locals persist across calls unless declared ``auto``.
+    This class is the executable demonstration: a callable wrapper whose
+    tracked locals keep state between invocations, used by tests and the
+    F1 example to show how recursion breaks under static-by-default.
+    """
+
+    def __init__(self):
+        self._frames: dict[str, dict[str, object]] = {}
+
+    def frame(self, function_name: str) -> dict[str, object]:
+        """The (single, shared) local frame for ``function_name``."""
+        return self._frames.setdefault(function_name, {})

@@ -1,0 +1,89 @@
+"""``xalloc``: Dynamic C's allocate-only extended-memory allocator.
+
+The paper, Section 5.2: "Dynamic C does not support the standard library
+functions malloc and free.  Instead, it provides the xalloc function
+that allocates extended memory only (arithmetic, therefore, cannot be
+performed on the returned pointer).  More seriously, there is no
+analogue to free; allocated memory cannot be returned to a pool."
+
+:class:`XmemAllocator` reproduces exactly that: a bump allocator over
+the board's xmem, returning opaque :class:`XmemPointer` handles that
+refuse arithmetic.  The E7 benchmark uses it to show why the port had to
+drop dynamic allocation and multiple key sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class XallocError(MemoryError):
+    """Raised when the xmem pool is exhausted."""
+
+
+@dataclass(frozen=True)
+class XmemPointer:
+    """An opaque 20-bit physical address in extended memory.
+
+    Pointer arithmetic is deliberately unsupported, as on the Rabbit,
+    where xmem pointers are physical addresses outside the 16-bit
+    logical space.
+    """
+
+    address: int
+    size: int
+
+    def __add__(self, other):
+        raise TypeError("arithmetic on xmem pointers is not supported")
+
+    __radd__ = __add__
+    __sub__ = __add__
+
+    def __int__(self) -> int:
+        return self.address
+
+
+class XmemAllocator:
+    """Bump allocator over [base, base+capacity); no free, ever."""
+
+    def __init__(self, capacity: int, base: int = 0x80000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.base = base
+        self.capacity = capacity
+        self._brk = base
+        self.allocations = 0
+
+    def xalloc(self, nbytes: int) -> XmemPointer:
+        """Allocate ``nbytes``; raises :class:`XallocError` when exhausted."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation must be positive, got {nbytes}")
+        if self._brk + nbytes > self.base + self.capacity:
+            raise XallocError(
+                f"xalloc({nbytes}) with only {self.available} bytes left"
+            )
+        pointer = XmemPointer(self._brk, nbytes)
+        self._brk += nbytes
+        self.allocations += 1
+        return pointer
+
+    def free(self, pointer: XmemPointer) -> None:
+        """There is no free.  Calling it is a porting bug; we make it loud."""
+        raise XallocError(
+            "Dynamic C has no free(); allocated xmem cannot be returned "
+            "(paper, section 5.2)"
+        )
+
+    @property
+    def used(self) -> int:
+        return self._brk - self.base
+
+    @property
+    def available(self) -> int:
+        return self.base + self.capacity - self._brk
+
+    def __repr__(self) -> str:
+        return (
+            f"XmemAllocator(used={self.used}/{self.capacity}, "
+            f"allocations={self.allocations})"
+        )

@@ -1,0 +1,55 @@
+"""Experiment runners, one per paper claim (DESIGN.md S15).
+
+Each ``run_eN()`` returns an
+:class:`~repro.experiments.harness.ExperimentResult`; ``run_all()``
+executes the full battery.  ``python -m repro.experiments`` prints the
+whole report.
+"""
+
+from repro.experiments.e1_aes import run_e1
+from repro.experiments.e2_sweep import run_e2
+from repro.experiments.e3_size import run_e3
+from repro.experiments.e4_throughput import run_e4
+from repro.experiments.e5_concurrency import run_e5
+from repro.experiments.e6_api_gap import run_e6
+from repro.experiments.e7_memory import run_e7
+from repro.experiments.e8_interrupts import run_e8
+from repro.experiments.e9_porting import run_e9
+from repro.experiments.e10_rsa import run_e10
+from repro.experiments.harness import ExperimentResult, format_table
+
+RUNNERS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+}
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every experiment in order; returns the result records."""
+    return [runner() for runner in RUNNERS.values()]
+
+
+__all__ = [
+    "ExperimentResult",
+    "RUNNERS",
+    "format_table",
+    "run_all",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+    "run_e9",
+    "run_e10",
+]

@@ -1,0 +1,33 @@
+"""``python -m repro.experiments [E1 E2 ...]``: run and print experiments."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import RUNNERS
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    wanted = [arg.upper() for arg in argv] or list(RUNNERS)
+    unknown = [w for w in wanted if w not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(RUNNERS)}")
+        return 2
+    failures = 0
+    for experiment_id in wanted:
+        start = time.time()
+        result = RUNNERS[experiment_id]()
+        elapsed = time.time() - start
+        print(result.format())
+        print(f"  ({elapsed:.1f}s wall)")
+        print()
+        if not result.reproduced:
+            failures += 1
+    print(f"{len(wanted) - failures}/{len(wanted)} experiments reproduced")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

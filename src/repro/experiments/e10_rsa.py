@@ -1,0 +1,108 @@
+"""E10: why the port dropped RSA (paper, Sections 2 and 5).
+
+"Because the RSA algorithm uses a difficult-to-port bignum package, we
+only ported the AES cipher" ... "our final port did not implement the
+RSA cipher because it relied on a fairly complex bignum library that we
+considered too complicated to rework."
+
+The paper never measures what reworking would have bought, so this
+experiment does: a clean straightforward-port bignum (byte limbs,
+division-free modular multiply) compiled by the Dynamic C subset
+compiler and run on the cycle-counting board at several operand widths.
+Modexp cost scales as O(bits^3); extrapolating the measurements to the
+RSA-512 private operation of a real handshake shows minutes per
+connection naive -- and still tens of seconds even granting the full
+25x hand-assembly speedup E1 measured -- against ~20 ms on the
+workstation.  Abandoning RSA (PSK mode) was the only shippable choice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.issl.costmodel import WORKSTATION
+from repro.rabbit.board import Board, CLOCK_HZ
+from repro.rabbit.programs.rsa_c import RsaC
+
+#: E1's measured hand-assembly speedup, granted as best-case credit.
+E1_ASSEMBLY_SPEEDUP = 25.0
+
+#: Test operands per width (base, exponent, modulus); exponents have
+#: full width so the measurement reflects a private-key-shaped op.
+_CASES = {
+    2: (0x1234, 0xFFF1, 0xFFF1 + 0x0A),     # 16-bit
+    3: (0x123456, 0xFFFFF1, 0xFFFFFB),      # 24-bit
+    4: (0x12345678, 0xFFFFFFF1, 0xFFFFFFFB),  # 32-bit
+}
+
+
+def measure_widths(widths=(2, 3, 4)) -> dict[int, int]:
+    """Measured modexp cycles per operand width (bytes), cross-checked
+    against Python's pow()."""
+    cycles_by_width = {}
+    for width in widths:
+        base, exponent, modulus = _CASES[width]
+        implementation = RsaC(Board(), n_bytes=width)
+        result, cycles = implementation.modexp(base % modulus, exponent,
+                                               modulus)
+        expected = pow(base % modulus, exponent, modulus)
+        if result != expected:
+            raise AssertionError(f"modexp wrong at width {width}")
+        cycles_by_width[width] = cycles
+    return cycles_by_width
+
+
+def run_e10() -> ExperimentResult:
+    cycles_by_width = measure_widths()
+    rows = []
+    for width, cycles in cycles_by_width.items():
+        rows.append({
+            "operand bits": 8 * width,
+            "modexp cycles": cycles,
+            "seconds @30MHz": round(cycles / CLOCK_HZ, 3),
+        })
+    # Extrapolate bits^3 from the widest measurement.
+    base_bits = 8 * max(cycles_by_width)
+    base_cycles = cycles_by_width[max(cycles_by_width)]
+    rsa512_cycles = base_cycles * (512 / base_bits) ** 3
+    rsa512_naive_s = rsa512_cycles / CLOCK_HZ
+    rsa512_asm_s = rsa512_naive_s / E1_ASSEMBLY_SPEEDUP
+    workstation_s = WORKSTATION.rsa_private_seconds()
+    rows.append({
+        "operand bits": 512,
+        "modexp cycles": round(rsa512_cycles),
+        "seconds @30MHz": round(rsa512_naive_s, 1),
+    })
+    # Scaling sanity: cycles must grow super-quadratically in bits.
+    c16 = cycles_by_width[2]
+    c32 = cycles_by_width[4]
+    growth = c32 / c16
+    cubic_like = growth > 4.5  # 2x bits, > ~quadratic growth
+    reproduced = (
+        cubic_like
+        and rsa512_naive_s > 300
+        and rsa512_asm_s > 10
+        and rsa512_asm_s / workstation_s > 100
+    )
+    return ExperimentResult(
+        experiment_id="E10",
+        title="The RSA private op on the Rabbit: why the port dropped RSA",
+        paper_claim=(
+            "RSA not ported: the bignum package was 'too complicated to "
+            "rework' -- the port keeps only the AES cipher"
+        ),
+        rows=rows,
+        summary=(
+            f"RSA-512 private op extrapolates to {rsa512_naive_s / 60:.0f} "
+            f"minutes on the 30 MHz Rabbit as a straightforward port, and "
+            f"~{rsa512_asm_s:.0f} s even granting E1's {E1_ASSEMBLY_SPEEDUP:.0f}x "
+            f"assembly speedup, vs {workstation_s * 1000:.0f} ms on the "
+            f"workstation -- per connection; abandoning RSA was the only "
+            f"shippable option"
+        ),
+        reproduced=reproduced,
+        notes=(
+            "every board result cross-checked against Python pow(); "
+            "extrapolation is cubic in modulus bits from the 32-bit "
+            "measurement"
+        ),
+    )

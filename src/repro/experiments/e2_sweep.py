@@ -1,0 +1,79 @@
+"""E2: the C-level optimization sweep (paper, Section 6).
+
+"We tried a variety of optimizations on the C code, including moving
+data to root memory, unrolling loops, disabling debugging, and enabling
+compiler optimization, but this only improved run time by perhaps 20%."
+
+One run per knob (individually) plus all-knobs-on, all over the same
+key/block workload as E1.
+"""
+
+from __future__ import annotations
+
+from repro.dync.compiler import CompilerOptions
+from repro.experiments.e1_aes import measure_implementation
+from repro.experiments.harness import ExperimentResult
+from repro.rabbit.board import Board
+from repro.rabbit.programs.aes_c import AesC
+
+#: The sweep: label -> options.  The baseline is Dynamic C out of the
+#: box (debug on, tables in wait-stated flash).
+SWEEP: tuple[tuple[str, CompilerOptions], ...] = (
+    ("baseline (debug, flash data)", CompilerOptions()),
+    ("+ data to root RAM", CompilerOptions(data_placement="root_ram")),
+    ("+ loop unrolling", CompilerOptions(unroll=True)),
+    ("+ disable debugging", CompilerOptions(debug=False)),
+    ("+ compiler optimization", CompilerOptions(optimize=True)),
+    ("data in xmem (worse)", CompilerOptions(data_placement="xmem")),
+    (
+        "all optimizations",
+        CompilerOptions(debug=False, optimize=True, unroll=True,
+                        data_placement="root_ram"),
+    ),
+)
+
+
+def run_e2(keys: int = 1, blocks_per_key: int = 2) -> ExperimentResult:
+    measurements = []
+    for label, options in SWEEP:
+        implementation = AesC(Board(), options, include_decrypt=False)
+        measurement = measure_implementation(
+            implementation, keys, blocks_per_key, label
+        )
+        measurements.append((label, options, measurement))
+    baseline = measurements[0][2].cycles_per_block
+    rows = []
+    for label, options, measurement in measurements:
+        gain = (baseline - measurement.cycles_per_block) / baseline * 100
+        rows.append({
+            "configuration": label,
+            "options": options.describe(),
+            "cycles/block": round(measurement.cycles_per_block),
+            "vs baseline": f"{gain:+.1f}%",
+            "code bytes": measurement.code_size,
+        })
+    all_on = measurements[-1][2].cycles_per_block
+    combined_gain = (baseline - all_on) / baseline * 100
+    individual_gains = [
+        (baseline - m.cycles_per_block) / baseline * 100
+        for label, _opts, m in measurements[1:5]
+    ]
+    # The paper's finding has two halves: each knob is small, and even
+    # all of them together land in the tens of percent -- nowhere near
+    # the 10x the assembly buys.
+    reproduced = (
+        all(gain < 30 for gain in individual_gains)
+        and 10 <= combined_gain <= 45
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="C optimization sweep: root data, unrolling, nodebug, optimizer",
+        paper_claim="all of it together improved run time by perhaps 20%",
+        rows=rows,
+        summary=(
+            f"individual knobs {min(individual_gains):.1f}%.."
+            f"{max(individual_gains):.1f}%, all together "
+            f"{combined_gain:.1f}% -- far short of the assembly's 10x+"
+        ),
+        reproduced=reproduced,
+    )

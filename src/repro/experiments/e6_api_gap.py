@@ -1,0 +1,97 @@
+"""E6: the API gap of Figure 2 -- same echo server, two APIs.
+
+Both echo servers run against identical clients on the simulated
+network; the payloads must match byte for byte, while the API-call
+inventories (taken from the servers' actual source) differ in exactly
+the ways the paper's Figure 2 shows.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+from repro.dync.runtime.costate import CostateScheduler
+from repro.experiments.harness import ExperimentResult
+from repro.net.dynctcp import DyncTcpStack
+from repro.net.host import build_lan
+from repro.net.sim import Simulator
+from repro.porting.api_map import RULE_INDEX
+from repro.services.echo import bsd_echo_server, dync_echo_costate, echo_client
+
+#: The API symbols each style uses, harvested from the service source.
+_BSD_CALLS = ("socket", "bind", "listen", "accept", "recv", "sendall", "close")
+_DYNC_CALLS = (
+    "sock_init", "tcp_listen", "sock_wait_established", "sock_mode",
+    "tcp_tick", "sock_gets", "sock_puts", "sock_close",
+)
+
+
+def _calls_in(function) -> set[str]:
+    source = inspect.getsource(function)
+    return set(re.findall(r"\b([a-z_][a-z0-9_]*)\s*\(", source))
+
+
+def run_echo_pair(message: bytes = b"hello, embedded world"):
+    """Run both servers against the same client; returns both echoes."""
+    # BSD flavour.
+    sim = Simulator()
+    _lan, hosts = build_lan(sim, ["server", "client"])
+    hosts["server"].spawn(bsd_echo_server(hosts["server"], 7))
+    results: dict[str, bytes] = {}
+    process = hosts["client"].spawn(echo_client(
+        hosts["client"], "10.0.0.1", 7, message, results, "bsd"
+    ))
+    sim.run_until_complete(process, timeout=600)
+
+    # Dynamic C flavour: costatements need the big-loop scheduler.
+    sim2 = Simulator()
+    _lan2, hosts2 = build_lan(sim2, ["rmc", "client"])
+    stack = DyncTcpStack(hosts2["rmc"])
+    scheduler = CostateScheduler(sim2)
+    scheduler.add(dync_echo_costate(stack, 7), name="echo")
+    scheduler.start()
+    process2 = hosts2["client"].spawn(echo_client(
+        hosts2["client"], "10.0.0.1", 7, message, results, "dync"
+    ))
+    sim2.run_until_complete(process2, timeout=600)
+    return results
+
+
+def run_e6() -> ExperimentResult:
+    message = b"figure two, both halves"
+    results = run_echo_pair(message)
+    behaviour_equal = (
+        results.get("bsd") == results.get("dync") == message + b"\n"
+    )
+    bsd_used = _calls_in(bsd_echo_server)
+    dync_used = _calls_in(dync_echo_costate)
+    shared = sorted(
+        c for c in bsd_used & dync_used
+        if c in set(_BSD_CALLS) | set(_DYNC_CALLS)
+    )
+    rows = []
+    for bsd_call in _BSD_CALLS:
+        rule = RULE_INDEX.get(bsd_call.replace("sendall", "send"))
+        rows.append({
+            "BSD call": bsd_call,
+            "in BSD server": "yes" if bsd_call in bsd_used else "no",
+            "Dynamic C analogue": rule.replacement if rule else "-",
+        })
+    dync_only = sorted(set(_DYNC_CALLS) & dync_used - bsd_used)
+    api_overlap = len(shared)
+    reproduced = behaviour_equal and api_overlap == 0 and len(dync_only) >= 6
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Figure 2: BSD vs Dynamic C echo server",
+        paper_claim=(
+            "equivalent code, significantly different API (Figure 2a vs 2b)"
+        ),
+        rows=rows,
+        summary=(
+            f"payloads byte-identical: {behaviour_equal}; API overlap "
+            f"between the two servers: {api_overlap} calls; Dynamic C-only "
+            f"surface: {', '.join(dync_only)}"
+        ),
+        reproduced=reproduced,
+    )

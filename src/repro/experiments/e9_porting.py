@@ -1,0 +1,56 @@
+"""E9: the three porting-problem classes, counted (paper, Section 5).
+
+Runs the static porting analyzer over the reconstructed Unix issl
+sources and checks that every problem class and strategy the paper
+reports is represented -- including the specific calls the text names
+(random, fork, malloc/free, the filesystem, signal, the bignum ops).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.porting import ISSL_UNIX_SOURCES, ProblemClass, scan_sources, Strategy
+
+
+def run_e9() -> ExperimentResult:
+    report = scan_sources(ISSL_UNIX_SOURCES)
+    by_class = report.by_class()
+    by_strategy = report.by_strategy()
+    rows = []
+    for problem_class in ProblemClass:
+        issues = by_class[problem_class]
+        symbols = sorted({issue.rule.symbol for issue in issues})
+        rows.append({
+            "problem class": problem_class.name,
+            "occurrences": len(issues),
+            "distinct symbols": len(symbols),
+            "examples": ", ".join(symbols[:5]),
+        })
+    named_in_paper = {
+        "random", "fork", "malloc", "free", "fopen", "signal",
+        "bignum_modexp", "accept", "select",
+    }
+    found = report.unique_symbols()
+    missing = named_in_paper - found
+    strategies_used = {s for s in Strategy if by_strategy[s]}
+    reproduced = (
+        all(by_class[cls] for cls in ProblemClass)
+        and not missing
+        and strategies_used == set(Strategy)
+    )
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Porting-problem census of the Unix issl service",
+        paper_claim=(
+            "three broad classes of porting problems; solutions ranged "
+            "from reimplementing to reworking to abandoning functionality"
+        ),
+        rows=rows,
+        summary=(
+            f"{len(report.issues)} issue sites across "
+            f"{report.files_scanned} files; all 3 classes and all 3 "
+            f"strategies represented; paper-named symbols all found"
+            + (f" (missing: {sorted(missing)})" if missing else "")
+        ),
+        reproduced=reproduced,
+    )

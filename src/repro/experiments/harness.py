@@ -1,0 +1,71 @@
+"""Experiment harness: result records and table rendering (DESIGN.md S15).
+
+Every experiment runner returns an :class:`ExperimentResult`; the
+benchmark suite asserts on its ``reproduced`` flag and the CLI prints
+its table.  EXPERIMENTS.md is the prose record of the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome, paper claim vs. measurement."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict] = field(default_factory=list)
+    summary: str = ""
+    reproduced: bool = False
+    notes: str = ""
+
+    def format(self) -> str:
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"  paper: {self.paper_claim}",
+        ]
+        if self.rows:
+            lines.append(_format_table(self.rows, indent="  "))
+        lines.append(f"  measured: {self.summary}")
+        lines.append(f"  reproduced: {'YES' if self.reproduced else 'NO'}")
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)
+
+
+def _format_table(rows: list[dict], indent: str = "") -> str:
+    if not rows:
+        return indent + "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    out = [
+        indent + "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        indent + "  ".join("-" * w for w in widths),
+    ]
+    for rendered_row in rendered:
+        out.append(
+            indent + "  ".join(cell.ljust(w) for cell, w in zip(rendered_row, widths))
+        )
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(rows: list[dict]) -> str:
+    """Public table renderer used by examples and the CLI."""
+    return _format_table(rows)

@@ -1,0 +1,56 @@
+"""issl: the transport-layer security library the paper ported (S7)."""
+
+from repro.issl.api import (
+    issl_accept,
+    issl_bind,
+    issl_close,
+    issl_connect,
+    issl_read,
+    issl_write,
+)
+from repro.issl.config import (
+    BuildProfile,
+    CipherSuite,
+    IsslConfigError,
+    RMC2000_PORT,
+    UNIX_FULL,
+)
+from repro.issl.costmodel import (
+    FREE,
+    RMC2000_ASM,
+    RMC2000_C_PORT,
+    WORKSTATION,
+    CryptoCostModel,
+)
+from repro.issl.log import CircularLogger, FileLogger, Logger, NullLogger
+from repro.issl.session import IsslContext, IsslError, IsslSession
+from repro.issl.transport import BsdTransport, DyncTransport, TransportError
+
+__all__ = [
+    "BsdTransport",
+    "BuildProfile",
+    "CipherSuite",
+    "CircularLogger",
+    "CryptoCostModel",
+    "DyncTransport",
+    "FREE",
+    "FileLogger",
+    "IsslConfigError",
+    "IsslContext",
+    "IsslError",
+    "IsslSession",
+    "Logger",
+    "NullLogger",
+    "RMC2000_ASM",
+    "RMC2000_C_PORT",
+    "RMC2000_PORT",
+    "TransportError",
+    "UNIX_FULL",
+    "WORKSTATION",
+    "issl_accept",
+    "issl_bind",
+    "issl_close",
+    "issl_connect",
+    "issl_read",
+    "issl_write",
+]

@@ -1,0 +1,100 @@
+"""issl logging backends.
+
+The Unix issl appends to a log file and assumes "a filesystem with
+nearly unlimited capacity"; the paper names two port strategies: remove
+logging, or rework it into a circular buffer.  All three options exist
+here so the port profiles can choose.
+"""
+
+from __future__ import annotations
+
+from repro.unixsim.fs import FileSystem
+
+
+class Logger:
+    """Interface: ``log(message)`` plus introspection for tests."""
+
+    def log(self, message: str) -> None:
+        raise NotImplementedError
+
+    def tail(self, count: int) -> list[str]:
+        raise NotImplementedError
+
+    @property
+    def messages_logged(self) -> int:
+        raise NotImplementedError
+
+
+class NullLogger(Logger):
+    """Strategy 'remove the functionality': drop every message."""
+
+    def __init__(self):
+        self._count = 0
+
+    def log(self, message: str) -> None:
+        self._count += 1
+
+    def tail(self, count: int) -> list[str]:
+        return []
+
+    @property
+    def messages_logged(self) -> int:
+        return self._count
+
+
+class FileLogger(Logger):
+    """The original: append lines to a file, forever."""
+
+    def __init__(self, fs: FileSystem, path: str = "/var/log/issl.log"):
+        self._fs = fs
+        self.path = path
+        self._count = 0
+        if not fs.exists(path):
+            fs.write_file(path, b"")
+
+    def log(self, message: str) -> None:
+        with self._fs.open(self.path, "a") as fh:
+            fh.write(message.encode() + b"\n")
+        self._count += 1
+
+    def tail(self, count: int) -> list[str]:
+        lines = self._fs.read_file(self.path).decode().splitlines()
+        return lines[-count:]
+
+    @property
+    def messages_logged(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return self._fs.size(self.path)
+
+
+class CircularLogger(Logger):
+    """The reworked port: fixed-capacity ring of messages."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: list[str] = []
+        self._count = 0
+        self.overwrites = 0
+
+    def log(self, message: str) -> None:
+        if len(self._ring) == self.capacity:
+            self._ring.pop(0)
+            self.overwrites += 1
+        self._ring.append(message)
+        self._count += 1
+
+    def tail(self, count: int) -> list[str]:
+        return self._ring[-count:]
+
+    @property
+    def messages_logged(self) -> int:
+        return self._count
+
+    @property
+    def stored(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,411 @@
+"""issl sessions: handshake, secure read/write, teardown.
+
+All potentially-blocking operations are generators (run them with
+``yield from`` inside a simulated process or costatement).  Crypto
+consumes simulated CPU time through the profile's cost model: on the
+30 MHz board a record's worth of AES is milliseconds, and that is the
+mechanism behind the paper's order-of-magnitude throughput observation
+(experiment E4).
+"""
+
+from __future__ import annotations
+
+from repro.crypto import rsa as rsa_mod
+from repro.crypto.hmac import constant_time_equal
+from repro.issl.config import BuildProfile, CipherSuite, IsslConfigError
+from repro.issl.handshake import (
+    ClientHello,
+    ClientKeyExchange,
+    HS_CLIENT_HELLO,
+    HS_CLIENT_KEY_EXCHANGE,
+    HS_FINISHED,
+    HS_SERVER_HELLO,
+    HandshakeError,
+    PRE_MASTER_LEN,
+    RANDOM_LEN,
+    ServerHello,
+    decode_handshake,
+    derive_session_keys,
+    finished_verify,
+    psk_pre_master,
+)
+from repro.issl.log import Logger, NullLogger
+from repro.issl.record import (
+    ALERT_CLOSE_NOTIFY,
+    CT_ALERT,
+    CT_APPLICATION_DATA,
+    CT_CHANGE_CIPHER_SPEC,
+    CT_HANDSHAKE,
+    HEADER_LEN,
+    RecordCipherState,
+    RecordError,
+    decode_alert,
+    decode_header,
+    encode_alert,
+    encode_record,
+)
+from repro.issl.transport import TransportError
+
+
+class IsslError(ConnectionError):
+    """Protocol failure visible to the application."""
+
+
+class IsslContext:
+    """Shared configuration: profile, keys, RNG, logger, session budget."""
+
+    def __init__(self, profile: BuildProfile, rng, logger: Logger | None = None,
+                 rsa_key: "rsa_mod.RsaPrivateKey | None" = None,
+                 psk: bytes | None = None, psk_identity: bytes = b"rmc2000"):
+        self.profile = profile
+        self.rng = rng
+        self.logger = logger if logger is not None else NullLogger()
+        self.rsa_key = rsa_key
+        self.psk = psk
+        self.psk_identity = psk_identity
+        self.sessions_active = 0
+        self.sessions_total = 0
+        self.sessions_peak = 0
+        if any(s.uses_rsa for s in profile.suites) and profile.name == "RMC2000_PORT":
+            raise IsslConfigError("RMC2000 port cannot carry RSA suites")
+
+    def acquire_session_slot(self) -> None:
+        if self.sessions_active >= self.profile.max_sessions:
+            raise IsslError(
+                f"session limit reached ({self.profile.max_sessions}); "
+                f"{self.profile.name} allocates session state statically"
+            )
+        self.sessions_active += 1
+        self.sessions_total += 1
+        self.sessions_peak = max(self.sessions_peak, self.sessions_active)
+
+    def release_session_slot(self) -> None:
+        if self.sessions_active > 0:
+            self.sessions_active -= 1
+
+
+class IsslSession:
+    """One secure connection endpoint over a transport adapter."""
+
+    def __init__(self, context: IsslContext, transport, role: str):
+        if role not in ("client", "server"):
+            raise ValueError(f"role must be client/server, got {role!r}")
+        context.acquire_session_slot()
+        self.context = context
+        self.transport = transport
+        self.role = role
+        self.suite: CipherSuite | None = None
+        self._send_state: RecordCipherState | None = None
+        self._recv_state: RecordCipherState | None = None
+        self._transcript = b""
+        self.established = False
+        self.closed = False
+        self._slot_released = False
+        # Statistics (EXPERIMENTS.md E4 reads these).
+        self.app_bytes_sent = 0
+        self.app_bytes_received = 0
+        self.records_sent = 0
+        self.records_received = 0
+        self.crypto_seconds = 0.0
+        self.handshake_seconds = 0.0
+
+    # -- record plumbing ---------------------------------------------------
+    def _charge(self, seconds: float):
+        if seconds > 0:
+            self.crypto_seconds += seconds
+            yield seconds
+
+    def _send_record(self, content_type: int, payload: bytes):
+        cost = self.context.profile.cost_model
+        if self._send_state is not None:
+            yield from self._charge(cost.record_seconds(len(payload)))
+            body = self._send_state.seal(content_type, payload)
+        else:
+            body = payload
+        self.transport.send(encode_record(content_type, body))
+        self.records_sent += 1
+
+    def _read_record(self):
+        header = yield from self.transport.recv_exactly(HEADER_LEN)
+        content_type, length = decode_header(header)
+        body = yield from self.transport.recv_exactly(length)
+        if self._recv_state is not None:
+            cost = self.context.profile.cost_model
+            yield from self._charge(cost.record_seconds(len(body)))
+            try:
+                body = self._recv_state.open(content_type, body)
+            except RecordError as exc:
+                raise IsslError(f"record protection failure: {exc}") from exc
+        self.records_received += 1
+        return content_type, body
+
+    def _read_handshake(self, expected_type: int):
+        content_type, body = yield from self._read_record()
+        if content_type != CT_HANDSHAKE:
+            raise IsslError(f"expected handshake record, got type {content_type}")
+        msg_type, msg_body = decode_handshake(body)
+        if msg_type != expected_type:
+            raise IsslError(
+                f"expected handshake message {expected_type}, got {msg_type}"
+            )
+        self._transcript += body
+        return msg_body
+
+    def _send_handshake(self, encoded: bytes):
+        self._transcript += encoded
+        yield from self._send_record(CT_HANDSHAKE, encoded)
+
+    # -- handshake ---------------------------------------------------------
+    def handshake(self, suites: tuple[CipherSuite, ...] | None = None):
+        """Generator: run the full handshake for this session's role."""
+        start = self._now()
+        try:
+            if self.role == "client":
+                yield from self._client_handshake(suites)
+            else:
+                yield from self._server_handshake()
+        except (TransportError, HandshakeError) as exc:
+            self._abandon()
+            raise IsslError(f"handshake failed: {exc}") from exc
+        except IsslError:
+            self._abandon()
+            raise
+        self.established = True
+        self.handshake_seconds = self._now() - start
+        self.context.logger.log(
+            f"issl: {self.role} handshake complete suite={self.suite.name}"
+        )
+        return self
+
+    def _release_slot_once(self) -> None:
+        if not self._slot_released:
+            self._slot_released = True
+            self.context.release_session_slot()
+
+    def _abandon(self) -> None:
+        """Release resources after a failed handshake.
+
+        Closing the transport matters: the peer is mid-handshake and
+        would otherwise wait forever for a message that will never come.
+        """
+        self.closed = True
+        self._release_slot_once()
+        try:
+            self.transport.close()
+        except Exception:
+            pass
+
+    def _now(self) -> float:
+        # The transport knows its host's simulator; fall back to 0 so the
+        # session also works in plain unit tests without a clock.
+        stack = getattr(self.transport, "_stack", None)
+        if stack is not None:
+            return stack.host.sim.now
+        sock = getattr(self.transport, "_sock", None)
+        host = getattr(sock, "_host", None)
+        return host.sim.now if host is not None else 0.0
+
+    def _client_handshake(self, suites):
+        profile = self.context.profile
+        offered = tuple(suites) if suites else profile.suites
+        for suite in offered:
+            profile.check_suite(suite)
+        client_random = self.context.rng.next_bytes(RANDOM_LEN)
+        yield from self._send_handshake(
+            ClientHello(client_random, offered).encode()
+        )
+        body = yield from self._read_handshake(HS_SERVER_HELLO)
+        hello = ServerHello.decode(body)
+        if hello.suite not in offered:
+            raise IsslError(f"server chose unoffered suite {hello.suite.name}")
+        self.suite = profile.check_suite(hello.suite)
+        cost = profile.cost_model
+        if self.suite.uses_rsa:
+            pre_master = self.context.rng.next_bytes(PRE_MASTER_LEN)
+            yield from self._charge(cost.rsa_public_seconds())
+            encrypted = rsa_mod.encrypt(
+                hello.public_key(), pre_master, self.context.rng
+            )
+            key_exchange = ClientKeyExchange(
+                self.suite, encrypted_pre_master=encrypted
+            )
+        else:
+            if self.context.psk is None:
+                raise IsslError("PSK suite chosen but no pre-shared key configured")
+            pre_master = psk_pre_master(self.context.psk)
+            key_exchange = ClientKeyExchange(
+                self.suite, psk_identity=self.context.psk_identity
+            )
+        yield from self._send_handshake(key_exchange.encode())
+        keys = derive_session_keys(
+            pre_master, client_random, hello.server_random, self.suite
+        )
+        yield from self._charge(cost.hash_seconds(16))  # PRF expansion
+        send_state, recv_state = self._make_states(keys)
+        # ChangeCipherSpec travels in the clear; everything after it in
+        # the same direction is protected.
+        yield from self._send_record(CT_CHANGE_CIPHER_SPEC, b"\x01")
+        self._send_state = send_state
+        transcript_at_client_finished = self._transcript
+        verify = finished_verify(keys.master, transcript_at_client_finished, "client")
+        yield from self._send_handshake(
+            bytes([HS_FINISHED]) + len(verify).to_bytes(3, "big") + verify
+        )
+        content_type, body = yield from self._read_record()
+        if content_type != CT_CHANGE_CIPHER_SPEC:
+            raise IsslError("expected server ChangeCipherSpec")
+        self._recv_state = recv_state
+        server_finished = yield from self._read_handshake(HS_FINISHED)
+        expected = finished_verify(keys.master, transcript_at_client_finished, "server")
+        if not constant_time_equal(server_finished, expected):
+            raise IsslError("server Finished verification failed")
+
+    def _server_handshake(self):
+        profile = self.context.profile
+        cost = profile.cost_model
+        body = yield from self._read_handshake(HS_CLIENT_HELLO)
+        hello = ClientHello.decode(body)
+        usable = [s for s in hello.suites if s in profile.suites]
+        # Prefer RSA when we hold a key; the port never does.
+        usable_rsa = [s for s in usable if s.uses_rsa and self.context.rsa_key]
+        usable_psk = [s for s in usable if not s.uses_rsa and self.context.psk]
+        if usable_rsa:
+            self.suite = usable_rsa[0]
+        elif usable_psk:
+            self.suite = usable_psk[0]
+        else:
+            raise IsslError(
+                f"no common cipher suite: client offered "
+                f"{[s.name for s in hello.suites]}, profile {profile.name}"
+            )
+        server_random = self.context.rng.next_bytes(RANDOM_LEN)
+        if self.suite.uses_rsa:
+            key = self.context.rsa_key
+            server_hello = ServerHello(
+                server_random,
+                self.suite,
+                rsa_n=key.n.to_bytes(),
+                rsa_e=key.e.to_bytes(),
+            )
+        else:
+            server_hello = ServerHello(
+                server_random, self.suite, psk_hint=self.context.psk_identity
+            )
+        yield from self._send_handshake(server_hello.encode())
+        body = yield from self._read_handshake(HS_CLIENT_KEY_EXCHANGE)
+        key_exchange = ClientKeyExchange.decode(body, self.suite)
+        if self.suite.uses_rsa:
+            yield from self._charge(cost.rsa_private_seconds())
+            try:
+                pre_master = rsa_mod.decrypt(
+                    self.context.rsa_key, key_exchange.encrypted_pre_master
+                )
+            except rsa_mod.RsaError as exc:
+                raise IsslError(f"pre-master decryption failed: {exc}") from exc
+            if len(pre_master) != PRE_MASTER_LEN:
+                raise IsslError("bad pre-master length")
+        else:
+            if key_exchange.psk_identity != self.context.psk_identity:
+                raise IsslError(
+                    f"unknown PSK identity {key_exchange.psk_identity!r}"
+                )
+            pre_master = psk_pre_master(self.context.psk)
+        keys = derive_session_keys(
+            pre_master, hello.client_random, server_random, self.suite
+        )
+        yield from self._charge(cost.hash_seconds(16))
+        transcript_before_finished = self._transcript
+        send_state, recv_state = self._make_states(keys)
+        content_type, _body = yield from self._read_record()
+        if content_type != CT_CHANGE_CIPHER_SPEC:
+            raise IsslError("expected client ChangeCipherSpec")
+        self._recv_state = recv_state
+        client_finished = yield from self._read_handshake(HS_FINISHED)
+        expected = finished_verify(keys.master, transcript_before_finished, "client")
+        if not constant_time_equal(client_finished, expected):
+            raise IsslError("client Finished verification failed")
+        yield from self._send_record(CT_CHANGE_CIPHER_SPEC, b"\x01")
+        self._send_state = send_state
+        verify = finished_verify(keys.master, transcript_before_finished, "server")
+        yield from self._send_handshake(
+            bytes([HS_FINISHED]) + len(verify).to_bytes(3, "big") + verify
+        )
+
+    def _make_states(self, keys) -> tuple[RecordCipherState, RecordCipherState]:
+        """(send_state, recv_state) for this session's role."""
+        implementation = self.context.profile.aes_implementation
+        client_state = RecordCipherState(
+            keys.client_key, keys.client_mac, keys.client_iv, implementation
+        )
+        server_state = RecordCipherState(
+            keys.server_key, keys.server_mac, keys.server_iv, implementation
+        )
+        if self.role == "client":
+            return client_state, server_state
+        return server_state, client_state
+
+    # -- application data -----------------------------------------------------
+    def write(self, data: bytes):
+        """Generator: send ``data`` as one or more protected records."""
+        if not self.established or self.closed:
+            raise IsslError("write on unestablished or closed session")
+        max_payload = self.context.profile.max_record
+        for offset in range(0, len(data), max_payload):
+            chunk = data[offset: offset + max_payload]
+            yield from self._send_record(CT_APPLICATION_DATA, chunk)
+            self.app_bytes_sent += len(chunk)
+        return len(data)
+
+    def read(self):
+        """Generator: one record's plaintext, or b"" on orderly close."""
+        if not self.established:
+            raise IsslError("read before handshake")
+        if self.closed:
+            return b""
+        while True:
+            try:
+                content_type, body = yield from self._read_record()
+            except TransportError:
+                self.closed = True
+                self._release_slot_once()
+                return b""
+            if content_type == CT_APPLICATION_DATA:
+                self.app_bytes_received += len(body)
+                return body
+            if content_type == CT_ALERT:
+                level, description = decode_alert(body)
+                if description == ALERT_CLOSE_NOTIFY:
+                    self.closed = True
+                    self._release_slot_once()
+                    return b""
+                raise IsslError(f"alert received: level={level} desc={description}")
+            raise IsslError(f"unexpected record type {content_type}")
+
+    def read_exactly(self, nbytes: int):
+        """Generator: accumulate records until ``nbytes`` of plaintext."""
+        buffer = b""
+        while len(buffer) < nbytes:
+            chunk = yield from self.read()
+            if not chunk:
+                raise IsslError(f"EOF after {len(buffer)} of {nbytes} bytes")
+            buffer += chunk
+        return buffer
+
+    def close(self):
+        """Generator: send close_notify (once) and close the transport.
+
+        Idempotent: safe to call after the peer already closed (the
+        usual server-side sequence is read() -> b"" -> close()).
+        """
+        if not self.closed:
+            self.closed = True
+            if self.established:
+                try:
+                    yield from self._send_record(
+                        CT_ALERT, encode_alert(1, ALERT_CLOSE_NOTIFY)
+                    )
+                except (TransportError, IsslError):
+                    pass
+        self._release_slot_once()
+        self.transport.close()
+        self.context.logger.log(f"issl: {self.role} session closed")

@@ -1,0 +1,93 @@
+"""Transport adapters: issl over BSD sockets or the Dynamic C API.
+
+issl "layers on top of the Unix sockets layer": bind it to an existing
+socket and do secure reads/writes.  The same library must run over both
+socket APIs, so the session code talks to this 3-method interface:
+
+* ``send(data)``     -- queue bytes, never blocks,
+* ``recv_exactly(n)``-- generator, completes with exactly n bytes or
+                        raises :class:`TransportError` on EOF,
+* ``close()``        -- begin teardown.
+
+``DyncTransport`` yields bare ``None`` while polling so it composes with
+costatements (each poll is one pass of the big loop); ``BsdTransport``
+parks on TCP events like any Unix process.
+"""
+
+from __future__ import annotations
+
+from repro.net.bsd import BsdSocket, SocketError
+from repro.net.dynctcp import DyncSocket, DyncTcpStack
+
+
+class TransportError(ConnectionError):
+    """Raised on EOF mid-message or I/O on a dead connection."""
+
+
+class BsdTransport:
+    """issl over a connected :class:`~repro.net.bsd.BsdSocket`."""
+
+    def __init__(self, sock: BsdSocket):
+        self._sock = sock
+
+    def send(self, data: bytes) -> None:
+        conn = self._sock._require_conn()
+        conn.send(data)
+
+    def recv_exactly(self, nbytes: int, timeout: float | None = None):
+        try:
+            data = yield from self._sock.recv_exactly(nbytes, timeout)
+        except SocketError as exc:
+            raise TransportError(str(exc)) from exc
+        return data
+
+    def close(self) -> None:
+        self._sock.close()
+
+    @property
+    def at_eof(self) -> bool:
+        conn = self._sock._conn
+        return conn is None or conn.at_eof
+
+
+class DyncTransport:
+    """issl over a Dynamic C socket; poll-based, costate-friendly."""
+
+    def __init__(self, stack: DyncTcpStack, sock: DyncSocket):
+        self._stack = stack
+        self._sock = sock
+        self._buffer = b""
+
+    def send(self, data: bytes) -> None:
+        written = self._stack.sock_write(self._sock, data)
+        if written < 0:
+            raise TransportError("sock_write on closed socket")
+
+    def recv_exactly(self, nbytes: int, timeout: float | None = None):
+        sim = self._stack.host.sim
+        deadline = None if timeout is None else sim.now + timeout
+        while len(self._buffer) < nbytes:
+            chunk = self._stack.sock_read(self._sock, nbytes - len(self._buffer))
+            if chunk:
+                self._buffer += chunk
+                continue
+            conn = self._sock.conn
+            if conn is not None and conn.at_eof:
+                raise TransportError(
+                    f"EOF after {len(self._buffer)} of {nbytes} bytes"
+                )
+            if conn is not None and conn.state.value == "CLOSED":
+                raise TransportError("connection closed")
+            if deadline is not None and sim.now >= deadline:
+                raise TransportError("recv timed out")
+            yield  # one pass of the big loop
+        data, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
+        return data
+
+    def close(self) -> None:
+        self._stack.sock_close(self._sock)
+
+    @property
+    def at_eof(self) -> bool:
+        conn = self._sock.conn
+        return conn is None or (conn.at_eof and not self._buffer)

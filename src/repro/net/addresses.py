@@ -1,0 +1,112 @@
+"""IPv4 and MAC address value types used across the network stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses."""
+
+
+@dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """Dotted-quad IPv4 address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"IPv4 value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"bad IPv4 literal: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or not 0 <= int(part) <= 255:
+                raise AddressError(f"bad IPv4 octet in {text!r}")
+            value = (value << 8) | int(part)
+        return cls(value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Address":
+        if len(data) != 4:
+            raise AddressError(f"IPv4 needs 4 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address({str(self)!r})"
+
+
+#: INADDR_ANY, the bind-to-everything wildcard from the BSD API.
+INADDR_ANY = Ipv4Address(0)
+
+#: Limited broadcast.
+BROADCAST_IP = Ipv4Address(0xFFFFFFFF)
+
+
+@dataclass(frozen=True, order=True)
+class MacAddress:
+    """48-bit Ethernet hardware address."""
+
+    value: int
+
+    def __post_init__(self):
+        if not 0 <= self.value <= 0xFFFFFFFFFFFF:
+            raise AddressError(f"MAC value out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise AddressError(f"bad MAC literal: {text!r}")
+        try:
+            value = 0
+            for part in parts:
+                octet = int(part, 16)
+                if not 0 <= octet <= 255:
+                    raise ValueError
+                value = (value << 8) | octet
+        except ValueError as exc:
+            raise AddressError(f"bad MAC octet in {text!r}") from exc
+        return cls(value)
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "MacAddress":
+        if len(data) != 6:
+            raise AddressError(f"MAC needs 6 bytes, got {len(data)}")
+        return cls(int.from_bytes(data, "big"))
+
+    def __str__(self) -> str:
+        return ":".join(
+            f"{(self.value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0)
+        )
+
+    def __repr__(self) -> str:
+        return f"MacAddress({str(self)!r})"
+
+
+#: Ethernet broadcast destination.
+BROADCAST_MAC = MacAddress(0xFFFFFFFFFFFF)
+
+
+def ip(text: str) -> Ipv4Address:
+    """Shorthand constructor: ``ip("10.0.0.1")``."""
+    return Ipv4Address.parse(text)
+
+
+def mac(text: str) -> MacAddress:
+    """Shorthand constructor: ``mac("02:00:00:00:00:01")``."""
+    return MacAddress.parse(text)

@@ -1,0 +1,54 @@
+"""ICMP echo (ping) service: automatic responder plus a client helper."""
+
+from __future__ import annotations
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IcmpMessage, IpPacket, IPPROTO_ICMP
+
+ECHO_REPLY = 0
+ECHO_REQUEST = 8
+
+
+class IcmpService:
+    """Per-host ICMP: answers echo requests, matches replies to waiters."""
+
+    def __init__(self, host):
+        self._host = host
+        self._next_id = 1
+        self._waiting: dict[tuple[int, int], object] = {}
+        self.echoes_answered = 0
+        host.ip.register_protocol(IPPROTO_ICMP, self._handle)
+
+    def _handle(self, packet: IpPacket) -> None:
+        message = packet.payload
+        if not isinstance(message, IcmpMessage):
+            return
+        if message.icmp_type == ECHO_REQUEST:
+            reply = IcmpMessage(
+                ECHO_REPLY, 0, message.identifier, message.sequence, message.payload
+            )
+            self._host.ip.send(packet.src, IPPROTO_ICMP, reply)
+            self.echoes_answered += 1
+        elif message.icmp_type == ECHO_REPLY:
+            key = (message.identifier, message.sequence)
+            event = self._waiting.pop(key, None)
+            if event is not None:
+                event.trigger((packet.src, message))
+
+    def ping(self, dst: Ipv4Address, payload: bytes = b"ping",
+             timeout: float = 2.0):
+        """Generator: send an echo request, return round-trip time or None."""
+        identifier = self._next_id
+        self._next_id += 1
+        event = self._host.sim.event(f"ping:{dst}")
+        self._waiting[(identifier, 1)] = event
+        start = self._host.sim.now
+        request = IcmpMessage(ECHO_REQUEST, 0, identifier, 1, payload)
+        self._host.ip.send(dst, IPPROTO_ICMP, request)
+        deadline = start + timeout
+        while self._host.sim.now < deadline:
+            if (identifier, 1) not in self._waiting:
+                return self._host.sim.now - start
+            yield 0.001
+        self._waiting.pop((identifier, 1), None)
+        return None

@@ -1,0 +1,79 @@
+"""Per-host IPv4 layer: outbound queue with ARP resolution, inbound
+protocol dispatch, and loopback."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.net.addresses import Ipv4Address
+from repro.net.arp import ArpError
+from repro.net.packet import EthernetFrame, ETHERTYPE_IP, IpPacket
+
+
+class IpStack:
+    """IPv4 send/receive for one host.
+
+    Outbound packets go through a queue drained by a dedicated process so
+    that timer callbacks (which cannot block on ARP) can transmit.
+    """
+
+    def __init__(self, host):
+        self._host = host
+        self._queue: deque[IpPacket] = deque()
+        self._wake = host.sim.event(f"ip-out:{host.name}")
+        self._handlers: dict[int, Callable[[IpPacket], None]] = {}
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.packets_dropped = 0
+        host.sim.spawn(self._output_loop(), name=f"ip-out:{host.name}")
+
+    def register_protocol(self, protocol: int,
+                          handler: Callable[[IpPacket], None]) -> None:
+        self._handlers[protocol] = handler
+
+    def send(self, dst: Ipv4Address, protocol: int, payload) -> None:
+        """Queue one packet for transmission (never blocks)."""
+        packet = IpPacket(self._host.ip_address, dst, protocol, payload)
+        if dst == self._host.ip_address:
+            # Loopback: deliver in the next simulator slot, not inline,
+            # to keep send() non-reentrant.
+            self._host.sim.call_soon(self._deliver, packet)
+            self.packets_sent += 1
+            return
+        self._queue.append(packet)
+        self._wake.trigger()
+
+    def _output_loop(self):
+        while True:
+            if not self._queue:
+                yield self._wake
+                continue
+            packet = self._queue.popleft()
+            try:
+                mac = yield from self._host.arp.resolve(packet.dst)
+            except ArpError:
+                self.packets_dropped += 1
+                continue
+            frame = EthernetFrame(
+                self._host.interface.mac, mac, ETHERTYPE_IP, packet
+            )
+            self._host.interface.transmit(frame)
+            self.packets_sent += 1
+
+    def handle_frame(self, frame: EthernetFrame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, IpPacket):
+            return
+        if packet.dst != self._host.ip_address:
+            self.packets_dropped += 1
+            return
+        self._deliver(packet)
+
+    def _deliver(self, packet: IpPacket) -> None:
+        self.packets_received += 1
+        handler = self._handlers.get(packet.protocol)
+        if handler is None:
+            self.packets_dropped += 1
+            return
+        handler(packet)

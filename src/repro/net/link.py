@@ -1,0 +1,123 @@
+"""Link layer: shared Ethernet segments and host interfaces.
+
+The RMC2000 kit speaks 10Base-T, so the default segment models a 10 Mb/s
+half-duplex hub: every frame is serialized onto the wire (seizing it for
+``wire_size * 8 / bandwidth`` seconds), propagates with a small fixed
+latency, and is then delivered to every other interface on the segment.
+A deterministic drop pattern can be injected for loss-recovery tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.addresses import BROADCAST_MAC, MacAddress
+from repro.net.packet import EthernetFrame
+from repro.net.sim import Simulator
+
+#: 10Base-T, as on the RMC2000 development kit.
+DEFAULT_BANDWIDTH_BPS = 10_000_000
+DEFAULT_LATENCY_S = 50e-6
+
+
+class NetworkInterface:
+    """One attachment point: a MAC address plus a receive callback."""
+
+    def __init__(self, mac: MacAddress, name: str = ""):
+        self.mac = mac
+        self.name = name or str(mac)
+        self.segment: "EthernetSegment | None" = None
+        self._receiver: Callable[[EthernetFrame], None] | None = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.promiscuous = False
+
+    def on_receive(self, callback: Callable[[EthernetFrame], None]) -> None:
+        self._receiver = callback
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        if self.segment is None:
+            raise RuntimeError(f"interface {self.name} not attached to a segment")
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_size()
+        self.segment.broadcast(frame, sender=self)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        if frame.dst != self.mac and frame.dst != BROADCAST_MAC and not self.promiscuous:
+            return
+        self.frames_received += 1
+        self.bytes_received += frame.wire_size()
+        if self._receiver is not None:
+            self._receiver(frame)
+
+    def __repr__(self) -> str:
+        return f"NetworkInterface({self.name!r}, mac={self.mac})"
+
+
+class EthernetSegment:
+    """A shared medium connecting interfaces (a hub, not a switch).
+
+    Serialization is modelled per segment: frames queue behind each
+    other, which is what actually bounds throughput in the E4 benchmark.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        latency_s: float = DEFAULT_LATENCY_S,
+        name: str = "lan0",
+    ):
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self.name = name
+        self.interfaces: list[NetworkInterface] = []
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.frames_dropped = 0
+        self._medium_free_at = 0.0
+        self._drop_filter: Callable[[EthernetFrame, int], bool] | None = None
+
+    def attach(self, interface: NetworkInterface) -> None:
+        if interface.segment is not None:
+            raise RuntimeError(f"{interface!r} already attached")
+        interface.segment = self
+        self.interfaces.append(interface)
+
+    def set_drop_filter(
+        self, fn: Callable[[EthernetFrame, int], bool] | None
+    ) -> None:
+        """Install a deterministic loss injector.
+
+        ``fn(frame, index)`` returns True to drop; ``index`` counts frames
+        carried so far, letting tests drop, say, exactly the third segment.
+        """
+        self._drop_filter = fn
+
+    def broadcast(self, frame: EthernetFrame, sender: NetworkInterface) -> None:
+        index = self.frames_carried
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_size()
+        if self._drop_filter is not None and self._drop_filter(frame, index):
+            self.frames_dropped += 1
+            return
+        serialization = frame.wire_size() * 8 / self.bandwidth_bps
+        start = max(self.sim.now, self._medium_free_at)
+        self._medium_free_at = start + serialization
+        arrival = self._medium_free_at + self.latency_s
+        for interface in self.interfaces:
+            if interface is not sender:
+                self.sim.call_at(arrival, interface.deliver, frame)
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.bytes_carried
+
+    def __repr__(self) -> str:
+        return (
+            f"EthernetSegment({self.name!r}, {self.bandwidth_bps / 1e6:g} Mb/s, "
+            f"{len(self.interfaces)} interfaces)"
+        )

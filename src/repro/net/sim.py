@@ -1,0 +1,206 @@
+"""Discrete-event simulation kernel (DESIGN.md S1).
+
+Everything that "runs" in this reproduction -- Unix processes, the
+RMC2000 board's firmware loop, TCP timers, links -- executes on one of
+these simulators.  Processes are Python generators that yield:
+
+* a number: sleep that many simulated seconds,
+* an :class:`Event`: park until it is triggered,
+* ``None``: yield the CPU and resume in the same instant (after other
+  ready events), which is exactly the semantics of Dynamic C's
+  ``yield`` inside a costatement.
+
+The kernel is deliberately deterministic: same program, same event
+ordering, every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (bad yield values, dead simulator...)."""
+
+
+class Event:
+    """A triggerable rendezvous point.
+
+    Processes wait on an event by yielding it; :meth:`trigger` wakes all
+    current waiters and delivers ``value`` as the result of their yield.
+    Events may be triggered repeatedly; each trigger releases only the
+    processes waiting at that moment.
+    """
+
+    __slots__ = ("_sim", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self._waiters: list[Process] = []
+        self.name = name
+
+    def trigger(self, value: Any = None) -> int:
+        """Wake all waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.call_soon(process.step, value)
+        return len(waiters)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A generator scheduled on a :class:`Simulator`."""
+
+    __slots__ = ("_sim", "_gen", "name", "alive", "result", "done_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.alive = True
+        self.result: Any = None
+        self.done_event = Event(sim, f"done:{self.name}")
+
+    def step(self, wake_value: Any = None) -> None:
+        """Advance the generator one step and reschedule per its yield."""
+        if not self.alive:
+            return
+        try:
+            yielded = self._gen.send(wake_value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            self.done_event.trigger(stop.value)
+            return
+        if yielded is None:
+            self._sim.call_soon(self.step, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self.kill(SimulationError(f"negative sleep: {yielded}"))
+                return
+            self._sim.call_after(yielded, self.step, None)
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        else:
+            self.kill(
+                SimulationError(f"process yielded unsupported value {yielded!r}")
+            )
+
+    def kill(self, exc: BaseException | None = None) -> None:
+        """Terminate the process, optionally raising ``exc`` inside it."""
+        if not self.alive:
+            return
+        self.alive = False
+        if exc is not None:
+            try:
+                self._gen.throw(exc)
+            except (StopIteration, type(exc)):
+                pass
+        else:
+            self._gen.close()
+        self.done_event.trigger(None)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """The event loop: a time-ordered queue of callbacks."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- scheduling -----------------------------------------------------
+    def call_at(self, when: float, fn: Callable, *args) -> None:
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    def call_after(self, delay: float, fn: Callable, *args) -> None:
+        self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable, *args) -> None:
+        self.call_at(self.now, fn, *args)
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process; it runs from the current time."""
+        process = Process(self, gen, name)
+        self._processes.append(process)
+        self.call_soon(process.step, None)
+        return process
+
+    # -- execution ------------------------------------------------------
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``until`` bounds simulated time (events at exactly ``until`` still
+        run); ``max_events`` guards against runaway loops.
+        """
+        executed = 0
+        while self._queue:
+            when, _seq, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            fn(*args)
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        return executed
+
+    def run_until_complete(self, process: Process,
+                           timeout: float | None = None) -> Any:
+        """Run until ``process`` finishes; returns its result.
+
+        Raises :class:`SimulationError` if the queue drains or the
+        timeout passes with the process still alive.
+        """
+        deadline = None if timeout is None else self.now + timeout
+        while process.alive:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: {process!r} alive but no pending events"
+                )
+            when = self._queue[0][0]
+            if deadline is not None and when > deadline:
+                raise SimulationError(f"timeout waiting for {process!r}")
+            when, _seq, fn, args = heapq.heappop(self._queue)
+            self.now = when
+            fn(*args)
+        return process.result
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def processes(self) -> Iterable[Process]:
+        return tuple(self._processes)
+
+
+def sleep(duration: float):
+    """Readable alias for a bare numeric yield inside processes."""
+    yield duration

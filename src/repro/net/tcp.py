@@ -1,0 +1,570 @@
+"""TCP (DESIGN.md S2): connections, listeners, retransmission, flow control.
+
+A deliberately complete small TCP: three-way handshake, cumulative ACKs,
+MSS segmentation, receive-window flow control (with zero-window reopen),
+RTO retransmission with exponential backoff, orderly FIN teardown through
+TIME_WAIT, and RST handling.  No congestion control and no SACK --
+matching the early-2000s embedded stacks the paper used, which were
+window-limited rather than cwnd-limited.
+
+The byte-stream API here is non-blocking and event-driven; the blocking
+facades live in :mod:`repro.net.bsd` (Unix flavour) and
+:mod:`repro.net.dynctcp` (Dynamic C flavour).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import (
+    IpPacket,
+    IPPROTO_TCP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_RST,
+    TCP_SYN,
+    TcpSegment,
+)
+
+_SEQ_MOD = 1 << 32
+
+#: Default maximum segment size (RFC 879 default path MTU assumption).
+DEFAULT_MSS = 536
+#: Default receive buffer / advertised window.
+DEFAULT_WINDOW = 8192
+#: Initial retransmission timeout and its cap.
+INITIAL_RTO_S = 0.2
+MAX_RTO_S = 3.0
+#: How long TIME_WAIT lingers (short: simulations are short).
+TIME_WAIT_S = 1.0
+#: Give up a connection after this many consecutive retransmissions.
+MAX_RETRANSMITS = 8
+
+EPHEMERAL_BASE = 32768
+
+
+def seq_add(a: int, b: int) -> int:
+    return (a + b) % _SEQ_MOD
+
+
+def seq_diff(a: int, b: int) -> int:
+    """Signed distance a - b in sequence space."""
+    diff = (a - b) % _SEQ_MOD
+    return diff - _SEQ_MOD if diff >= _SEQ_MOD // 2 else diff
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return seq_diff(a, b) < 0
+
+
+def seq_le(a: int, b: int) -> bool:
+    return seq_diff(a, b) <= 0
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    LAST_ACK = "LAST_ACK"
+    CLOSING = "CLOSING"
+    TIME_WAIT = "TIME_WAIT"
+
+
+class TcpError(RuntimeError):
+    """Raised on protocol violations visible to the application."""
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(self, service: "TcpService", local_port: int,
+                 remote_ip: Ipv4Address, remote_port: int,
+                 window: int = DEFAULT_WINDOW, mss: int = DEFAULT_MSS):
+        self._service = service
+        self._host = service._host
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = TcpState.CLOSED
+        self.mss = mss
+
+        self._iss = service._next_iss()
+        self.snd_una = self._iss
+        self.snd_nxt = self._iss
+        self._send_queue = b""          # bytes not yet assigned sequence space
+        self._retransmit = b""          # bytes in [snd_una, snd_nxt) less FIN
+        self._fin_queued = False
+        self._fin_sent = False
+
+        self.rcv_nxt = 0
+        self._recv_buffer = b""
+        self._recv_window = window
+        self.peer_window = DEFAULT_WINDOW
+        self.fin_received = False
+
+        self._rto = INITIAL_RTO_S
+        self._retransmit_count = 0
+        self._timer_token = 0
+
+        #: Triggered on every state change, arriving byte, or ACK; the
+        #: blocking facades park on this.
+        self.update_event = self._host.sim.event(
+            f"tcp:{self._host.name}:{local_port}"
+        )
+        self.error: str | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_retransmitted = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _notify(self) -> None:
+        self.update_event.trigger()
+
+    def _advertised_window(self) -> int:
+        return max(0, self._recv_window - len(self._recv_buffer))
+
+    def _emit(self, flags: int, payload: bytes = b"",
+              seq: int | None = None) -> None:
+        segment = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote_port,
+            seq=self.snd_nxt if seq is None else seq,
+            ack=self.rcv_nxt,
+            flags=flags,
+            window=min(self._advertised_window(), 0xFFFF),
+            payload=payload,
+        )
+        self._host.ip.send(self.remote_ip, IPPROTO_TCP, segment)
+
+    def _enter(self, state: TcpState) -> None:
+        self.state = state
+        self._notify()
+
+    def _fail(self, reason: str) -> None:
+        self.error = reason
+        self._cancel_timer()
+        self._enter(TcpState.CLOSED)
+        self._service._forget(self)
+
+    # -- timers ------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer_token += 1
+        token = self._timer_token
+        self._host.sim.call_after(self._rto, self._on_timeout, token)
+
+    def _cancel_timer(self) -> None:
+        self._timer_token += 1
+
+    def _on_timeout(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            return
+        outstanding = seq_diff(self.snd_nxt, self.snd_una)
+        if outstanding <= 0:
+            return
+        self._retransmit_count += 1
+        if self._retransmit_count > MAX_RETRANSMITS:
+            self._fail("too many retransmissions")
+            return
+        self.segments_retransmitted += 1
+        self._rto = min(self._rto * 2, MAX_RTO_S)
+        if self.state == TcpState.SYN_SENT:
+            self._emit(TCP_SYN, seq=self._iss)
+        elif self.state == TcpState.SYN_RCVD:
+            self._emit(TCP_SYN | TCP_ACK, seq=self._iss)
+        else:
+            # Resend the first unacked chunk (and FIN if that is what is out).
+            data = self._retransmit[: self.mss]
+            if data:
+                self._emit(TCP_ACK | TCP_PSH, data, seq=self.snd_una)
+            elif self._fin_sent:
+                self._emit(TCP_FIN | TCP_ACK, seq=self.snd_una)
+        self._arm_timer()
+
+    # -- open/close ----------------------------------------------------------
+    def connect(self) -> None:
+        """Send SYN (active open)."""
+        self.state = TcpState.SYN_SENT
+        self._emit(TCP_SYN, seq=self._iss)
+        self.snd_nxt = seq_add(self._iss, 1)
+        self._arm_timer()
+
+    def _passive_open(self, segment: TcpSegment) -> None:
+        """Reply SYN/ACK to a listener-delivered SYN."""
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self.peer_window = segment.window
+        self.state = TcpState.SYN_RCVD
+        self._emit(TCP_SYN | TCP_ACK, seq=self._iss)
+        self.snd_nxt = seq_add(self._iss, 1)
+        self._arm_timer()
+
+    def close(self) -> None:
+        """Application close: queue a FIN behind any unsent data."""
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT, TcpState.LAST_ACK,
+                          TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2, TcpState.CLOSING):
+            return
+        if self.state == TcpState.SYN_SENT:
+            self._fail("closed before established")
+            return
+        self._fin_queued = True
+        if self.state == TcpState.ESTABLISHED:
+            self._enter(TcpState.FIN_WAIT_1)
+        elif self.state == TcpState.CLOSE_WAIT:
+            self._enter(TcpState.LAST_ACK)
+        self._pump()
+
+    def abort(self) -> None:
+        """RST the peer and drop the connection."""
+        if self.state not in (TcpState.CLOSED, TcpState.LISTEN):
+            self._emit(TCP_RST)
+        self._fail("aborted")
+
+    # -- sending -----------------------------------------------------------
+    def send(self, data: bytes) -> int:
+        """Queue application bytes; returns the count accepted."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            raise TcpError(f"send in state {self.state.value}")
+        if self._fin_queued:
+            raise TcpError("send after close")
+        self._send_queue += data
+        self._pump()
+        return len(data)
+
+    @property
+    def send_queue_length(self) -> int:
+        return len(self._send_queue) + len(self._retransmit)
+
+    def _pump(self) -> None:
+        """Move bytes from the send queue into flight, window permitting."""
+        sent_something = False
+        while self._send_queue:
+            in_flight = seq_diff(self.snd_nxt, self.snd_una)
+            budget = min(self.peer_window - in_flight, self.mss)
+            if budget <= 0:
+                break
+            chunk = self._send_queue[:budget]
+            self._send_queue = self._send_queue[len(chunk):]
+            self._emit(TCP_ACK | TCP_PSH, chunk)
+            self._retransmit += chunk
+            self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
+            self.bytes_sent += len(chunk)
+            sent_something = True
+        if (
+            self._fin_queued
+            and not self._fin_sent
+            and not self._send_queue
+        ):
+            self._emit(TCP_FIN | TCP_ACK)
+            self.snd_nxt = seq_add(self.snd_nxt, 1)
+            self._fin_sent = True
+            sent_something = True
+        if sent_something and seq_diff(self.snd_nxt, self.snd_una) > 0:
+            self._rto = INITIAL_RTO_S
+            self._arm_timer()
+
+    # -- receiving ------------------------------------------------------------
+    def receive_available(self) -> int:
+        return len(self._recv_buffer)
+
+    def recv(self, max_bytes: int) -> bytes:
+        """Drain up to ``max_bytes`` from the receive buffer (non-blocking).
+
+        Returns ``b""`` both for "nothing available" and EOF; use
+        :attr:`at_eof` to distinguish.
+        """
+        if max_bytes <= 0:
+            return b""
+        window_was_zero = self._advertised_window() == 0
+        data, self._recv_buffer = (
+            self._recv_buffer[:max_bytes],
+            self._recv_buffer[max_bytes:],
+        )
+        if data and window_was_zero and self.state != TcpState.CLOSED:
+            # Reopen the window so a blocked sender can resume.
+            self._emit(TCP_ACK)
+        return data
+
+    @property
+    def at_eof(self) -> bool:
+        return self.fin_received and not self._recv_buffer
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (
+            TcpState.ESTABLISHED,
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+            TcpState.CLOSE_WAIT,
+        )
+
+    # -- segment arrival ----------------------------------------------------
+    def handle_segment(self, segment: TcpSegment) -> None:
+        if segment.flag(TCP_RST):
+            if self.state != TcpState.CLOSED:
+                self._fail("connection reset by peer")
+            return
+        handler = {
+            TcpState.SYN_SENT: self._handle_syn_sent,
+            TcpState.SYN_RCVD: self._handle_syn_rcvd,
+        }.get(self.state, self._handle_synchronized)
+        handler(segment)
+
+    def _handle_syn_sent(self, segment: TcpSegment) -> None:
+        if not (segment.flag(TCP_SYN) and segment.flag(TCP_ACK)):
+            return
+        if segment.ack != self.snd_nxt:
+            self._emit(TCP_RST, seq=segment.ack)
+            return
+        self.rcv_nxt = seq_add(segment.seq, 1)
+        self.snd_una = segment.ack
+        self.peer_window = segment.window
+        self._cancel_timer()
+        self._retransmit_count = 0
+        self._emit(TCP_ACK)
+        self._enter(TcpState.ESTABLISHED)
+        self._pump()
+
+    def _handle_syn_rcvd(self, segment: TcpSegment) -> None:
+        if segment.flag(TCP_SYN) and not segment.flag(TCP_ACK):
+            # Duplicate SYN: repeat the SYN/ACK.
+            self._emit(TCP_SYN | TCP_ACK, seq=self._iss)
+            return
+        if segment.flag(TCP_ACK) and segment.ack == self.snd_nxt:
+            self.snd_una = segment.ack
+            self.peer_window = segment.window
+            self._cancel_timer()
+            self._retransmit_count = 0
+            self._enter(TcpState.ESTABLISHED)
+            self._service._connection_established(self)
+            # The handshake ACK may already carry data.
+            if segment.payload or segment.flag(TCP_FIN):
+                self._handle_synchronized(segment)
+
+    def _handle_synchronized(self, segment: TcpSegment) -> None:
+        notify = False
+        # --- ACK processing ---
+        if segment.flag(TCP_ACK):
+            self.peer_window = segment.window
+            if seq_lt(self.snd_una, segment.ack) and seq_le(segment.ack, self.snd_nxt):
+                advanced = seq_diff(segment.ack, self.snd_una)
+                data_acked = min(advanced, len(self._retransmit))
+                self._retransmit = self._retransmit[data_acked:]
+                self.snd_una = segment.ack
+                self._retransmit_count = 0
+                self._rto = INITIAL_RTO_S
+                if seq_diff(self.snd_nxt, self.snd_una) > 0:
+                    self._arm_timer()
+                else:
+                    self._cancel_timer()
+                    self._on_all_acked()
+                notify = True
+            self._pump()
+        # --- data processing ---
+        if segment.payload:
+            seg_end = seq_add(segment.seq, len(segment.payload))
+            if seq_le(segment.seq, self.rcv_nxt) and seq_lt(self.rcv_nxt, seg_end):
+                offset = seq_diff(self.rcv_nxt, segment.seq)
+                fresh = segment.payload[offset:]
+                room = self._advertised_window()
+                fresh = fresh[:room]
+                self._recv_buffer += fresh
+                self.rcv_nxt = seq_add(self.rcv_nxt, len(fresh))
+                self.bytes_received += len(fresh)
+                notify = True
+            # ACK whatever we have (also handles duplicates and old data).
+            self._emit(TCP_ACK)
+        # --- FIN processing ---
+        if segment.flag(TCP_FIN) and segment.seq == self.rcv_nxt:
+            self.rcv_nxt = seq_add(self.rcv_nxt, 1)
+            self.fin_received = True
+            self._emit(TCP_ACK)
+            if self.state == TcpState.ESTABLISHED:
+                self._enter(TcpState.CLOSE_WAIT)
+            elif self.state == TcpState.FIN_WAIT_1:
+                # Simultaneous close; our FIN not yet acked.
+                self._enter(TcpState.CLOSING)
+            elif self.state == TcpState.FIN_WAIT_2:
+                self._enter_time_wait()
+            notify = True
+        if notify:
+            self._notify()
+
+    def _on_all_acked(self) -> None:
+        """Everything we sent (incl. FIN) is acknowledged."""
+        if self.state == TcpState.FIN_WAIT_1 and self._fin_sent:
+            if self.fin_received:
+                self._enter_time_wait()
+            else:
+                self._enter(TcpState.FIN_WAIT_2)
+        elif self.state == TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state == TcpState.LAST_ACK:
+            self._enter(TcpState.CLOSED)
+            self._service._forget(self)
+
+    def _enter_time_wait(self) -> None:
+        self._enter(TcpState.TIME_WAIT)
+        self._cancel_timer()
+        self._host.sim.call_after(TIME_WAIT_S, self._expire_time_wait)
+
+    def _expire_time_wait(self) -> None:
+        if self.state == TcpState.TIME_WAIT:
+            self._enter(TcpState.CLOSED)
+            self._service._forget(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpConnection({self._host.name}:{self.local_port} <-> "
+            f"{self.remote_ip}:{self.remote_port} {self.state.value})"
+        )
+
+
+class TcpListener:
+    """A passive socket: holds a backlog queue of established connections."""
+
+    def __init__(self, service: "TcpService", port: int, backlog: int,
+                 window: int, mss: int):
+        self._service = service
+        self.port = port
+        self.backlog = backlog
+        self.window = window
+        self.mss = mss
+        self.accept_queue: deque[TcpConnection] = deque()
+        self._embryonic: dict[tuple[Ipv4Address, int], TcpConnection] = {}
+        self.accept_event = service._host.sim.event(f"accept:{port}")
+        self.closed = False
+        self.connections_refused = 0
+
+    def pending(self) -> int:
+        return len(self.accept_queue)
+
+    def pop(self) -> TcpConnection | None:
+        if self.accept_queue:
+            return self.accept_queue.popleft()
+        return None
+
+    def close(self) -> None:
+        self.closed = True
+        self._service._listeners.pop(self.port, None)
+        for conn in self._embryonic.values():
+            conn.abort()
+        self._embryonic.clear()
+
+
+class TcpService:
+    """Per-host TCP: port tables, demux, and connection factory."""
+
+    def __init__(self, host):
+        self._host = host
+        self._listeners: dict[int, TcpListener] = {}
+        self._connections: dict[tuple[int, Ipv4Address, int], TcpConnection] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self._iss_counter = 1000
+        self.segments_received = 0
+        self.resets_sent = 0
+        host.ip.register_protocol(IPPROTO_TCP, self._handle)
+
+    # -- public API --------------------------------------------------------
+    def listen(self, port: int, backlog: int = 5,
+               window: int = DEFAULT_WINDOW, mss: int = DEFAULT_MSS) -> TcpListener:
+        if port in self._listeners:
+            raise TcpError(f"port {port} already listening")
+        listener = TcpListener(self, port, backlog, window, mss)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote_ip: Ipv4Address, remote_port: int,
+                window: int = DEFAULT_WINDOW, mss: int = DEFAULT_MSS) -> TcpConnection:
+        local_port = self._allocate_port()
+        conn = TcpConnection(self, local_port, remote_ip, remote_port,
+                             window=window, mss=mss)
+        self._connections[(local_port, remote_ip, remote_port)] = conn
+        conn.connect()
+        return conn
+
+    # -- internals ---------------------------------------------------------
+    def _next_iss(self) -> int:
+        self._iss_counter += 64000
+        return self._iss_counter % _SEQ_MOD
+
+    def _allocate_port(self) -> int:
+        for _ in range(0xFFFF - EPHEMERAL_BASE):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 0xFFFF:
+                self._next_ephemeral = EPHEMERAL_BASE
+            if port not in self._listeners and not any(
+                key[0] == port for key in self._connections
+            ):
+                return port
+        raise TcpError("no free ephemeral ports")
+
+    def _forget(self, conn: TcpConnection) -> None:
+        self._connections.pop(
+            (conn.local_port, conn.remote_ip, conn.remote_port), None
+        )
+        for listener in self._listeners.values():
+            listener._embryonic.pop((conn.remote_ip, conn.remote_port), None)
+
+    def _connection_established(self, conn: TcpConnection) -> None:
+        """Move a listener's embryonic connection to its accept queue."""
+        for listener in self._listeners.values():
+            key = (conn.remote_ip, conn.remote_port)
+            if listener._embryonic.get(key) is conn:
+                del listener._embryonic[key]
+                listener.accept_queue.append(conn)
+                listener.accept_event.trigger(conn)
+                return
+
+    def _handle(self, packet: IpPacket) -> None:
+        segment = packet.payload
+        if not isinstance(segment, TcpSegment):
+            return
+        self.segments_received += 1
+        key = (segment.dst_port, packet.src, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.handle_segment(segment)
+            return
+        listener = self._listeners.get(segment.dst_port)
+        if listener is not None and not listener.closed and segment.flag(TCP_SYN) \
+                and not segment.flag(TCP_ACK):
+            if len(listener.accept_queue) + len(listener._embryonic) >= listener.backlog:
+                listener.connections_refused += 1
+                self._send_rst(packet.src, segment)
+                return
+            conn = TcpConnection(
+                self, segment.dst_port, packet.src, segment.src_port,
+                window=listener.window, mss=listener.mss,
+            )
+            self._connections[key] = conn
+            listener._embryonic[(packet.src, segment.src_port)] = conn
+            conn._passive_open(segment)
+            return
+        if not segment.flag(TCP_RST):
+            self.resets_sent += 1
+            self._send_rst(packet.src, segment)
+
+    def _send_rst(self, dst: Ipv4Address, offending: TcpSegment) -> None:
+        rst = TcpSegment(
+            src_port=offending.dst_port,
+            dst_port=offending.src_port,
+            seq=offending.ack,
+            ack=seq_add(offending.seq, len(offending.payload) + 1),
+            flags=TCP_RST | TCP_ACK,
+            window=0,
+        )
+        self._host.ip.send(dst, IPPROTO_TCP, rst)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)

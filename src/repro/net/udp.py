@@ -1,0 +1,95 @@
+"""UDP: a per-host port mux and a small datagram socket."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.addresses import Ipv4Address
+from repro.net.packet import IpPacket, IPPROTO_UDP, UdpDatagram
+
+EPHEMERAL_BASE = 49152
+
+
+class UdpError(RuntimeError):
+    """Raised on port conflicts and use-after-close."""
+
+
+class UdpSocket:
+    """A bound UDP endpoint with a receive queue."""
+
+    def __init__(self, service: "UdpService", port: int):
+        self._service = service
+        self.port = port
+        self.queue: deque[tuple[Ipv4Address, int, bytes]] = deque()
+        self.rx_event = service._host.sim.event(f"udp:{port}")
+        self.closed = False
+
+    def sendto(self, data: bytes, dst: Ipv4Address, dst_port: int) -> None:
+        if self.closed:
+            raise UdpError("socket closed")
+        datagram = UdpDatagram(self.port, dst_port, data)
+        self._service._host.ip.send(dst, IPPROTO_UDP, datagram)
+
+    def recvfrom(self, timeout: float | None = None):
+        """Generator: wait for one datagram; returns (src_ip, src_port,
+        payload) or None on timeout."""
+        sim = self._service._host.sim
+        deadline = None if timeout is None else sim.now + timeout
+        while not self.queue:
+            if self.closed:
+                return None
+            if deadline is not None and sim.now >= deadline:
+                return None
+            yield 0.001
+        return self.queue.popleft()
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._service._release(self.port)
+
+
+class UdpService:
+    """Per-host UDP demultiplexer."""
+
+    def __init__(self, host):
+        self._host = host
+        self._sockets: dict[int, UdpSocket] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+        host.ip.register_protocol(IPPROTO_UDP, self._handle)
+
+    def bind(self, port: int = 0) -> UdpSocket:
+        if port == 0:
+            port = self._allocate_port()
+        if port in self._sockets:
+            raise UdpError(f"port {port} in use")
+        sock = UdpSocket(self, port)
+        self._sockets[port] = sock
+        return sock
+
+    def _allocate_port(self) -> int:
+        for _ in range(0xFFFF - EPHEMERAL_BASE):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 0xFFFF:
+                self._next_ephemeral = EPHEMERAL_BASE
+            if port not in self._sockets:
+                return port
+        raise UdpError("no free ephemeral ports")
+
+    def _release(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def _handle(self, packet: IpPacket) -> None:
+        datagram = packet.payload
+        if not isinstance(datagram, UdpDatagram):
+            return
+        sock = self._sockets.get(datagram.dst_port)
+        if sock is None or sock.closed:
+            self.datagrams_dropped += 1
+            return
+        self.datagrams_received += 1
+        sock.queue.append((packet.src, datagram.src_port, datagram.payload))
+        sock.rx_event.trigger()

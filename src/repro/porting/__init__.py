@@ -1,0 +1,42 @@
+"""Porting-analysis toolkit (DESIGN.md S14): the paper's problem
+taxonomy, the BSD->Dynamic C API map, a static scanner, and the
+memory-budget planner."""
+
+from repro.porting.analyzer import format_report, scan_source, scan_sources
+from repro.porting.api_map import RULE_INDEX, RULES
+from repro.porting.corpus import ISSL_UNIX_SOURCES
+from repro.porting.memory_plan import (
+    BoardBudget,
+    MemoryObject,
+    MemoryPlan,
+    RMC2000_BUDGET,
+    StorageClass,
+    WORKSTATION_BUDGET,
+)
+from repro.porting.taxonomy import (
+    PortingIssue,
+    PortingReport,
+    PortingRule,
+    ProblemClass,
+    Strategy,
+)
+
+__all__ = [
+    "BoardBudget",
+    "ISSL_UNIX_SOURCES",
+    "MemoryObject",
+    "MemoryPlan",
+    "PortingIssue",
+    "PortingReport",
+    "PortingRule",
+    "ProblemClass",
+    "RMC2000_BUDGET",
+    "RULES",
+    "RULE_INDEX",
+    "StorageClass",
+    "Strategy",
+    "WORKSTATION_BUDGET",
+    "format_report",
+    "scan_source",
+    "scan_sources",
+]

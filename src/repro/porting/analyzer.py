@@ -1,0 +1,79 @@
+"""Static porting analyzer: scan C sources for the known trouble spots.
+
+The paper closes wishing the API-difference problem were automated:
+"Understanding and dealing with differences in operating environment
+(effectively, the API) is a tedious, error-prone task that should be
+automated, yet we know of no work beyond high-level language compilers
+that confront this problem directly."  This module is that small step:
+a scanner that finds every call into the Unix environment, classifies
+it by the paper's taxonomy, and reports the strategy the RMC2000 port
+applied to it (E9).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.porting.api_map import RULE_INDEX
+from repro.porting.taxonomy import PortingIssue, PortingReport
+
+#: identifier followed by '(' = call site; bare identifiers also matter
+#: for things like `free` used via function pointers, so match both.
+_CALL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+
+
+def _strip_c_comments(source: str) -> str:
+    source = re.sub(r"/\*.*?\*/", lambda m: "\n" * m.group(0).count("\n"),
+                    source, flags=re.S)
+    source = re.sub(r"//[^\n]*", "", source)
+    source = re.sub(r'"(?:\\.|[^"\\])*"', '""', source)
+    return source
+
+
+def scan_source(source: str, filename: str = "<source>") -> PortingReport:
+    """Scan one C translation unit; returns a :class:`PortingReport`."""
+    report = PortingReport(files_scanned=1)
+    clean = _strip_c_comments(source)
+    for line_no, line in enumerate(clean.splitlines(), start=1):
+        report.lines_scanned += 1
+        for match in _CALL_RE.finditer(line):
+            rule = RULE_INDEX.get(match.group(1))
+            if rule is not None:
+                report.issues.append(
+                    PortingIssue(rule, filename, line_no, line.strip())
+                )
+    return report
+
+
+def scan_sources(sources: dict[str, str]) -> PortingReport:
+    """Scan several files ({filename: content}); merged report."""
+    merged = PortingReport()
+    for filename, content in sources.items():
+        single = scan_source(content, filename)
+        merged.issues.extend(single.issues)
+        merged.files_scanned += 1
+        merged.lines_scanned += single.lines_scanned
+    return merged
+
+
+def format_report(report: PortingReport) -> str:
+    """Human-readable report, grouped the way Section 5 presents it."""
+    lines = [
+        f"Porting analysis: {report.files_scanned} file(s), "
+        f"{report.lines_scanned} lines, {len(report.issues)} issue(s)",
+        "",
+    ]
+    for problem_class, issues in report.by_class().items():
+        lines.append(f"== {problem_class.name}: {problem_class.value} "
+                     f"({len(issues)} occurrences)")
+        seen: dict[str, int] = {}
+        for issue in issues:
+            seen[issue.rule.symbol] = seen.get(issue.rule.symbol, 0) + 1
+        for symbol, count in sorted(seen.items()):
+            rule = RULE_INDEX[symbol]
+            lines.append(
+                f"   {symbol:14s} x{count:<3d} -> {rule.strategy.name:12s} "
+                f"{rule.replacement}"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""The BSD-to-Dynamic-C knowledge base (Figure 2 + Section 5, as rules).
+
+Every entry records: the Unix-side symbol, which of the paper's three
+problem classes it falls in, which strategy the port applied, what (if
+anything) replaces it on the RMC2000, and why.
+"""
+
+from __future__ import annotations
+
+from repro.porting.taxonomy import PortingRule, ProblemClass, Strategy
+
+RULES: tuple[PortingRule, ...] = (
+    # --- different API: BSD sockets vs the Rabbit TCP stack (Figure 2) ---
+    PortingRule(
+        "socket", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "tcp_Socket structure (static)",
+        "no descriptor allocation; sockets are static structs",
+    ),
+    PortingRule(
+        "bind", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "tcp_listen(&sock, port, ...)",
+        "binding and listening collapse into tcp_listen",
+    ),
+    PortingRule(
+        "listen", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "tcp_listen(&sock, port, ...)",
+        "one tcp_listen per socket; no separate backlog call",
+    ),
+    PortingRule(
+        "accept", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "sock_established polling after tcp_listen",
+        "the listening socket itself handles the connection; N "
+        "connections need N sockets (Figure 3's 3-connection limit)",
+    ),
+    PortingRule(
+        "connect", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "tcp_open(&sock, 0, ip, port)",
+        "active open exists but differs in shape",
+    ),
+    PortingRule(
+        "recv", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "sock_read / sock_gets after sock_wait_input",
+        "non-blocking; the application drives the stack with tcp_tick",
+    ),
+    PortingRule(
+        "send", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "sock_write / sock_puts",
+        "",
+    ),
+    PortingRule(
+        "select", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "tcp_tick polling loop",
+        "no readiness multiplexing; poll each socket per big-loop pass",
+    ),
+    PortingRule(
+        "close", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "sock_close(&sock)",
+        "",
+    ),
+    PortingRule(
+        "signal", ProblemClass.DIFFERENT_API, Strategy.REWORK,
+        "SetVectExtern2000 + WrPortI interrupt setup",
+        "high-level signal dispatch becomes raw ISR registration "
+        "(paper, section 5.1)",
+    ),
+    # --- missing facilities ---
+    PortingRule(
+        "fork", ProblemClass.MISSING_FACILITY, Strategy.REWORK,
+        "costatements (one per connection)",
+        "no processes; the server becomes Figure 3's costatement loop",
+    ),
+    PortingRule(
+        "random", ProblemClass.MISSING_FACILITY, Strategy.REIMPLEMENT,
+        "hand-written LCG",
+        "'Dynamic C does not provide the standard random function'",
+    ),
+    PortingRule(
+        "srandom", ProblemClass.MISSING_FACILITY, Strategy.REIMPLEMENT,
+        "hand-written LCG seed",
+        "",
+    ),
+    PortingRule(
+        "gettimeofday", ProblemClass.MISSING_FACILITY, Strategy.REIMPLEMENT,
+        "hardware timer reads",
+        "protocol timeouts need a timer Dynamic C does not supply",
+    ),
+    PortingRule(
+        "alarm", ProblemClass.MISSING_FACILITY, Strategy.REIMPLEMENT,
+        "explicit deadline checks in the big loop",
+        "",
+    ),
+    PortingRule(
+        "fopen", ProblemClass.MISSING_FACILITY, Strategy.ABANDON,
+        "(none)",
+        "no filesystem on the RMC2000; key material becomes compiled-in",
+    ),
+    PortingRule(
+        "fread", ProblemClass.MISSING_FACILITY, Strategy.ABANDON,
+        "(none)", "",
+    ),
+    PortingRule(
+        "fwrite", ProblemClass.MISSING_FACILITY, Strategy.ABANDON,
+        "(none)", "",
+    ),
+    PortingRule(
+        "fprintf", ProblemClass.MISSING_FACILITY, Strategy.REWORK,
+        "circular in-RAM log buffer",
+        "logging reworked from append-to-file to a ring buffer",
+    ),
+    PortingRule(
+        "bignum_mul", ProblemClass.MISSING_FACILITY, Strategy.ABANDON,
+        "(none)",
+        "RSA dropped: 'a fairly complex bignum library that we "
+        "considered too complicated to rework'",
+    ),
+    PortingRule(
+        "bignum_modexp", ProblemClass.MISSING_FACILITY, Strategy.ABANDON,
+        "(none)", "RSA dropped with the bignum package",
+    ),
+    # --- invalid workstation assumptions ---
+    PortingRule(
+        "malloc", ProblemClass.INVALID_ASSUMPTION, Strategy.REWORK,
+        "static allocation (xalloc has no free)",
+        "'we chose to remove all references to malloc and statically "
+        "allocate all variables' -- which dropped multi-key-size support",
+    ),
+    PortingRule(
+        "free", ProblemClass.INVALID_ASSUMPTION, Strategy.ABANDON,
+        "(none)",
+        "xalloc has no analogue to free; memory never returns to a pool",
+    ),
+    PortingRule(
+        "realloc", ProblemClass.INVALID_ASSUMPTION, Strategy.ABANDON,
+        "(none)", "",
+    ),
+    PortingRule(
+        "syslog", ProblemClass.INVALID_ASSUMPTION, Strategy.REWORK,
+        "circular in-RAM log buffer",
+        "unbounded logging assumes a big disk",
+    ),
+    PortingRule(
+        "exit", ProblemClass.INVALID_ASSUMPTION, Strategy.REWORK,
+        "return to the big loop",
+        "restart-to-cure-leaks is not an option; firmware runs forever",
+    ),
+)
+
+#: Symbol -> rule lookup for the analyzer.
+RULE_INDEX = {rule.symbol: rule for rule in RULES}

@@ -1,0 +1,164 @@
+"""The Unix issl service as C source, for the analyzer to scan (E9).
+
+issl's original source is not preserved anywhere public, so this corpus
+reconstructs the *shape* the paper describes: the BSD-sockets secure
+redirector with fork-per-connection (Section 5.3's listing), file-based
+key loading and logging, the malloc'd multi-size cipher contexts
+(Section 5.2), and the timeout/random usage Section 5 calls out.  It is
+scanned, not compiled -- its role is to carry realistic call sites for
+every porting problem the paper reports hitting.
+"""
+
+ISSL_SERVER_C = r"""
+/* issl secure redirector -- main server loop (Unix original). */
+#include "issl.h"
+
+static int listen_fd;
+
+int main(int argc, char **argv) {
+    struct sockaddr_in addr;
+    int accept_fd, childpid;
+
+    signal(SIGINT, sigproc);          /* control channel */
+    signal(SIGCHLD, reap_children);
+    srandom(time(NULL) ^ getpid());
+
+    if ((listen_fd = socket(AF_INET, SOCK_STREAM, 0)) < 0)
+        die("socket");
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(TLS_PORT);
+    if (bind(listen_fd, (struct sockaddr *)&addr, sizeof(addr)) < 0)
+        die("bind");
+    if (listen(listen_fd, LISTENQ) < 0)
+        die("listen");
+
+    for (;;) {
+        accept_fd = accept(listen_fd, NULL, NULL);
+        if (accept_fd < 0)
+            continue;
+        if ((childpid = fork()) == 0) {
+            close(listen_fd);
+            handle_connection(accept_fd);
+            exit(0);
+        }
+        close(accept_fd);
+    }
+}
+
+void handle_connection(int fd) {
+    issl_ctx *ctx;
+    char *buf;
+
+    ctx = issl_bind(fd);
+    if (issl_accept(ctx) < 0) {
+        log_event("handshake failed");
+        exit(1);
+    }
+    buf = malloc(MAX_RECORD);
+    for (;;) {
+        int n = issl_read(ctx, buf, MAX_RECORD);
+        if (n <= 0)
+            break;
+        if (redirect_to_backend(buf, n) < 0)
+            break;
+    }
+    free(buf);
+    issl_close(ctx);
+}
+"""
+
+ISSL_LIB_C = r"""
+/* issl library internals (Unix original). */
+#include "issl.h"
+
+issl_ctx *issl_bind(int fd) {
+    issl_ctx *ctx = malloc(sizeof(issl_ctx));
+    ctx->fd = fd;
+    /* key and block size picked at handshake; buffers sized then */
+    ctx->key_buf = malloc(MAX_KEY_BYTES);
+    ctx->block_buf = malloc(MAX_BLOCK_BYTES);
+    return ctx;
+}
+
+int issl_load_keys(issl_ctx *ctx, const char *path) {
+    FILE *fp = fopen(path, "rb");
+    if (!fp)
+        return -1;
+    if (fread(ctx->key_buf, 1, MAX_KEY_BYTES, fp) <= 0)
+        return -1;
+    fclose(fp);
+    return 0;
+}
+
+int issl_handshake_timeout(issl_ctx *ctx) {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);          /* protocol timeouts */
+    alarm(HANDSHAKE_TIMEOUT_SECS);
+    return 0;
+}
+
+long issl_session_nonce(void) {
+    return random();                  /* session key nonce material */
+}
+
+int issl_read(issl_ctx *ctx, char *buf, int len) {
+    fd_set readable;
+    FD_ZERO(&readable);
+    FD_SET(ctx->fd, &readable);
+    if (select(ctx->fd + 1, &readable, NULL, NULL, NULL) < 0)
+        return -1;
+    if (recv(ctx->fd, ctx->block_buf, ctx->block_len, 0) <= 0)
+        return -1;
+    return issl_decrypt_record(ctx, buf, len);
+}
+
+int issl_write(issl_ctx *ctx, const char *buf, int len) {
+    issl_encrypt_record(ctx, buf, len);
+    return send(ctx->fd, ctx->block_buf, ctx->cipher_len, 0);
+}
+
+void log_event(const char *msg) {
+    FILE *fp = fopen(LOG_PATH, "a");  /* append forever: big disk */
+    if (fp) {
+        fprintf(fp, "issl: %s\n", msg);
+        fclose(fp);
+    }
+    syslog(LOG_INFO, "%s", msg);
+}
+
+void issl_free(issl_ctx *ctx) {
+    free(ctx->key_buf);
+    free(ctx->block_buf);
+    free(ctx);
+}
+"""
+
+ISSL_RSA_C = r"""
+/* issl RSA key exchange (Unix original) -- sits on the bignum package. */
+#include "bignum.h"
+
+int rsa_encrypt_premaster(issl_ctx *ctx, bignum *n, bignum *e) {
+    bignum *m = bignum_from_bytes(ctx->premaster, PREMASTER_LEN);
+    bignum *c = bignum_new();
+    bignum_modexp(c, m, e, n);        /* the hard part to port */
+    bignum_to_bytes(c, ctx->block_buf);
+    return 0;
+}
+
+int rsa_generate_keypair(int bits) {
+    bignum *p = bignum_random_prime(bits / 2);
+    bignum *q = bignum_random_prime(bits / 2);
+    bignum *n = bignum_new();
+    bignum_mul(n, p, q);
+    return 0;
+}
+"""
+
+#: The whole corpus, keyed by (reconstructed) filename.
+ISSL_UNIX_SOURCES = {
+    "issl_server.c": ISSL_SERVER_C,
+    "issl_lib.c": ISSL_LIB_C,
+    "issl_rsa.c": ISSL_RSA_C,
+}

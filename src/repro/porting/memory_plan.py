@@ -1,0 +1,136 @@
+"""Memory-requirement planning (paper, Section 5.2; Zurell's taxonomy).
+
+"Expecting to run into memory issues, we used a well-defined taxonomy
+to plan out memory requirements."  This module is that planner: declare
+every object with its storage class, then check the plan against the
+RMC2000's actual segments (512 KB flash, 128 KB SRAM, the 8 KB data/
+stack segment).  The E7 benchmark uses it to show both issl build
+profiles' footprints and why the port could drop to static allocation
+("our application had very modest memory requirements").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class StorageClass(enum.Enum):
+    CODE = "code (flash)"
+    CONST = "constant data (flash)"
+    STATIC = "static data (RAM)"
+    STACK = "stack (RAM)"
+    HEAP = "heap / xalloc (RAM)"
+    BATTERY = "battery-backed RAM"
+
+
+@dataclass(frozen=True)
+class MemoryObject:
+    name: str
+    storage: StorageClass
+    size: int
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class BoardBudget:
+    """Capacity per storage class for a target board."""
+
+    name: str
+    flash: int
+    ram: int
+    data_segment: int    # directly addressable RAM (root data + stack)
+    battery: int
+
+
+#: The RMC2000 TCP/IP Development Kit (paper, Section 4).
+RMC2000_BUDGET = BoardBudget(
+    name="RMC2000",
+    flash=512 * 1024,
+    ram=128 * 1024,
+    data_segment=8 * 1024,
+    battery=512,
+)
+
+#: A workstation, for the Unix profile ("nearly unlimited").
+WORKSTATION_BUDGET = BoardBudget(
+    name="workstation",
+    flash=1 << 30,
+    ram=1 << 30,
+    data_segment=1 << 30,
+    battery=0,
+)
+
+
+@dataclass
+class MemoryPlan:
+    """A set of declared objects checked against a budget."""
+
+    budget: BoardBudget
+    objects: list[MemoryObject] = field(default_factory=list)
+
+    def declare(self, name: str, storage: StorageClass, size: int,
+                note: str = "") -> MemoryObject:
+        if size < 0:
+            raise ValueError(f"negative size for {name!r}")
+        obj = MemoryObject(name, storage, size, note)
+        self.objects.append(obj)
+        return obj
+
+    def total(self, storage: StorageClass) -> int:
+        return sum(o.size for o in self.objects if o.storage == storage)
+
+    @property
+    def flash_used(self) -> int:
+        return self.total(StorageClass.CODE) + self.total(StorageClass.CONST)
+
+    @property
+    def ram_used(self) -> int:
+        return (
+            self.total(StorageClass.STATIC)
+            + self.total(StorageClass.STACK)
+            + self.total(StorageClass.HEAP)
+        )
+
+    @property
+    def data_segment_used(self) -> int:
+        return self.total(StorageClass.STATIC) + self.total(StorageClass.STACK)
+
+    def violations(self) -> list[str]:
+        """Every budget the plan busts, as human-readable strings."""
+        problems = []
+        if self.flash_used > self.budget.flash:
+            problems.append(
+                f"flash over budget: {self.flash_used} > {self.budget.flash}"
+            )
+        if self.ram_used > self.budget.ram:
+            problems.append(
+                f"RAM over budget: {self.ram_used} > {self.budget.ram}"
+            )
+        if self.data_segment_used > self.budget.data_segment:
+            problems.append(
+                f"data segment over budget: {self.data_segment_used} > "
+                f"{self.budget.data_segment}"
+            )
+        if self.total(StorageClass.BATTERY) > self.budget.battery:
+            problems.append("battery-backed RAM over budget")
+        return problems
+
+    @property
+    def fits(self) -> bool:
+        return not self.violations()
+
+    def report(self) -> str:
+        lines = [f"Memory plan vs {self.budget.name}:"]
+        for storage in StorageClass:
+            used = self.total(storage)
+            if used:
+                lines.append(f"  {storage.value:24s} {used:8d} bytes")
+        lines.append(
+            f"  flash {self.flash_used}/{self.budget.flash}, "
+            f"RAM {self.ram_used}/{self.budget.ram}, "
+            f"data segment {self.data_segment_used}/{self.budget.data_segment}"
+        )
+        for problem in self.violations():
+            lines.append(f"  VIOLATION: {problem}")
+        return "\n".join(lines)

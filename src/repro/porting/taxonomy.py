@@ -1,0 +1,93 @@
+"""The paper's porting-problem taxonomy, as data (DESIGN.md S14).
+
+Section 5 identifies "three broad classes of porting problems that
+demanded code rewrites":
+
+1. **Missing facility** -- the library or OS service simply is not
+   there (``random``, timers, the filesystem).
+2. **Different API** -- same functionality, different interface (BSD
+   sockets vs. the Rabbit TCP API, ``signal`` vs. raw interrupts).
+3. **Invalid assumption** -- workstation assumptions that are
+   impractical on the device (unbounded log files, leak-and-restart
+   memory management, ``fork``-per-connection process structure).
+
+And three broad solution strategies: reimplement the missing piece,
+rework the code around the difference, or abandon the functionality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProblemClass(enum.Enum):
+    MISSING_FACILITY = "missing operating-system facility or library"
+    DIFFERENT_API = "same functionality behind a different API"
+    INVALID_ASSUMPTION = "workstation assumption invalid on the device"
+
+
+class Strategy(enum.Enum):
+    REIMPLEMENT = "write the missing functionality from scratch"
+    REWORK = "restructure the code around the platform difference"
+    ABANDON = "drop the feature"
+
+
+@dataclass(frozen=True)
+class PortingRule:
+    """One known troublesome symbol and what to do about it."""
+
+    symbol: str
+    problem: ProblemClass
+    strategy: Strategy
+    replacement: str
+    note: str
+
+    def __str__(self) -> str:
+        return f"{self.symbol}: {self.problem.name} -> {self.strategy.name}"
+
+
+@dataclass
+class PortingIssue:
+    """One occurrence of a rule firing in scanned source."""
+
+    rule: PortingRule
+    file: str
+    line: int
+    context: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule.symbol} ({self.rule.problem.name})"
+
+
+@dataclass
+class PortingReport:
+    """Aggregated scan results (E9's deliverable)."""
+
+    issues: list[PortingIssue] = field(default_factory=list)
+    files_scanned: int = 0
+    lines_scanned: int = 0
+
+    def by_class(self) -> dict[ProblemClass, list[PortingIssue]]:
+        grouped: dict[ProblemClass, list[PortingIssue]] = {
+            cls: [] for cls in ProblemClass
+        }
+        for issue in self.issues:
+            grouped[issue.rule.problem].append(issue)
+        return grouped
+
+    def by_strategy(self) -> dict[Strategy, list[PortingIssue]]:
+        grouped: dict[Strategy, list[PortingIssue]] = {
+            strategy: [] for strategy in Strategy
+        }
+        for issue in self.issues:
+            grouped[issue.rule.strategy].append(issue)
+        return grouped
+
+    def counts(self) -> dict[str, int]:
+        return {
+            cls.name: len(issues) for cls, issues in self.by_class().items()
+        }
+
+    def unique_symbols(self) -> set[str]:
+        return {issue.rule.symbol for issue in self.issues}

@@ -1,0 +1,7 @@
+"""Rabbit 2000 / RMC2000 board simulation (DESIGN.md S9, S10, S13)."""
+
+from repro.rabbit.board import Board, CLOCK_HZ
+from repro.rabbit.cpu import Cpu, CpuError
+from repro.rabbit.memory import RabbitMemory
+
+__all__ = ["Board", "CLOCK_HZ", "Cpu", "CpuError", "RabbitMemory"]

@@ -1,0 +1,14 @@
+"""Assembler and disassembler for the Rabbit/Z80 core (DESIGN.md S10)."""
+
+from repro.rabbit.asm.assembler import AsmError, Assembler, Assembly, assemble
+from repro.rabbit.asm.disasm import Instruction, disassemble, disassemble_one
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "Assembly",
+    "Instruction",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+]

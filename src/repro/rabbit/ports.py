@@ -1,0 +1,153 @@
+"""I/O bus and on-chip peripherals: serial ports, watchdog, realtime
+counter.
+
+Port map used by this board model (Rabbit-inspired, simplified to the
+peripherals the paper's firmware touches):
+
+    0x08  WDTCR   watchdog control (write 0x5A to hit the watchdog)
+    0xC0  SADR    serial A data register
+    0xC1  SASR    serial A status  (bit7: rx ready, bit5: tx idle)
+    0xC2  SACR    serial A control (bit0: rx interrupt enable)
+    0xD0* SBDR... serial B-D at 0xD0/0xD8/0xE0 with the same layout
+    0x02  RTC0    free-running counter, low byte (latched cycle count)
+
+The paper's Section 5.1 sequence -- ``WrPortI(SADR, ...)``,
+``SetVectExtern2000(1, my_isr)``, ``WrPortI(I0CR, ..., 0x2B)`` -- maps
+onto these registers plus the board's vector table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+WDTCR = 0x08
+RTC0 = 0x02
+
+SADR = 0xC0
+SASR = 0xC1
+SACR = 0xC2
+
+STATUS_RX_READY = 0x80
+STATUS_TX_IDLE = 0x20
+
+
+class IoBus:
+    """Port-number -> device dispatch."""
+
+    def __init__(self):
+        self._readers: dict[int, Callable[[], int]] = {}
+        self._writers: dict[int, Callable[[int], None]] = {}
+        self.unclaimed_reads = 0
+        self.unclaimed_writes = 0
+
+    def register(self, port: int, reader: Callable[[], int] | None = None,
+                 writer: Callable[[int], None] | None = None) -> None:
+        if reader is not None:
+            self._readers[port] = reader
+        if writer is not None:
+            self._writers[port] = writer
+
+    def read_port(self, port: int) -> int:
+        reader = self._readers.get(port & 0xFF)
+        if reader is None:
+            self.unclaimed_reads += 1
+            return 0xFF
+        return reader() & 0xFF
+
+    def write_port(self, port: int, value: int) -> None:
+        writer = self._writers.get(port & 0xFF)
+        if writer is None:
+            self.unclaimed_writes += 1
+            return
+        writer(value & 0xFF)
+
+
+class SerialPort:
+    """One UART: rx queue, tx log, optional rx interrupt."""
+
+    def __init__(self, bus: IoBus, base_port: int = SADR, name: str = "A"):
+        self.name = name
+        self.rx_queue: deque[int] = deque()
+        self.tx_log = bytearray()
+        self.rx_interrupt_enabled = False
+        self.interrupt_callback: Callable[[], None] | None = None
+        self.rx_overruns = 0
+        bus.register(base_port, reader=self._read_data, writer=self._write_data)
+        bus.register(base_port + 1, reader=self._read_status)
+        bus.register(base_port + 2, writer=self._write_control)
+
+    # -- device side ---------------------------------------------------------
+    def inject(self, data: bytes) -> None:
+        """Characters arriving on the wire (e.g. from the dev PC)."""
+        for byte in data:
+            if len(self.rx_queue) >= 64:
+                self.rx_overruns += 1
+                continue
+            self.rx_queue.append(byte)
+        if data and self.rx_interrupt_enabled and self.interrupt_callback:
+            self.interrupt_callback()
+
+    def transmitted(self) -> bytes:
+        """Everything the firmware has written so far."""
+        return bytes(self.tx_log)
+
+    def clear_tx(self) -> None:
+        self.tx_log.clear()
+
+    # -- port handlers ---------------------------------------------------------
+    def _read_data(self) -> int:
+        if self.rx_queue:
+            return self.rx_queue.popleft()
+        return 0
+
+    def _write_data(self, value: int) -> None:
+        self.tx_log.append(value)
+
+    def _read_status(self) -> int:
+        status = STATUS_TX_IDLE
+        if self.rx_queue:
+            status |= STATUS_RX_READY
+        return status
+
+    def _write_control(self, value: int) -> None:
+        self.rx_interrupt_enabled = bool(value & 0x01)
+
+
+class Watchdog:
+    """Write 0x5A within the budget or the board resets."""
+
+    KICK_VALUE = 0x5A
+
+    def __init__(self, bus: IoBus, budget_cycles: int = 2_000_000):
+        self.budget_cycles = budget_cycles
+        self.kicks = 0
+        self.expired = False
+        self._last_kick_cycle = 0
+        bus.register(WDTCR, writer=self._write)
+
+    def _write(self, value: int) -> None:
+        if value == self.KICK_VALUE:
+            self.kicks += 1
+            self._mark()
+
+    def _mark(self) -> None:
+        self._cycle_at_kick = self._current_cycles
+        self._last_kick_cycle = self._current_cycles
+
+    _current_cycles = 0
+
+    def check(self, cycles: int) -> bool:
+        """Advance the watchdog clock; True if it has expired."""
+        self._current_cycles = cycles
+        if cycles - self._last_kick_cycle > self.budget_cycles:
+            self.expired = True
+        return self.expired
+
+
+class CycleCounterPort:
+    """RTC0: exposes the low byte of the CPU cycle counter to firmware."""
+
+    def __init__(self, bus: IoBus, cpu):
+        self._cpu = cpu
+        bus.register(RTC0, reader=lambda: self._cpu.cycles & 0xFF)

@@ -1,0 +1,7 @@
+"""Firmware for the emulated board: AES in assembly and in the
+Dynamic C subset (DESIGN.md S13)."""
+
+from repro.rabbit.programs.aes_asm import AesAsm
+from repro.rabbit.programs.aes_c import AES_C_SOURCE, AesC
+
+__all__ = ["AES_C_SOURCE", "AesAsm", "AesC"]

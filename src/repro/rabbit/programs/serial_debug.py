@@ -1,0 +1,156 @@
+"""Serial-port debug monitor firmware (paper, Section 5.1).
+
+"We used the serial port on the RMC2000 board for debugging.  We
+configured the serial interface to interrupt the processor when a
+character arrived.  In response, the system either replied with a
+status message or reset the application, possibly maintaining program
+state."
+
+The firmware is a main loop bumping a work counter, plus an ISR
+(installed via the board's ``SetVectExtern2000`` analogue) that parses
+one-character commands:
+
+    's'  -> transmit "S" + the 16-bit work counter (status message)
+    'r'  -> zero the counter (reset the application state)
+    'R'  -> reset but keep state (counter survives, 'K' acknowledged)
+
+Everything else is ignored -- the paper's error-handling policy.
+"""
+
+from __future__ import annotations
+
+from repro.rabbit.asm import assemble, Assembly
+from repro.rabbit.board import Board
+from repro.rabbit.ports import SADR
+
+COUNTER = 0xC040
+SAVED = 0xC042
+
+RESET_FLAG = 0xC044
+
+SOURCE = f"""
+; serial debug monitor (paper section 5.1)
+COUNTER equ 0x{COUNTER:04X}
+SAVED   equ 0x{SAVED:04X}
+RESETF  equ 0x{RESET_FLAG:04X}
+SADR    equ 0x{SADR:02X}
+
+        org  0
+        jp   start
+
+start:  ld   sp, 0xDFC0
+        ld   hl, 0
+        ld   (COUNTER), hl
+        xor  a
+        ld   (RESETF), a
+        ; enable serial receive interrupts (SACR bit 0), then EI
+        ld   a, 0x01
+        out  (SADR + 2), a
+        ei
+main_loop:
+        ; the ISR may not zero COUNTER itself: the main loop's
+        ; load-increment-store could be interrupted mid-flight and its
+        ; stale store would clobber the reset (the multibyte-update
+        ; hazard Dynamic C's `shared` qualifier exists for).  The ISR
+        ; therefore posts a request flag the main loop honours.
+        ld   a, (RESETF)
+        or   a
+        jr   nz, do_reset
+        ld   hl, (COUNTER)
+        inc  hl
+        ld   (COUNTER), hl
+        jp   main_loop
+do_reset:
+        xor  a
+        ld   (RESETF), a
+        ld   hl, 0
+        ld   (COUNTER), hl
+        jp   main_loop
+
+; ---- interrupt service routine ----
+isr:    push af
+        push hl
+        in   a, (SADR)        ; fetch the received character
+        cp   's'
+        jr   z, isr_status
+        cp   'r'
+        jr   z, isr_reset
+        cp   'R'
+        jr   z, isr_warm
+        jr   isr_done         ; unknown commands ignored
+isr_status:
+        ld   a, 'S'
+        out  (SADR), a
+        ld   hl, (COUNTER)
+        ld   a, l
+        out  (SADR), a
+        ld   a, h
+        out  (SADR), a
+        jr   isr_done
+isr_reset:
+        ld   a, 1
+        ld   (RESETF), a      ; ask the main loop to reset itself
+        ld   a, 'Z'
+        out  (SADR), a
+        jr   isr_done
+isr_warm:
+        ld   hl, (COUNTER)    ; maintain program state across reset
+        ld   (SAVED), hl
+        ld   a, 'K'
+        out  (SADR), a
+isr_done:
+        pop  hl
+        pop  af
+        ei
+        reti
+"""
+
+
+class SerialDebugMonitor:
+    """The firmware burned on a board, with a test/driver interface."""
+
+    def __init__(self, board: Board):
+        self.board = board
+        self.assembly: Assembly = assemble(SOURCE)
+        board.program(self.assembly.code)
+        board.set_vect_extern2000(1, self.assembly.symbol("isr"))
+
+    def boot(self, cycles: int = 2000) -> None:
+        """Run the firmware long enough to initialize and loop."""
+        self.board.run_cycles(cycles)
+
+    def send_command(self, char: bytes, run_cycles: int = 2000) -> bytes:
+        """Inject a character, run, and return what the board replied."""
+        self.board.serial_a.clear_tx()
+        self.board.serial_a.inject(char)
+        self.board.run_cycles(run_cycles)
+        return self.board.serial_a.transmitted()
+
+    def interrupt_latency(self) -> int:
+        """Cycles from character arrival to ISR entry.
+
+        The caller should afterwards run the board for a while so the
+        ISR completes before the next measurement.
+        """
+        isr_address = self.assembly.symbol("isr")
+        start = self.board.cpu.cycles
+        self.board.serial_a.inject(b"s")
+        guard = 0
+        while self.board.cpu.pc != isr_address:
+            self.board.cpu.step()
+            guard += 1
+            if guard > 10_000:
+                raise RuntimeError("ISR never entered")
+        latency = self.board.cpu.cycles - start
+        self.board.serial_a.clear_tx()
+        return latency
+
+    @property
+    def counter(self) -> int:
+        memory = self.board.memory
+        return memory.read8(COUNTER) | (memory.read8(COUNTER + 1) << 8)
+
+    @property
+    def saved_counter(self) -> int:
+        memory = self.board.memory
+        return memory.read8(SAVED) | (memory.read8(SAVED + 1) << 8)

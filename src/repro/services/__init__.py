@@ -1,0 +1,34 @@
+"""The paper's applications (DESIGN.md S8): echo servers, the secure
+redirector (Unix original and RMC2000 port), and load clients."""
+
+from repro.services.client import (
+    ClientReport,
+    plain_request_client,
+    secure_request_client,
+)
+from repro.services.echo import bsd_echo_server, dync_echo_costate, echo_client
+from repro.services.redirector import (
+    BACKEND_PORT,
+    PLAIN_PORT,
+    TLS_PORT,
+    backend_line_server,
+    build_rmc_redirector,
+    unix_plain_redirector,
+    unix_secure_redirector,
+)
+
+__all__ = [
+    "BACKEND_PORT",
+    "ClientReport",
+    "PLAIN_PORT",
+    "TLS_PORT",
+    "backend_line_server",
+    "bsd_echo_server",
+    "build_rmc_redirector",
+    "dync_echo_costate",
+    "echo_client",
+    "plain_request_client",
+    "secure_request_client",
+    "unix_plain_redirector",
+    "unix_secure_redirector",
+]

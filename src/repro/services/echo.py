@@ -1,0 +1,95 @@
+"""The paper's Figure 2: one echo server, two APIs.
+
+``bsd_echo_server`` is a line-for-line analogue of Figure 2(a) --
+socket/bind/listen/accept/recv/send -- and ``dync_echo_costate`` of
+Figure 2(b) -- sock_init/tcp_listen/sock_wait_established/tcp_tick/
+sock_gets/sock_puts.  The E6 benchmark runs both against the same client
+and diffs the API surface they consumed.
+"""
+
+from __future__ import annotations
+
+from repro.net.bsd import LISTENQ, SocketError, socket
+from repro.net.dynctcp import (
+    DyncTcpStack,
+    TCP_MODE_ASCII,
+    make_socket,
+)
+from repro.net.host import Host
+
+#: Figure 2's LEN buffer size.
+LEN = 512
+
+
+def bsd_echo_server(host: Host, port: int, once: bool = True):
+    """Generator: the BSD echo server of Figure 2(a).
+
+    With ``once=True`` (the figure's shape) it serves a single
+    connection, echoes one buffer, and returns 0; -1 on error paths,
+    matching the C return conventions.
+    """
+    try:
+        sock = socket(host)
+        sock.bind(("", port))
+        sock.listen(LISTENQ)
+    except SocketError:
+        return -1
+    while True:
+        try:
+            newsock = yield from sock.accept()
+            data = yield from newsock.recv(LEN)
+            if data:
+                yield from newsock.sendall(data)
+            newsock.close()
+        except SocketError:
+            sock.close()
+            return -1
+        if once:
+            sock.close()
+            return 0
+
+
+def dync_echo_costate(stack: DyncTcpStack, port: int, once: bool = True):
+    """Generator (costatement body): the Dynamic C echo server of
+    Figure 2(b).
+
+    Mirrors the figure: ``sock_init``; ``tcp_listen``;
+    ``sock_wait_established``; ASCII mode; then ``while (tcp_tick(&sock))``
+    echoing each line with ``sock_gets``/``sock_puts``.
+    """
+    stack.sock_init()
+    sock = make_socket(stack)
+    while True:
+        stack.tcp_listen(sock, port)
+        status = yield from stack.sock_wait_established(sock, 0)
+        if status != 1:
+            return
+        stack.sock_mode(sock, TCP_MODE_ASCII)
+        while stack.tcp_tick(sock):
+            line = stack.sock_gets(sock, LEN)
+            if line is not None:
+                stack.sock_puts(sock, line)
+            elif sock.conn is not None and sock.conn.at_eof:
+                break
+            yield
+        stack.sock_close(sock)
+        if once:
+            return
+        yield
+
+
+def echo_client(host: Host, server_ip: str, port: int, message: bytes,
+                results: dict, key: str = "echo"):
+    """Generator: connect, send one line, read the echo into ``results``."""
+    sock = socket(host)
+    yield from sock.connect((server_ip, port))
+    yield from sock.sendall(message + b"\n")
+    data = b""
+    while b"\n" not in data:
+        chunk = yield from sock.recv(LEN)
+        if not chunk:
+            break
+        data += chunk
+    results[key] = data
+    sock.close()
+    return data

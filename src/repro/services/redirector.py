@@ -1,0 +1,317 @@
+"""The case-study service: a secure redirector (DESIGN.md S8).
+
+The paper's authors "implemented a simple Unix service that used the
+issl library to establish a secure redirector" and later ported it to
+the RMC2000.  The service is an SSL terminator: clients speak issl to
+it; it decrypts each request line, forwards it over plain TCP to a
+backend, and returns the backend's response line over the secure
+channel -- the coprocessor-offload pattern Section 2 motivates.
+
+Four variants:
+
+* :func:`unix_secure_redirector` -- the original: BSD sockets, one
+  forked child per connection (the listing in Section 5.3).
+* :func:`build_rmc_redirector` -- the port: Figure 3's main loop, N
+  handler costatements (default 3) plus one ``tcp_tick`` driver.
+* :func:`unix_plain_redirector` / plain handlers -- the no-TLS baseline
+  the E4 throughput experiment compares against.
+* :func:`backend_line_server` -- the plaintext backend behind all of
+  them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dync.runtime.costate import CostateScheduler, waitfor
+from repro.issl.api import issl_bind
+from repro.issl.session import IsslContext, IsslError
+from repro.issl.transport import TransportError
+from repro.net.addresses import Ipv4Address
+from repro.net.bsd import LISTENQ, SocketError, socket
+from repro.net.dynctcp import DyncTcpStack, make_socket
+from repro.net.host import Host
+from repro.unixsim.host import UnixHost
+from repro.unixsim.process import exit_process
+
+#: Figure 3's port.
+TLS_PORT = 4433
+PLAIN_PORT = 8000
+BACKEND_PORT = 9000
+
+_LINE_MAX = 4096
+
+
+# ---------------------------------------------------------------------------
+# Backend
+# ---------------------------------------------------------------------------
+
+def backend_line_server(host: Host, port: int = BACKEND_PORT,
+                        transform: Callable[[bytes], bytes] | None = None,
+                        stats: dict | None = None):
+    """Generator: accept-loop line server; one child process per client.
+
+    The default transform upper-cases the request, making redirection
+    observable end to end.
+    """
+    if transform is None:
+        transform = bytes.upper
+    lsock = socket(host)
+    lsock.bind(("", port))
+    lsock.listen(LISTENQ)
+
+    def handle(conn):
+        buffer = b""
+        while True:
+            try:
+                chunk = yield from conn.recv(_LINE_MAX)
+            except SocketError:
+                break
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                if stats is not None:
+                    stats["requests"] = stats.get("requests", 0) + 1
+                yield from conn.sendall(transform(line) + b"\n")
+        conn.close()
+
+    while True:
+        conn = yield from lsock.accept()
+        host.sim.spawn(handle(conn), name=f"{host.name}:backend-child")
+
+
+# ---------------------------------------------------------------------------
+# Line helpers shared by the redirector variants
+# ---------------------------------------------------------------------------
+
+def _read_secure_line(session):
+    """Generator: accumulate issl records until a full line."""
+    buffer = b""
+    while b"\n" not in buffer:
+        chunk = yield from session.read()
+        if not chunk:
+            return None if not buffer else buffer
+        buffer += chunk
+    line, _rest = buffer.split(b"\n", 1)
+    # Records align with lines in our clients; keep any tail for safety.
+    return line
+
+
+def _read_plain_line(conn):
+    buffer = b""
+    while b"\n" not in buffer:
+        chunk = yield from conn.recv(_LINE_MAX)
+        if not chunk:
+            return None
+        buffer += chunk
+    line, _rest = buffer.split(b"\n", 1)
+    return line
+
+
+# ---------------------------------------------------------------------------
+# The original Unix service (fork-per-connection, Section 5.3 listing)
+# ---------------------------------------------------------------------------
+
+def unix_secure_redirector(host: UnixHost, context: IsslContext,
+                           backend_ip: Ipv4Address | str,
+                           backend_port: int = BACKEND_PORT,
+                           listen_port: int = TLS_PORT,
+                           stats: dict | None = None):
+    """Generator (run as a Unix process): the original issl service.
+
+    Structure follows the paper's listing: ``listen``; loop ``accept``;
+    ``fork`` a child per request; the parent immediately re-accepts.
+    """
+    lsock = socket(host)
+    lsock.bind(("", listen_port))
+    lsock.listen(LISTENQ)
+    while True:
+        conn = yield from lsock.accept()
+        # if ((childpid = fork()) == 0) { handle(accept_fd); exit(0); }
+        host.kernel.fork(
+            _unix_child(host, context, conn, backend_ip, backend_port, stats),
+            name="issl-child",
+        )
+
+
+def _unix_child(host, context, conn, backend_ip, backend_port, stats):
+    session = issl_bind(context, conn, role="server")
+    try:
+        yield from session.handshake()
+    except IsslError:
+        conn.close()
+        exit_process(1)
+    backend = socket(host)
+    try:
+        yield from backend.connect((backend_ip, backend_port))
+    except SocketError:
+        yield from session.close()
+        exit_process(1)
+    while True:
+        line = yield from _read_secure_line(session)
+        if line is None:
+            break
+        yield from backend.sendall(line + b"\n")
+        response = yield from _read_plain_line(backend)
+        if response is None:
+            break
+        yield from session.write(response + b"\n")
+        if stats is not None:
+            stats["redirected"] = stats.get("redirected", 0) + 1
+    backend.close()
+    yield from session.close()
+    exit_process(0)
+
+
+def unix_plain_redirector(host: Host, backend_ip: Ipv4Address | str,
+                          backend_port: int = BACKEND_PORT,
+                          listen_port: int = PLAIN_PORT,
+                          stats: dict | None = None):
+    """Generator: the same service without TLS (E4 baseline)."""
+    lsock = socket(host)
+    lsock.bind(("", listen_port))
+    lsock.listen(LISTENQ)
+
+    def handle(conn):
+        backend = socket(host)
+        try:
+            yield from backend.connect((backend_ip, backend_port))
+        except SocketError:
+            conn.close()
+            return
+        while True:
+            line = yield from _read_plain_line(conn)
+            if line is None:
+                break
+            yield from backend.sendall(line + b"\n")
+            response = yield from _read_plain_line(backend)
+            if response is None:
+                break
+            yield from conn.sendall(response + b"\n")
+            if stats is not None:
+                stats["redirected"] = stats.get("redirected", 0) + 1
+        backend.close()
+        conn.close()
+
+    while True:
+        conn = yield from lsock.accept()
+        host.sim.spawn(handle(conn), name=f"{host.name}:plain-child")
+
+
+# ---------------------------------------------------------------------------
+# The RMC2000 port (Figure 3: costatements + tick driver)
+# ---------------------------------------------------------------------------
+
+def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
+                 backend_ip, backend_port, listen_port,
+                 stats: dict | None, secure: bool):
+    """One handler costatement: serve one connection at a time, forever."""
+    sock = make_socket(stack)
+    while True:
+        # tcp_listen refuses while the previous connection is still
+        # tearing down; keep trying, one big-loop pass at a time.
+        while not stack.tcp_listen(sock, listen_port):
+            yield
+        yield from waitfor(lambda: stack.sock_established(sock))
+        if secure:
+            session = issl_bind(context, sock, stack=stack, role="server")
+            try:
+                yield from session.handshake()
+            except IsslError:
+                stack.sock_abort(sock)
+                yield
+                continue
+        backend = make_socket(stack)
+        stack.tcp_open(backend, 0, backend_ip, backend_port)
+        yield from waitfor(lambda: stack.sock_established(backend))
+        yield from _rmc_serve(stack, sock, backend, session if secure else None,
+                              stats)
+        stack.sock_close(backend)
+        if secure:
+            yield from session.close()
+        # Close our TCP side regardless of who spoke last; sock_close is
+        # idempotent and tcp_listen above waits for the teardown.
+        stack.sock_close(sock)
+        yield
+
+
+def _rmc_serve(stack, sock, backend, session, stats):
+    """Relay request/response lines until the client is done."""
+    while True:
+        if session is not None:
+            try:
+                line = yield from _read_secure_line(session)
+            except IsslError:
+                return
+        else:
+            line = yield from _dync_read_line(stack, sock)
+        if line is None:
+            return
+        stack.sock_write(backend, line + b"\n")
+        response = yield from _dync_read_line(stack, backend)
+        if response is None:
+            return
+        if session is not None:
+            try:
+                yield from session.write(response + b"\n")
+            except (IsslError, TransportError):
+                return
+        else:
+            stack.sock_write(sock, response + b"\n")
+        if stats is not None:
+            stats["redirected"] = stats.get("redirected", 0) + 1
+
+
+def _dync_read_line(stack, sock):
+    buffer = b""
+    while b"\n" not in buffer:
+        chunk = stack.sock_read(sock, _LINE_MAX)
+        if chunk:
+            buffer += chunk
+            continue
+        if sock.conn is None or sock.conn.at_eof \
+                or sock.conn.state.value == "CLOSED":
+            return None
+        yield
+    line, _rest = buffer.split(b"\n", 1)
+    return line
+
+
+def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
+                         backend_ip: Ipv4Address | str,
+                         backend_port: int = BACKEND_PORT,
+                         listen_port: int = TLS_PORT,
+                         handlers: int = 3,
+                         secure: bool = True,
+                         stats: dict | None = None,
+                         pass_overhead_s: float | None = None) -> CostateScheduler:
+    """Assemble Figure 3's main loop and return its (unstarted) scheduler.
+
+    ``handlers`` defaults to 3: "three processes to handle requests
+    (allowing a maximum of three connections), and one to drive the TCP
+    stack".  Increasing it is the paper's "add more costatements and
+    recompile".
+    """
+    if isinstance(backend_ip, str):
+        backend_ip = Ipv4Address.parse(backend_ip)
+    stack.sock_init()
+    kwargs = {}
+    if pass_overhead_s is not None:
+        kwargs["pass_overhead_s"] = pass_overhead_s
+    scheduler = CostateScheduler(stack.host.sim, name="rmc-redirector", **kwargs)
+    for index in range(handlers):
+        scheduler.add(
+            _rmc_handler(stack, context, backend_ip, backend_port,
+                         listen_port, stats, secure),
+            name=f"handler{index + 1}",
+        )
+
+    def tick_driver():
+        while True:
+            stack.tcp_tick(None)
+            yield
+
+    scheduler.add(tick_driver(), name="tick-driver")
+    return scheduler

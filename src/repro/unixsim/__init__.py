@@ -1,0 +1,23 @@
+"""Simulated Unix host (DESIGN.md S5): processes/fork/signals + filesystem."""
+
+from repro.unixsim.fs import FileHandle, FileSystem, FsError
+from repro.unixsim.host import UnixHost
+from repro.unixsim.process import (
+    ProcessState,
+    Signal,
+    UnixKernel,
+    UnixProcess,
+    exit_process,
+)
+
+__all__ = [
+    "FileHandle",
+    "FileSystem",
+    "FsError",
+    "ProcessState",
+    "Signal",
+    "UnixHost",
+    "UnixKernel",
+    "UnixProcess",
+    "exit_process",
+]

@@ -1,0 +1,212 @@
+"""BigNum tests: arithmetic vs Python ints, Knuth division vs the binary
+oracle, modular algebra, and primality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bignum import (
+    BigNum,
+    BignumError,
+    generate_prime,
+    is_probable_prime,
+    random_below,
+    random_bits,
+)
+from repro.crypto.prng import Lcg
+
+NONNEG = st.integers(min_value=0, max_value=1 << 300)
+POSITIVE = st.integers(min_value=1, max_value=1 << 300)
+
+
+@given(NONNEG)
+def test_int_roundtrip(value):
+    assert BigNum.from_int(value).to_int() == value
+
+
+@given(st.binary(min_size=1, max_size=60))
+def test_bytes_roundtrip(data):
+    n = BigNum.from_bytes(data)
+    assert n.to_int() == int.from_bytes(data, "big")
+    assert n.to_bytes(len(data)) == data
+
+
+def test_from_int_rejects_negative():
+    with pytest.raises(BignumError):
+        BigNum.from_int(-1)
+
+
+def test_zero_properties():
+    zero = BigNum.from_int(0)
+    assert zero.is_zero()
+    assert zero.bit_length() == 0
+    assert zero.is_even()
+    assert zero.to_bytes() == b"\x00"
+
+
+@given(NONNEG, NONNEG)
+def test_add(a, b):
+    assert BigNum.from_int(a).add(BigNum.from_int(b)).to_int() == a + b
+
+
+@given(NONNEG, NONNEG)
+def test_sub(a, b):
+    big, small = max(a, b), min(a, b)
+    assert BigNum.from_int(big).sub(BigNum.from_int(small)).to_int() == big - small
+
+
+def test_sub_underflow_raises():
+    with pytest.raises(BignumError):
+        BigNum.from_int(1).sub(BigNum.from_int(2))
+
+
+@given(NONNEG, NONNEG)
+def test_mul(a, b):
+    assert BigNum.from_int(a).mul(BigNum.from_int(b)).to_int() == a * b
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 1200),
+    st.integers(min_value=0, max_value=1 << 1200),
+)
+@settings(max_examples=20, deadline=None)
+def test_mul_karatsuba_path(a, b):
+    # Values above the Karatsuba cutoff (24 limbs = 384 bits).
+    a |= 1 << 600
+    b |= 1 << 600
+    assert BigNum.from_int(a).mul(BigNum.from_int(b)).to_int() == a * b
+
+
+@given(NONNEG, POSITIVE)
+def test_divmod_matches_python(a, b):
+    q, r = BigNum.from_int(a).divmod(BigNum.from_int(b))
+    assert (q.to_int(), r.to_int()) == divmod(a, b)
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 200),
+    st.integers(min_value=1, max_value=1 << 150),
+)
+@settings(max_examples=50, deadline=None)
+def test_divmod_matches_binary_oracle(a, b):
+    A, B = BigNum.from_int(a), BigNum.from_int(b)
+    q1, r1 = A.divmod(B)
+    q2, r2 = A.divmod_binary(B)
+    assert q1 == q2
+    assert r1 == r2
+
+
+def test_divmod_by_zero():
+    with pytest.raises(BignumError):
+        BigNum.from_int(5).divmod(BigNum.from_int(0))
+    with pytest.raises(BignumError):
+        BigNum.from_int(5).divmod_binary(BigNum.from_int(0))
+
+
+def test_divmod_edge_cases():
+    # Dividend smaller than divisor; equal values; divisor one.
+    q, r = BigNum.from_int(3).divmod(BigNum.from_int(7))
+    assert (q.to_int(), r.to_int()) == (0, 3)
+    q, r = BigNum.from_int(7).divmod(BigNum.from_int(7))
+    assert (q.to_int(), r.to_int()) == (1, 0)
+    q, r = BigNum.from_int(123456789).divmod(BigNum.from_int(1))
+    assert (q.to_int(), r.to_int()) == (123456789, 0)
+
+
+def test_divmod_addback_case():
+    # Exercise the rare Knuth D6 add-back path: crafted so qhat overshoots.
+    a = (1 << 128) - 1
+    b = (1 << 64) + 1
+    q, r = BigNum.from_int(a).divmod(BigNum.from_int(b))
+    assert (q.to_int(), r.to_int()) == divmod(a, b)
+
+
+@given(NONNEG, st.integers(min_value=0, max_value=200))
+def test_shl_shr(a, n):
+    assert BigNum.from_int(a).shl(n).to_int() == a << n
+    assert BigNum.from_int(a).shr(n).to_int() == a >> n
+
+
+@given(NONNEG, NONNEG)
+def test_compare(a, b):
+    cmp = BigNum.from_int(a).compare(BigNum.from_int(b))
+    assert cmp == (a > b) - (a < b)
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 100),
+    st.integers(min_value=0, max_value=1 << 40),
+    st.integers(min_value=1, max_value=1 << 100),
+)
+@settings(max_examples=50, deadline=None)
+def test_modexp(base, exp, mod):
+    got = BigNum.from_int(base).modexp(BigNum.from_int(exp), BigNum.from_int(mod))
+    assert got.to_int() == pow(base, exp, mod)
+
+
+@given(st.integers(min_value=2, max_value=1 << 80), st.integers(min_value=0, max_value=1 << 80))
+@settings(max_examples=50, deadline=None)
+def test_modinv(m, a):
+    import math
+
+    if math.gcd(a, m) == 1:
+        inv = BigNum.from_int(a).modinv(BigNum.from_int(m))
+        assert (inv.to_int() * a) % m == 1 or m == 1
+    else:
+        with pytest.raises(BignumError):
+            BigNum.from_int(a).modinv(BigNum.from_int(m))
+
+
+@given(st.integers(min_value=0, max_value=1 << 60), st.integers(min_value=0, max_value=1 << 60))
+def test_gcd(a, b):
+    import math
+
+    assert BigNum.from_int(a).gcd(BigNum.from_int(b)).to_int() == math.gcd(a, b)
+
+
+def test_bit_access():
+    n = BigNum.from_int(0b1011001)
+    bits = [n.bit(i) for i in range(8)]
+    assert bits == [1, 0, 0, 1, 1, 0, 1, 0]
+    assert n.bit(1000) == 0
+
+
+KNOWN_PRIMES = [2, 3, 5, 101, 257, 65537, (1 << 61) - 1, 2**89 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 65536, 561, 41041, 2**67 - 1]  # Carmichaels too
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_is_probable_prime_on_primes(p):
+    assert is_probable_prime(BigNum.from_int(p), Lcg(7))
+
+
+@pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+def test_is_probable_prime_on_composites(c):
+    assert not is_probable_prime(BigNum.from_int(c), Lcg(7))
+
+
+def test_generate_prime_properties():
+    rng = Lcg(1234)
+    p = generate_prime(96, rng)
+    assert p.bit_length() == 96
+    assert is_probable_prime(p, rng)
+
+
+def test_random_bits_exact_width():
+    rng = Lcg(5)
+    for bits in (1, 7, 16, 17, 100):
+        n = random_bits(bits, rng)
+        assert n.bit_length() == bits
+
+
+def test_random_below_in_range():
+    rng = Lcg(9)
+    limit = BigNum.from_int(1000)
+    for _ in range(50):
+        assert random_below(limit, rng).to_int() < 1000
+
+
+def test_repr_and_hash():
+    n = BigNum.from_int(255)
+    assert "0xff" in repr(n)
+    assert hash(BigNum.from_int(10)) == hash(BigNum.from_int(10))

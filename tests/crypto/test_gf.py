@@ -1,0 +1,101 @@
+"""Unit and property tests for GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.gf import AES_POLY, INV_SBOX, RCON, SBOX, ginv, gmul, gpow, xtime
+
+BYTES = st.integers(min_value=0, max_value=255)
+
+
+def test_xtime_known_values():
+    assert xtime(0x57) == 0xAE
+    assert xtime(0xAE) == 0x47
+    assert xtime(0x47) == 0x8E
+    assert xtime(0x8E) == 0x07
+
+
+def test_gmul_fips_example():
+    # FIPS-197 section 4.2.1: {57} * {13} = {fe}
+    assert gmul(0x57, 0x13) == 0xFE
+
+
+def test_gmul_identity_and_zero():
+    for a in range(256):
+        assert gmul(a, 1) == a
+        assert gmul(a, 0) == 0
+        assert gmul(0, a) == 0
+
+
+@given(BYTES, BYTES)
+def test_gmul_commutative(a, b):
+    assert gmul(a, b) == gmul(b, a)
+
+
+@given(BYTES, BYTES, BYTES)
+def test_gmul_associative(a, b, c):
+    assert gmul(gmul(a, b), c) == gmul(a, gmul(b, c))
+
+
+@given(BYTES, BYTES, BYTES)
+def test_gmul_distributes_over_xor(a, b, c):
+    assert gmul(a, b ^ c) == gmul(a, b) ^ gmul(a, c)
+
+
+@given(BYTES)
+def test_xtime_is_gmul_by_two(a):
+    assert xtime(a) == gmul(a, 2)
+
+
+@given(st.integers(min_value=1, max_value=255))
+def test_ginv_is_inverse(a):
+    assert gmul(a, ginv(a)) == 1
+
+
+def test_ginv_zero_convention():
+    assert ginv(0) == 0
+
+
+@given(BYTES, st.integers(min_value=0, max_value=20))
+def test_gpow_matches_repeated_mul(a, n):
+    expected = 1
+    for _ in range(n):
+        expected = gmul(expected, a)
+    assert gpow(a, n) == expected
+
+
+def test_sbox_known_entries():
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert sorted(INV_SBOX) == list(range(256))
+
+
+def test_inv_sbox_inverts_sbox():
+    for i in range(256):
+        assert INV_SBOX[SBOX[i]] == i
+
+
+def test_sbox_has_no_fixed_points():
+    # Design property of the AES S-box.
+    for i in range(256):
+        assert SBOX[i] != i
+        assert SBOX[i] != i ^ 0xFF
+
+
+def test_rcon_values():
+    assert RCON[1] == 0x01
+    assert RCON[2] == 0x02
+    assert RCON[8] == 0x80
+    assert RCON[9] == 0x1B
+    assert RCON[10] == 0x36
+
+
+def test_poly_constant():
+    assert AES_POLY == 0x11B

@@ -1,0 +1,454 @@
+"""Dynamic C subset compiler: lexer, parser, codegen on the board."""
+
+import pytest
+
+from repro.dync.compiler import (
+    BEST,
+    CompileError,
+    CompiledProgram,
+    CompilerOptions,
+    compile_source,
+    ParseError,
+    parse,
+    peephole_optimize,
+)
+from repro.dync.compiler.lexer import LexError, tokenize
+from repro.rabbit.board import Board
+
+
+def run(source: str, options: CompilerOptions | None = None) -> CompiledProgram:
+    return CompiledProgram(Board(), source, options)
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("int x = 0x10 + 'A'; // comment")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("keyword", "int"), ("ident", "x"), ("op", "="),
+            ("num", 16), ("op", "+"), ("num", 65), ("op", ";"),
+        ]
+
+    def test_block_comments_and_lines(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_char_escapes(self):
+        values = [t.value for t in tokenize(r"'\n' '\t' '\0' '\\'") if t.kind == "num"]
+        assert values == [10, 9, 0, 92]
+
+    def test_multi_char_operators(self):
+        ops = [t.value for t in tokenize("a <<= b >> c && d") if t.kind == "op"]
+        assert ops == ["<<=", ">>", "&&"]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int x = @;")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestParser:
+    def test_program_structure(self):
+        program = parse("""
+            const char table[3] = {1, 2, 3};
+            int counter;
+            root int fast(int a, char b) { return a + b; }
+            nodebug void quiet(void) { }
+        """)
+        assert [g.name for g in program.globals] == ["table", "counter"]
+        assert program.globals[0].is_const
+        fast = program.function("fast")
+        assert fast.storage == "root"
+        assert [p.name for p in fast.params] == ["a", "b"]
+        assert program.function("quiet").nodebug
+
+    def test_constant_folding(self):
+        program = parse("int x = 2 * 3 + (10 >> 1);")
+        assert program.globals[0].initializer == 11
+
+    def test_statement_kinds(self):
+        parse("""
+            void f(void) {
+                int i;
+                if (i) { i = 1; } else i = 2;
+                while (i < 10) i++;
+                for (i = 0; i < 4; i = i + 1) { break; }
+                return;
+            }
+        """)
+
+    def test_unsigned_spellings(self):
+        program = parse("unsigned a; unsigned int b; unsigned char c;")
+        assert program.globals[0].ctype.name == "int"
+        assert program.globals[2].ctype.name == "char"
+
+    def test_pointer_params(self):
+        program = parse("int f(char* p) { return p[0]; }")
+        assert program.function("f").params[0].ctype.is_pointer
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { 1 = 2; }")
+
+    def test_array_size_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse("int n; char buf[n];")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int x")
+
+
+class TestCodegenExecution:
+    def test_arithmetic(self):
+        program = run("""
+            int r_add; int r_sub; int r_mul; int r_neg;
+            void main() {
+                r_add = 1000 + 2345;
+                r_sub = 100 - 250;
+                r_mul = 123 * 45;
+                r_neg = -7;
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("r_add") == 3345
+        assert program.peek_int("r_sub") == (100 - 250) & 0xFFFF
+        assert program.peek_int("r_mul") == 123 * 45
+        assert program.peek_int("r_neg") == (-7) & 0xFFFF
+
+    def test_runtime_mul_not_folded(self):
+        program = run("""
+            int a; int b; int r;
+            void main() { r = a * b; }
+        """)
+        program.poke_int("a", 250)
+        program.poke_int("b", 200)
+        program.call("main")
+        assert program.peek_int("r") == (250 * 200) & 0xFFFF
+
+    def test_bitwise_and_shifts(self):
+        program = run("""
+            int a; int b;
+            int r_and; int r_or; int r_xor; int r_shl; int r_shr; int r_not;
+            void main() {
+                r_and = a & b;
+                r_or  = a | b;
+                r_xor = a ^ b;
+                r_shl = a << 3;
+                r_shr = a >> 2;
+                r_not = ~a;
+            }
+        """)
+        program.poke_int("a", 0b1100_1010)
+        program.poke_int("b", 0b1010_0101)
+        program.call("main")
+        assert program.peek_int("r_and") == 0b1000_0000
+        assert program.peek_int("r_or") == 0b1110_1111
+        assert program.peek_int("r_xor") == 0b0110_1111
+        assert program.peek_int("r_shl") == 0b1100_1010 << 3
+        assert program.peek_int("r_shr") == 0b1100_1010 >> 2
+        assert program.peek_int("r_not") == (~0b1100_1010) & 0xFFFF
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (3, 5), (5, 5), (0, 0xFFFF),
+                                     (0x7FFF, 0x8000)])
+    def test_signed_comparisons(self, a, b):
+        program = run("""
+            int a; int b;
+            int lt; int gt; int le; int ge; int eq; int ne;
+            void main() {
+                lt = a < b;  gt = a > b;
+                le = a <= b; ge = a >= b;
+                eq = a == b; ne = a != b;
+            }
+        """)
+        program.poke_int("a", a)
+        program.poke_int("b", b)
+        program.call("main")
+
+        def signed(v):
+            return v - 0x10000 if v & 0x8000 else v
+
+        sa, sb = signed(a), signed(b)
+        assert program.peek_int("lt") == int(sa < sb)
+        assert program.peek_int("gt") == int(sa > sb)
+        assert program.peek_int("le") == int(sa <= sb)
+        assert program.peek_int("ge") == int(sa >= sb)
+        assert program.peek_int("eq") == int(sa == sb)
+        assert program.peek_int("ne") == int(sa != sb)
+
+    def test_short_circuit_evaluation(self):
+        program = run("""
+            int calls;
+            int bump(void) { calls = calls + 1; return 1; }
+            int r1; int r2;
+            void main() {
+                calls = 0;
+                r1 = 0 && bump();
+                r2 = 1 || bump();
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("r1") == 0
+        assert program.peek_int("r2") == 1
+        assert program.peek_int("calls") == 0  # never evaluated
+
+    def test_char_truncation_and_zero_extension(self):
+        program = run("""
+            char c;
+            int wide;
+            void main() {
+                c = 300;        /* truncates to 44 */
+                wide = c + 1;   /* zero-extends */
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("c") == 300 & 0xFF
+        assert program.peek_int("wide") == (300 & 0xFF) + 1
+
+    def test_arrays_and_pointers(self):
+        program = run("""
+            char buf[8];
+            int words[4];
+            int sum;
+            int sum_bytes(char* p, int n) {
+                int i; int total;
+                total = 0;
+                for (i = 0; i < n; i = i + 1) total = total + p[i];
+                return total;
+            }
+            void main() {
+                int i;
+                for (i = 0; i < 8; i = i + 1) buf[i] = i * i;
+                for (i = 0; i < 4; i = i + 1) words[i] = 1000 * i;
+                sum = sum_bytes(buf, 8);
+            }
+        """)
+        program.call("main")
+        assert program.peek_bytes("buf", 8) == bytes(i * i for i in range(8))
+        assert program.peek_int("sum") == sum(i * i for i in range(8))
+        words = program.peek_bytes("words", 8)
+        assert int.from_bytes(words[6:8], "little") == 3000
+
+    def test_statics_persist_across_calls(self):
+        # Dynamic C: locals are static by default.
+        program = run("""
+            int counter(void) {
+                int n;
+                n = n + 1;
+                return n;
+            }
+            int r;
+            void main() { counter(); counter(); r = counter(); }
+        """)
+        program.call("main")
+        assert program.peek_int("r") == 3
+
+    def test_while_break_continue(self):
+        program = run("""
+            int r;
+            void main() {
+                int i;
+                r = 0;
+                i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i == 3) continue;
+                    if (i > 6) break;
+                    r = r + i;
+                }
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("r") == 1 + 2 + 4 + 5 + 6
+
+    def test_compound_assignment_and_incdec(self):
+        program = run("""
+            int r;
+            void main() {
+                r = 10;
+                r += 5;
+                r -= 2;
+                r <<= 1;
+                r |= 1;
+                r++;
+                --r;
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("r") == ((10 + 5 - 2) << 1 | 1)
+
+    def test_division_by_power_of_two(self):
+        program = run("""
+            int q; int m;
+            void main() { q = 100 / 4; m = 100 % 8; }
+        """)
+        program.call("main")
+        assert program.peek_int("q") == 25
+        assert program.peek_int("m") == 4
+
+    def test_division_by_non_power_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int x; void main() { x = x / 3; }")
+
+    def test_function_args_and_return(self):
+        program = run("""
+            int max3(int a, int b, int c) {
+                if (a >= b && a >= c) return a;
+                if (b >= c) return b;
+                return c;
+            }
+        """)
+        program.call("max3", 3, 9, 5)
+        assert program.return_value == 9
+        program.call("max3", 30, 9, 5)
+        assert program.return_value == 30
+
+    def test_nested_calls(self):
+        program = run("""
+            int double_(int x) { return x + x; }
+            int quad(int x) { return double_(double_(x)); }
+        """)
+        program.call("quad", 5)
+        assert program.return_value == 20
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { missing(); }")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(int a) { return a; } void main() { f(); }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { ghost = 1; }")
+
+    def test_const_write_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("const char t[2] = {1,2}; void main() { t[0] = 9; }")
+
+
+class TestPlacements:
+    SOURCE = """
+        const char table[16] = {0,1,4,9,16,25,36,49,64,81,100,121,144,169,196,225};
+        int r;
+        void main() {
+            int i;
+            r = 0;
+            for (i = 0; i < 16; i = i + 1) r = r + table[i];
+        }
+    """
+
+    @pytest.mark.parametrize("placement", ["flash", "root_ram", "xmem"])
+    def test_results_identical_across_placements(self, placement):
+        program = run(self.SOURCE,
+                      CompilerOptions(data_placement=placement))
+        program.call("main")
+        assert program.peek_int("r") == sum(i * i for i in range(16))
+
+    def test_xmem_costs_more_cycles(self):
+        cycles = {}
+        for placement in ("root_ram", "xmem"):
+            program = run(self.SOURCE, CompilerOptions(data_placement=placement))
+            cycles[placement] = program.call("main")
+        assert cycles["xmem"] > cycles["root_ram"]
+
+    def test_explicit_storage_specifier_overrides(self):
+        source = """
+            root const char a[2] = {1, 2};
+            xmem const char b[2] = {3, 4};
+            int r;
+            void main() { r = a[0] + b[1]; }
+        """
+        program = run(source, CompilerOptions(data_placement="flash"))
+        program.call("main")
+        assert program.peek_int("r") == 5
+        assert program.program if False else True
+        symbols = program.compilation.globals_map
+        assert symbols["a"].placement == "ram"
+        assert symbols["b"].placement == "xmem"
+
+
+class TestOptimizationKnobs:
+    SOURCE = """
+        int acc;
+        void main() {
+            int i;
+            acc = 0;
+            for (i = 0; i < 10; i = i + 1) acc = acc + i * i;
+        }
+    """
+
+    def test_all_knobs_preserve_semantics(self):
+        expected = sum(i * i for i in range(10))
+        for options in (CompilerOptions(), BEST,
+                        CompilerOptions(debug=False),
+                        CompilerOptions(optimize=True),
+                        CompilerOptions(unroll=True)):
+            program = run(self.SOURCE, options)
+            program.call("main")
+            assert program.peek_int("acc") == expected, options.describe()
+
+    def test_nodebug_is_faster(self):
+        debug = run(self.SOURCE, CompilerOptions(debug=True))
+        nodebug = run(self.SOURCE, CompilerOptions(debug=False))
+        assert debug.call("main") > nodebug.call("main")
+
+    def test_optimize_is_not_slower(self):
+        plain = run(self.SOURCE, CompilerOptions(debug=False))
+        optimized = run(self.SOURCE, CompilerOptions(debug=False, optimize=True))
+        assert optimized.call("main") <= plain.call("main")
+
+    def test_unroll_grows_code(self):
+        rolled = compile_source(self.SOURCE, CompilerOptions())
+        unrolled = compile_source(self.SOURCE, CompilerOptions(unroll=True))
+        assert unrolled.code_size > rolled.code_size
+
+    def test_unroll_skips_break_loops(self):
+        source = """
+            int r;
+            void main() {
+                int i;
+                for (i = 0; i < 4; i = i + 1) { if (i == 2) break; r = i; }
+            }
+        """
+        rolled = compile_source(source, CompilerOptions())
+        unrolled = compile_source(source, CompilerOptions(unroll=True))
+        assert unrolled.code_size == rolled.code_size  # loop left alone
+
+    def test_nodebug_function_attribute(self):
+        source = """
+            nodebug void quiet(void) { int i; i = 1; }
+            void loud(void) { int i; i = 1; }
+        """
+        compilation = compile_source(source, CompilerOptions(debug=True))
+        # Only `loud` gets instrumented.
+        assert compilation.statements_instrumented == 1
+
+
+class TestPeephole:
+    def test_push_pop_rewrite(self):
+        source = "        push hl\n        pop  de\n"
+        optimized = peephole_optimize(source)
+        assert "push" not in optimized
+        assert "ld   d, h" in optimized
+
+    def test_label_never_consumed(self):
+        source = "        push hl\nlabel:\n        pop  de\n"
+        optimized = peephole_optimize(source)
+        assert "label:" in optimized
+        assert "push hl" in optimized  # pattern must NOT fire across labels
+
+    def test_store_reload_elided(self):
+        source = "        ld   (0xC300), hl\n        ld   hl, (0xC300)\n"
+        optimized = peephole_optimize(source)
+        assert optimized.count("0xC300") == 1
+
+    def test_jump_to_next_removed(self):
+        source = "        jp   next\nnext:\n        ret\n"
+        optimized = peephole_optimize(source)
+        assert "jp" not in optimized

@@ -1,0 +1,118 @@
+"""Inline assembly with embedded C (paper, Section 4.1).
+
+"Dynamic C's support for inline assembly is more comprehensive than
+most C implementations, and it can also integrate C into assembly
+code" -- the ``#asm ... c expr ... #endasm`` form the paper shows, and
+what its authors used in the error-handling routines.
+"""
+
+import pytest
+
+from repro.dync.compiler import CompiledProgram, CompileError, CompilerOptions
+from repro.dync.compiler.libraries import extract_asm_blocks, LibraryError
+from repro.rabbit.board import Board
+
+
+class TestExtraction:
+    def test_block_becomes_placeholder(self):
+        source = "void f(void) {\n#asm\n  nop\n#endasm\n}\n"
+        stripped, blocks = extract_asm_blocks(source)
+        assert "__asm_block(0);" in stripped
+        assert blocks == ["  nop\n"]
+
+    def test_multiple_blocks_numbered(self):
+        source = "#asm\nnop\n#endasm\nint x;\n#asm\nhalt\n#endasm\n"
+        stripped, blocks = extract_asm_blocks(source)
+        assert "__asm_block(0);" in stripped
+        assert "__asm_block(1);" in stripped
+        assert len(blocks) == 2
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(LibraryError):
+            extract_asm_blocks("#asm\nnop\n")
+
+    def test_nodebug_variant_accepted(self):
+        stripped, blocks = extract_asm_blocks("#asm nodebug\nnop\n#endasm\n")
+        assert len(blocks) == 1
+
+    def test_source_without_asm_untouched(self):
+        source = "int x;\n"
+        stripped, blocks = extract_asm_blocks(source)
+        assert stripped == source
+        assert blocks == []
+
+
+class TestExecution:
+    def test_inline_asm_inside_function(self):
+        program = CompiledProgram(Board(), """
+            int out;
+            void main() {
+                out = 1;
+            #asm
+                ld   hl, 0x0777
+                ld   (0xC3F8), hl
+            #endasm
+                out = out + 1;
+            }
+        """)
+        program.call("main")
+        assert program.peek_int("out") == 2
+        memory = program.board.memory
+        assert memory.read8(0xC3F8) | (memory.read8(0xC3F9) << 8) == 0x0777
+
+    def test_embedded_c_lines(self):
+        # The paper's InitValues example shape: `c start_time = 0;`.
+        program = CompiledProgram(Board(), """
+            int start_time;
+            int counter;
+            void init_values(void) {
+            #asm
+                ld   hl, 0xA0
+            c start_time = 0
+            c counter = 256
+            #endasm
+            }
+        """)
+        program.poke_int("start_time", 7)
+        program.poke_int("counter", 7)
+        program.call("init_values")
+        assert program.peek_int("start_time") == 0
+        assert program.peek_int("counter") == 256
+
+    def test_top_level_asm_routine_callable(self):
+        program = CompiledProgram(Board(), """
+            int unused;
+        #asm
+        _answer::
+                ld   hl, 42
+                ret
+        #endasm
+        """)
+        address = program.compilation.assembly.symbol("_answer")
+        program.board.call(address)
+        assert program.board.cpu.hl == 42
+
+    def test_asm_mixes_with_optimizer(self):
+        source = """
+            int out;
+            void main() {
+                out = 10;
+            #asm
+                ld   hl, (0xC300)
+                add  hl, hl
+                ld   (0xC300), hl
+            #endasm
+            }
+        """
+        # `out` is the first RAM global, at 0xC300 by construction.
+        program = CompiledProgram(
+            Board(), source, CompilerOptions(debug=False, optimize=True)
+        )
+        program.call("main")
+        assert program.peek_int("out") == 20
+
+    def test_bad_placeholder_rejected(self):
+        from repro.dync.compiler import compile_source
+
+        with pytest.raises(CompileError):
+            compile_source("void f(void) { __asm_block(99); }")

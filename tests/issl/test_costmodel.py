@@ -1,0 +1,90 @@
+"""Crypto cost models: the cycle->seconds arithmetic E4 stands on."""
+
+import pytest
+
+from repro.issl.costmodel import (
+    CryptoCostModel,
+    FREE,
+    RMC2000_ASM,
+    RMC2000_C_PORT,
+    WORKSTATION,
+)
+
+
+def test_free_model_costs_nothing():
+    assert FREE.aes_seconds(1000) == 0.0
+    assert FREE.record_seconds(10_000) == 0.0
+    assert FREE.rsa_private_seconds() == 0.0
+
+
+def test_aes_seconds_linear_in_blocks():
+    assert RMC2000_ASM.aes_seconds(10) == pytest.approx(
+        10 * RMC2000_ASM.cycles_per_aes_block / RMC2000_ASM.clock_hz
+    )
+    assert RMC2000_ASM.aes_seconds(20) == pytest.approx(
+        2 * RMC2000_ASM.aes_seconds(10)
+    )
+
+
+def test_record_seconds_includes_padding_block():
+    # A 16-byte payload pads to a second block, plus MAC hashing.
+    one = RMC2000_ASM.record_seconds(16)
+    assert one > RMC2000_ASM.aes_seconds(2)
+
+
+def test_record_seconds_monotone_in_payload():
+    previous = 0.0
+    for size in (0, 16, 64, 256, 1024):
+        cost = RMC2000_ASM.record_seconds(size)
+        assert cost >= previous
+        previous = cost
+
+
+def test_c_port_slower_than_asm_everywhere():
+    for blocks in (1, 16, 100):
+        assert RMC2000_C_PORT.aes_seconds(blocks) > \
+            10 * RMC2000_ASM.aes_seconds(blocks)
+
+
+def test_workstation_dwarfs_the_board():
+    assert WORKSTATION.record_seconds(256) < \
+        RMC2000_ASM.record_seconds(256) / 100
+
+
+def test_calibration_matches_e1_constants():
+    # The presets must stay in sync with the E1 measurements recorded
+    # in EXPERIMENTS.md; drift here silently distorts E4.
+    assert RMC2000_C_PORT.cycles_per_aes_block == pytest.approx(512_000, rel=0.05)
+    assert RMC2000_ASM.cycles_per_aes_block == pytest.approx(20_160, rel=0.05)
+
+
+def test_rsa_private_op_is_why_rsa_was_dropped():
+    # Over a second per op on the board at any plausible estimate.
+    assert RMC2000_C_PORT.rsa_private_seconds() > 1.0
+    assert WORKSTATION.rsa_private_seconds() < 0.1
+
+
+def test_custom_model_arithmetic():
+    model = CryptoCostModel(
+        name="test", clock_hz=1000.0,
+        cycles_per_aes_block=10.0, cycles_per_hash_block=20.0,
+        cycles_per_rsa_private_op=30.0, cycles_per_rsa_public_op=40.0,
+    )
+    assert model.aes_seconds(5) == pytest.approx(0.05)
+    assert model.hash_seconds(2) == pytest.approx(0.04)
+    assert model.rsa_private_seconds() == pytest.approx(0.03)
+    assert model.rsa_public_seconds() == pytest.approx(0.04)
+
+
+def test_demo_keys_are_consistent():
+    from repro.crypto.demokeys import DEMO_PSK, demo_rsa_key
+
+    key = demo_rsa_key()
+    assert key.n.bit_length() == 512
+    assert key.p.mul(key.q) == key.n
+    # d*e = 1 mod lcm or phi; verify via a roundtrip instead of algebra.
+    from repro.crypto.bignum import BigNum
+
+    message = BigNum.from_int(123456789)
+    assert message.modexp(key.e, key.n).modexp(key.d, key.n) == message
+    assert len(DEMO_PSK) == 16

@@ -1,0 +1,152 @@
+"""Additional TCP edge cases: simultaneous close, zero-window reopen,
+heavy loss, RTO backoff, and wire-level behaviours."""
+
+import pytest
+
+from repro.net.host import build_lan
+from repro.net.packet import ETHERTYPE_IP, IPPROTO_TCP
+from repro.net.sim import Simulator
+from repro.net.tcp import INITIAL_RTO_S, MAX_RETRANSMITS, TcpState
+
+
+@pytest.fixture()
+def pair():
+    sim = Simulator()
+    segment, hosts = build_lan(sim, ["server", "client"])
+    return sim, segment, hosts["server"], hosts["client"]
+
+
+def _establish(sim, server, client, port=80, **kwargs):
+    listener = server.tcp.listen(port, **kwargs)
+    conn = client.tcp.connect(server.ip_address, port)
+    sim.run(until=sim.now + 1.0)
+    accepted = listener.pop()
+    assert accepted is not None
+    return listener, conn, accepted
+
+
+def test_simultaneous_close(pair):
+    sim, segment, server, client = pair
+    _listener, conn, accepted = _establish(sim, server, client)
+    # Both sides close in the same instant.
+    conn.close()
+    accepted.close()
+    sim.run(until=sim.now + 5.0)
+    assert conn.state in (TcpState.TIME_WAIT, TcpState.CLOSED)
+    assert accepted.state in (TcpState.TIME_WAIT, TcpState.CLOSED)
+    sim.run(until=sim.now + 3.0)
+    assert conn.state == TcpState.CLOSED
+    assert accepted.state == TcpState.CLOSED
+
+
+def test_zero_window_stalls_then_reopens(pair):
+    sim, segment, server, client = pair
+    _listener, conn, accepted = _establish(sim, server, client, window=512)
+    payload = bytes(3000)
+    conn.send(payload)
+    sim.run(until=sim.now + 3.0)
+    # The receiver's buffer is pinned at its window; the sender stalls.
+    assert accepted.receive_available() == 512
+    in_flight_stalled = conn.send_queue_length
+    assert in_flight_stalled > 0
+    # Draining the buffer reopens the window and the rest arrives.
+    received = accepted.recv(10000)
+    sim.run(until=sim.now + 3.0)
+    while True:
+        chunk = accepted.recv(10000)
+        if not chunk:
+            break
+        received += chunk
+        sim.run(until=sim.now + 3.0)
+    assert received == payload
+
+
+def test_heavy_loss_still_delivers(pair):
+    sim, segment, server, client = pair
+    _listener, conn, accepted = _establish(sim, server, client)
+    dropped = []
+
+    def drop_every_third_data(frame, index):
+        if frame.ethertype != ETHERTYPE_IP:
+            return False
+        packet = frame.payload
+        if packet.protocol != IPPROTO_TCP or not packet.payload.payload:
+            return False
+        key = (packet.payload.seq, len(dropped))
+        if index % 3 == 0:
+            dropped.append(key)
+            return True
+        return False
+
+    segment.set_drop_filter(drop_every_third_data)
+    payload = bytes(range(256)) * 8
+    conn.send(payload)
+    sim.run(until=sim.now + 60.0)
+    assert accepted.recv(10000) == payload
+    assert dropped
+
+
+def test_rto_backoff_doubles(pair):
+    sim, segment, server, client = pair
+    _listener, conn, accepted = _establish(sim, server, client)
+    # Black-hole everything from the client after establishment.
+    segment.set_drop_filter(
+        lambda frame, index: frame.src == client.interface.mac
+    )
+    start = sim.now
+    conn.send(b"doomed")
+    sim.run(until=start + 60.0)
+    # The connection gave up after MAX_RETRANSMITS with backoff.
+    assert conn.state == TcpState.CLOSED
+    assert conn.error is not None
+    assert conn.segments_retransmitted == MAX_RETRANSMITS
+    # Exponential backoff: total time >> MAX_RETRANSMITS * initial RTO.
+    elapsed = sim.now - start
+    assert elapsed > MAX_RETRANSMITS * INITIAL_RTO_S
+
+
+def test_half_close_allows_reply(pair):
+    sim, segment, server, client = pair
+    _listener, conn, accepted = _establish(sim, server, client)
+    conn.send(b"request")
+    conn.close()  # client FIN after its data
+    sim.run(until=sim.now + 2.0)
+    assert accepted.recv(100) == b"request"
+    assert accepted.at_eof
+    # Server can still reply on its half (CLOSE_WAIT).
+    accepted.send(b"response")
+    sim.run(until=sim.now + 2.0)
+    assert conn.recv(100) == b"response"
+    accepted.close()
+    sim.run(until=sim.now + 3.0)
+    assert accepted.state == TcpState.CLOSED
+
+
+def test_window_advertisement_on_wire(pair):
+    sim, segment, server, client = pair
+    listener = server.tcp.listen(80, window=1234)
+    conn = client.tcp.connect(server.ip_address, 80)
+    sim.run(until=sim.now + 1.0)
+    # The client learned the server's advertised window.
+    assert conn.peer_window == 1234
+
+
+def test_mss_respected_on_wire(pair):
+    sim, segment, server, client = pair
+    sizes = []
+
+    def record_sizes(frame, index):
+        if frame.ethertype == ETHERTYPE_IP:
+            packet = frame.payload
+            if packet.protocol == IPPROTO_TCP and packet.payload.payload:
+                sizes.append(len(packet.payload.payload))
+        return False
+
+    segment.set_drop_filter(record_sizes)
+    _listener, conn, accepted = _establish(sim, server, client, mss=200)
+    conn.send(bytes(1500))
+    sim.run(until=sim.now + 3.0)
+    assert sizes
+    # Client-side default MSS caps client segments; the server's listener
+    # MSS shapes its own sends.  All observed payloads within client MSS.
+    assert max(sizes) <= 536

@@ -1,0 +1,138 @@
+"""Porting toolkit: taxonomy, analyzer, corpus, memory planner."""
+
+import pytest
+
+from repro.porting import (
+    format_report,
+    ISSL_UNIX_SOURCES,
+    MemoryPlan,
+    ProblemClass,
+    RMC2000_BUDGET,
+    RULE_INDEX,
+    RULES,
+    scan_source,
+    scan_sources,
+    StorageClass,
+    Strategy,
+    WORKSTATION_BUDGET,
+)
+
+
+class TestRules:
+    def test_every_class_covered(self):
+        classes = {rule.problem for rule in RULES}
+        assert classes == set(ProblemClass)
+
+    def test_every_strategy_covered(self):
+        strategies = {rule.strategy for rule in RULES}
+        assert strategies == set(Strategy)
+
+    def test_paper_named_rules_exist(self):
+        # Symbols the paper text explicitly discusses.
+        for symbol in ("random", "fork", "malloc", "free", "signal",
+                       "accept", "select", "fopen"):
+            assert symbol in RULE_INDEX, symbol
+
+    def test_rule_index_consistent(self):
+        assert len(RULE_INDEX) == len(RULES)
+        for symbol, rule in RULE_INDEX.items():
+            assert rule.symbol == symbol
+
+
+class TestAnalyzer:
+    def test_finds_call_sites(self):
+        report = scan_source("int main() { fork(); malloc(10); }")
+        symbols = report.unique_symbols()
+        assert symbols == {"fork", "malloc"}
+        assert report.lines_scanned == 1
+
+    def test_comments_and_strings_ignored(self):
+        source = '''
+            /* fork() in a comment */
+            // malloc() here too
+            char *s = "free(x)";
+            int ok() { return 0; }
+        '''
+        report = scan_source(source)
+        assert report.issues == []
+
+    def test_line_numbers(self):
+        source = "int f() {\n  return 0;\n}\nvoid g() { fork(); }\n"
+        report = scan_source(source, "f.c")
+        assert report.issues[0].line == 4
+        assert report.issues[0].file == "f.c"
+
+    def test_non_calls_not_flagged(self):
+        # "fork" as a variable, not a call.
+        report = scan_source("int fork = 1; int forked();")
+        assert not report.unique_symbols()
+
+    def test_corpus_hits_every_class(self):
+        report = scan_sources(ISSL_UNIX_SOURCES)
+        by_class = report.by_class()
+        for problem_class in ProblemClass:
+            assert by_class[problem_class], problem_class
+
+    def test_corpus_hits_every_strategy(self):
+        report = scan_sources(ISSL_UNIX_SOURCES)
+        by_strategy = report.by_strategy()
+        for strategy in Strategy:
+            assert by_strategy[strategy], strategy
+
+    def test_report_formatting(self):
+        report = scan_sources(ISSL_UNIX_SOURCES)
+        text = format_report(report)
+        assert "MISSING_FACILITY" in text
+        assert "costatements" in text
+        assert str(report.files_scanned) in text
+
+    def test_counts_helper(self):
+        report = scan_sources(ISSL_UNIX_SOURCES)
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.issues)
+
+
+class TestMemoryPlanner:
+    def test_fits_within_budget(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        plan.declare("code", StorageClass.CODE, 40_000)
+        plan.declare("tables", StorageClass.CONST, 512)
+        plan.declare("sessions", StorageClass.STATIC, 4_000)
+        plan.declare("stack", StorageClass.STACK, 512)
+        assert plan.fits
+        assert plan.flash_used == 40_512
+        assert plan.data_segment_used == 4_512
+
+    def test_flash_violation(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        plan.declare("huge code", StorageClass.CODE, 600 * 1024)
+        assert not plan.fits
+        assert any("flash" in v for v in plan.violations())
+
+    def test_data_segment_violation(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        plan.declare("big static", StorageClass.STATIC, 10 * 1024)
+        assert any("data segment" in v for v in plan.violations())
+
+    def test_battery_violation(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        plan.declare("too much", StorageClass.BATTERY, 1024)
+        assert not plan.fits
+
+    def test_workstation_absorbs_everything(self):
+        plan = MemoryPlan(WORKSTATION_BUDGET)
+        plan.declare("anything", StorageClass.HEAP, 100 << 20)
+        assert plan.fits
+
+    def test_negative_size_rejected(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        with pytest.raises(ValueError):
+            plan.declare("bad", StorageClass.CODE, -1)
+
+    def test_report_text(self):
+        plan = MemoryPlan(RMC2000_BUDGET)
+        plan.declare("code", StorageClass.CODE, 1000)
+        plan.declare("too much static", StorageClass.STATIC, 9000)
+        text = plan.report()
+        assert "RMC2000" in text
+        assert "VIOLATION" in text

@@ -1,0 +1,669 @@
+"""CPU core tests: instruction semantics, flags, cycles, interrupts.
+
+Programs are assembled with the project assembler and run on a Board,
+so these double as assembler-encoding tests for every mnemonic used.
+"""
+
+import pytest
+
+from repro.rabbit.asm import assemble
+from repro.rabbit.board import Board
+from repro.rabbit.cpu import FLAG_C, FLAG_PV, FLAG_S, FLAG_Z
+
+RESULT = 0xC000
+
+
+def run_asm(body: str, max_instructions: int = 2_000_000) -> Board:
+    source = f"        org 0\n        ld sp, 0xDFF0\n{body}\n        halt\n"
+    board = Board()
+    board.program(assemble(source).code)
+    board.run(max_instructions=max_instructions)
+    return board
+
+
+def result8(board, offset=0):
+    return board.memory.read8(RESULT + offset)
+
+
+def result16(board, offset=0):
+    return board.memory.read8(RESULT + offset) | (
+        board.memory.read8(RESULT + offset + 1) << 8
+    )
+
+
+class TestLoadsAndStores:
+    def test_immediate_loads_all_registers(self):
+        board = run_asm("""
+            ld a, 1
+            ld b, 2
+            ld c, 3
+            ld d, 4
+            ld e, 5
+            ld h, 6
+            ld l, 7
+            ld (0xC000), a
+            ld a, b
+            ld (0xC001), a
+            ld a, c
+            ld (0xC002), a
+            ld a, d
+            ld (0xC003), a
+            ld a, e
+            ld (0xC004), a
+            ld a, h
+            ld (0xC005), a
+            ld a, l
+            ld (0xC006), a
+        """)
+        assert [result8(board, i) for i in range(7)] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_16bit_loads_and_stores(self):
+        board = run_asm("""
+            ld bc, 0x1234
+            ld de, 0x5678
+            ld hl, 0x9ABC
+            ld (0xC000), bc
+            ld (0xC002), de
+            ld (0xC004), hl
+        """)
+        assert result16(board, 0) == 0x1234
+        assert result16(board, 2) == 0x5678
+        assert result16(board, 4) == 0x9ABC
+
+    def test_indirect_via_bc_de(self):
+        board = run_asm("""
+            ld a, 0x42
+            ld bc, 0xC000
+            ld (bc), a
+            ld de, 0xC001
+            ld a, 0x43
+            ld (de), a
+            ld a, (bc)
+            ld (0xC002), a
+        """)
+        assert result8(board, 0) == 0x42
+        assert result8(board, 1) == 0x43
+        assert result8(board, 2) == 0x42
+
+    def test_hl_indirect_and_immediate(self):
+        board = run_asm("""
+            ld hl, 0xC000
+            ld (hl), 0x99
+            inc hl
+            ld a, 0x77
+            ld (hl), a
+        """)
+        assert result8(board, 0) == 0x99
+        assert result8(board, 1) == 0x77
+
+    def test_sp_loads(self):
+        board = run_asm("""
+            ld hl, 0xD000
+            ld sp, hl
+            ld (0xC000), sp
+        """)
+        assert result16(board) == 0xD000
+
+    def test_exchanges(self):
+        board = run_asm("""
+            ld de, 0x1111
+            ld hl, 0x2222
+            ex de, hl
+            ld (0xC000), hl
+            ld (0xC002), de
+            exx
+            ld hl, 0x3333
+            exx
+            ld (0xC004), hl
+        """)
+        assert result16(board, 0) == 0x1111
+        assert result16(board, 2) == 0x2222
+        assert result16(board, 4) == 0x1111  # exx restored the main set
+
+    def test_push_pop(self):
+        board = run_asm("""
+            ld bc, 0xAABB
+            push bc
+            pop de
+            ld (0xC000), de
+            ld hl, 0x1234
+            push hl
+            ld hl, 0
+            pop hl
+            ld (0xC002), hl
+        """)
+        assert result16(board, 0) == 0xAABB
+        assert result16(board, 2) == 0x1234
+
+    def test_ex_sp_hl(self):
+        board = run_asm("""
+            ld hl, 0x1111
+            push hl
+            ld hl, 0x2222
+            ex (sp), hl
+            ld (0xC000), hl
+            pop hl
+            ld (0xC002), hl
+        """)
+        assert result16(board, 0) == 0x1111
+        assert result16(board, 2) == 0x2222
+
+
+class TestArithmetic:
+    def test_add_flags(self):
+        board = run_asm("""
+            ld a, 0x7F
+            add a, 1
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0x80
+        assert board.cpu.flag(FLAG_S)
+        assert board.cpu.flag(FLAG_PV)  # signed overflow
+        assert not board.cpu.flag(FLAG_C)
+
+    def test_add_carry_out(self):
+        board = run_asm("""
+            ld a, 0xFF
+            add a, 2
+            ld (0xC000), a
+        """)
+        assert result8(board) == 1
+        assert board.cpu.flag(FLAG_C)
+        assert not board.cpu.flag(FLAG_Z)
+
+    def test_adc_sbc_chain(self):
+        # 16-bit add via 8-bit adc: 0x00FF + 0x0101 = 0x0200
+        board = run_asm("""
+            ld a, 0xFF
+            add a, 0x01
+            ld (0xC000), a
+            ld a, 0x00
+            adc a, 0x01
+            ld (0xC001), a
+        """)
+        assert result16(board) == 0x0200
+
+    def test_sub_and_compare(self):
+        board = run_asm("""
+            ld a, 10
+            sub 25
+            ld (0xC000), a
+        """)
+        assert result8(board) == (10 - 25) & 0xFF
+        assert board.cpu.flag(FLAG_C)
+
+    def test_cp_sets_z(self):
+        board = run_asm("""
+            ld a, 5
+            cp 5
+            ld b, 0
+            jp nz, done
+            ld b, 1
+        done:
+            ld a, b
+            ld (0xC000), a
+        """)
+        assert result8(board) == 1
+
+    def test_inc_dec_flags(self):
+        board = run_asm("""
+            ld a, 0xFF
+            inc a
+            ld (0xC000), a
+            ld b, 1
+            dec b
+            ld a, b
+            ld (0xC001), a
+        """)
+        assert result8(board, 0) == 0
+        assert result8(board, 1) == 0
+        assert board.cpu.flag(FLAG_Z)
+
+    def test_neg(self):
+        board = run_asm("""
+            ld a, 1
+            neg
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0xFF
+
+    def test_16bit_add(self):
+        board = run_asm("""
+            ld hl, 0x00FF
+            ld de, 0x0F01
+            add hl, de
+            ld (0xC000), hl
+        """)
+        assert result16(board) == 0x1000
+
+    def test_sbc_hl(self):
+        board = run_asm("""
+            ld hl, 0x1000
+            ld de, 0x0001
+            or a
+            sbc hl, de
+            ld (0xC000), hl
+        """)
+        assert result16(board) == 0x0FFF
+
+    def test_adc_hl(self):
+        board = run_asm("""
+            scf
+            ld hl, 0x0001
+            ld de, 0x0001
+            adc hl, de
+            ld (0xC000), hl
+        """)
+        assert result16(board) == 0x0003
+
+    def test_daa_bcd_addition(self):
+        # 0x19 + 0x28 = BCD 47
+        board = run_asm("""
+            ld a, 0x19
+            add a, 0x28
+            daa
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0x47
+
+
+class TestLogicAndBits:
+    def test_logic_ops(self):
+        board = run_asm("""
+            ld a, 0xF0
+            and 0x3C
+            ld (0xC000), a
+            ld a, 0xF0
+            or 0x0C
+            ld (0xC001), a
+            ld a, 0xF0
+            xor 0xFF
+            ld (0xC002), a
+            ld a, 0x55
+            cpl
+            ld (0xC003), a
+        """)
+        assert result8(board, 0) == 0x30
+        assert result8(board, 1) == 0xFC
+        assert result8(board, 2) == 0x0F
+        assert result8(board, 3) == 0xAA
+
+    def test_rotates_a(self):
+        board = run_asm("""
+            ld a, 0x81
+            rlca
+            ld (0xC000), a
+            ld a, 0x81
+            rrca
+            ld (0xC001), a
+            or a
+            ld a, 0x80
+            rla
+            ld (0xC002), a
+        """)
+        assert result8(board, 0) == 0x03
+        assert result8(board, 1) == 0xC0
+        assert result8(board, 2) == 0x00  # carry was clear, bit7 out
+
+    def test_cb_shifts(self):
+        board = run_asm("""
+            ld b, 0x81
+            sla b
+            ld a, b
+            ld (0xC000), a
+            ld c, 0x81
+            sra c
+            ld a, c
+            ld (0xC001), a
+            ld d, 0x81
+            srl d
+            ld a, d
+            ld (0xC002), a
+            ld e, 0x81
+            rlc e
+            ld a, e
+            ld (0xC003), a
+        """)
+        assert result8(board, 0) == 0x02
+        assert result8(board, 1) == 0xC0
+        assert result8(board, 2) == 0x40
+        assert result8(board, 3) == 0x03
+
+    def test_bit_set_res(self):
+        board = run_asm("""
+            ld a, 0
+            set 7, a
+            set 0, a
+            res 7, a
+            ld (0xC000), a
+            ld hl, 0xC001
+            ld (hl), 0xFF
+            res 4, (hl)
+        """)
+        assert result8(board, 0) == 0x01
+        assert result8(board, 1) == 0xEF
+
+    def test_bit_test_flags(self):
+        board = run_asm("""
+            ld a, 0x08
+            bit 3, a
+            ld b, 0
+            jp z, done
+            ld b, 1
+        done:
+            ld a, b
+            ld (0xC000), a
+        """)
+        assert result8(board) == 1
+
+    def test_rld(self):
+        board = run_asm("""
+            ld hl, 0xC000
+            ld (hl), 0x34
+            ld a, 0x12
+            rld
+            ld (0xC001), a
+        """)
+        # RLD: A=0x12,(HL)=0x34 -> (HL)=0x42, A=0x13
+        assert result8(board, 0) == 0x42
+        assert result8(board, 1) == 0x13
+
+
+class TestControlFlow:
+    def test_djnz_loop(self):
+        board = run_asm("""
+            ld b, 5
+            ld a, 0
+        loop:
+            add a, 10
+            djnz loop
+            ld (0xC000), a
+        """)
+        assert result8(board) == 50
+
+    def test_conditional_jumps_all(self):
+        board = run_asm("""
+            ld a, 0
+            cp 1          ; sets C and NZ and M
+            jp c, c_ok
+            jp fail
+        c_ok:
+            jp nz, nz_ok
+            jp fail
+        nz_ok:
+            jp m, m_ok
+            jp fail
+        m_ok:
+            ld a, 1
+            or a          ; clears all
+            jp p, p_ok
+            jp fail
+        p_ok:
+            ld a, 0xAA
+            ld (0xC000), a
+            halt
+        fail:
+            ld a, 0x55
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0xAA
+
+    def test_jr_both_directions(self):
+        board = run_asm("""
+            ld a, 0
+            jr fwd
+        back:
+            add a, 1
+            jr done
+        fwd:
+            add a, 2
+            jr back
+        done:
+            ld (0xC000), a
+        """)
+        assert result8(board) == 3
+
+    def test_call_ret_nesting(self):
+        board = run_asm("""
+            call outer
+            ld (0xC000), hl
+            halt
+        outer:
+            ld hl, 1
+            call inner
+            inc hl
+            ret
+        inner:
+            inc hl
+            ret
+        """)
+        assert result16(board) == 3
+
+    def test_conditional_call_and_ret(self):
+        board = run_asm("""
+            ld a, 1
+            or a
+            call nz, hit
+            call z, miss
+            ld (0xC000), hl
+            halt
+        hit:
+            ld hl, 0x0F0F
+            ret
+        miss:
+            ld hl, 0xDEAD
+            ret
+        """)
+        assert result16(board) == 0x0F0F
+
+    def test_rst(self):
+        source = """
+            org 0
+            jp start
+            org 0x08
+            ld a, 0x5A
+            ld (0xC000), a
+            ret
+        start:
+            ld sp, 0xDFF0
+            rst 0x08
+            halt
+        """
+        board = Board()
+        board.program(assemble(source).code)
+        board.run()
+        assert board.memory.read8(0xC000) == 0x5A
+
+    def test_jp_hl(self):
+        board = run_asm("""
+            ld hl, target
+            jp (hl)
+            ld a, 0xBB
+            ld (0xC000), a
+            halt
+        target:
+            ld a, 0xCC
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0xCC
+
+
+class TestBlockOps:
+    def test_ldir(self):
+        board = run_asm("""
+            ld hl, src
+            ld de, 0xC000
+            ld bc, 5
+            ldir
+            halt
+        src:
+            db 9, 8, 7, 6, 5
+        """)
+        assert board.memory.dump(0xC000, 5) == bytes([9, 8, 7, 6, 5])
+
+    def test_lddr(self):
+        board = run_asm("""
+            ld hl, src + 4
+            ld de, 0xC004
+            ld bc, 5
+            lddr
+            halt
+        src:
+            db 1, 2, 3, 4, 5
+        """)
+        assert board.memory.dump(0xC000, 5) == bytes([1, 2, 3, 4, 5])
+
+    def test_cpir_finds_byte(self):
+        board = run_asm("""
+            ld hl, data
+            ld bc, 10
+            ld a, 7
+            cpir
+            ld (0xC000), hl
+            halt
+        data:
+            db 1, 3, 5, 7, 9, 11, 13, 15, 17, 19
+        """)
+        data_addr = assemble("""
+            org 0
+            ld sp, 0xDFF0
+            ld hl, data
+            ld bc, 10
+            ld a, 7
+            cpir
+            ld (0xC000), hl
+            halt
+        data:
+            db 1
+        """).symbol("data")
+        # HL points one past the match (data + 4).
+        assert result16(board) == data_addr + 4
+
+
+class TestIndexRegisters:
+    def test_ix_iy_load_store(self):
+        board = run_asm("""
+            ld ix, 0xC010
+            ld iy, 0xC020
+            ld (ix+0), 0x11
+            ld (ix+5), 0x22
+            ld (iy-2), 0x33
+            ld a, (ix+0)
+            ld (0xC000), a
+            ld a, (ix+5)
+            ld (0xC001), a
+            ld a, (iy-2)
+            ld (0xC002), a
+        """)
+        assert result8(board, 0) == 0x11
+        assert result8(board, 1) == 0x22
+        assert result8(board, 2) == 0x33
+        assert board.memory.read8(0xC010) == 0x11
+        assert board.memory.read8(0xC015) == 0x22
+        assert board.memory.read8(0xC01E) == 0x33
+
+    def test_add_ix(self):
+        board = run_asm("""
+            ld ix, 0x1000
+            ld de, 0x0234
+            add ix, de
+            push ix
+            pop hl
+            ld (0xC000), hl
+        """)
+        assert result16(board) == 0x1234
+
+    def test_ix_alu(self):
+        board = run_asm("""
+            ld ix, 0xC010
+            ld (ix+1), 40
+            ld a, 2
+            add a, (ix+1)
+            ld (0xC000), a
+        """)
+        assert result8(board) == 42
+
+    def test_ix_cb_bitops(self):
+        board = run_asm("""
+            ld ix, 0xC010
+            ld (ix+0), 0
+            set 6, (ix+0)
+            ld a, (ix+0)
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0x40
+
+
+class TestCyclesAndInterrupts:
+    def test_nop_cycles(self):
+        board = Board(flash_wait_states=0)
+        board.program(assemble("org 0\nnop\nnop\nhalt\n").code)
+        board.run()
+        assert board.cpu.cycles == 4 + 4 + 4
+
+    def test_flash_wait_states_cost(self):
+        fast = Board(flash_wait_states=0)
+        slow = Board(flash_wait_states=2)
+        image = assemble("org 0\nnop\nnop\nhalt\n").code
+        fast.program(image)
+        slow.program(image)
+        fast.run()
+        slow.run()
+        assert slow.cpu.cycles > fast.cpu.cycles
+
+    def test_interrupt_dispatch(self):
+        source = """
+            org 0
+            ld sp, 0xDFF0
+            ei
+        spin:
+            jp spin
+        isr:
+            ld a, 0x99
+            ld (0xC000), a
+            halt
+        """
+        assembly = assemble(source)
+        board = Board()
+        board.program(assembly.code)
+        board.run_cycles(100)
+        board.cpu.request_interrupt(assembly.symbol("isr"))
+        board.run_cycles(100)
+        assert board.memory.read8(0xC000) == 0x99
+
+    def test_interrupt_masked_by_di(self):
+        source = """
+            org 0
+            ld sp, 0xDFF0
+            di
+        spin:
+            jp spin
+        isr:
+            ld a, 0x99
+            ld (0xC000), a
+            halt
+        """
+        assembly = assemble(source)
+        board = Board()
+        board.program(assembly.code)
+        board.run_cycles(100)
+        board.cpu.request_interrupt(assembly.symbol("isr"))
+        board.run_cycles(200)
+        assert board.memory.read8(0xC000) == 0x00
+
+    def test_instruction_counting(self):
+        board = Board()
+        board.program(assemble("org 0\nnop\nnop\nnop\nhalt\n").code)
+        board.run()
+        assert board.cpu.instructions == 4
+
+    def test_rabbit_xpc_extension(self):
+        board = run_asm("""
+            ld a, 0x90
+            ld xpc, a
+            ld a, 0
+            ld a, xpc
+            ld (0xC000), a
+        """)
+        assert result8(board) == 0x90
+        assert board.memory.xpc == 0x90

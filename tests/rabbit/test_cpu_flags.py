@@ -1,0 +1,201 @@
+"""CPU flag edge cases: 16-bit overflow, DAA after SUB, block-op flags,
+HALT wake-up on interrupt."""
+
+import pytest
+
+from repro.rabbit.asm import assemble
+from repro.rabbit.board import Board
+from repro.rabbit.cpu import FLAG_C, FLAG_N, FLAG_PV, FLAG_S, FLAG_Z
+
+
+def run_asm(body: str) -> Board:
+    source = f"        org 0\n        ld sp, 0xDFF0\n{body}\n        halt\n"
+    board = Board()
+    board.program(assemble(source).code)
+    board.run()
+    return board
+
+
+class TestSixteenBitFlags:
+    def test_sbc_hl_overflow(self):
+        # 0x8000 - 1 = 0x7FFF: signed overflow (min-int minus one).
+        board = run_asm("""
+            ld hl, 0x8000
+            ld de, 0x0001
+            or a
+            sbc hl, de
+        """)
+        assert board.cpu.hl == 0x7FFF
+        assert board.cpu.flag(FLAG_PV)
+        assert not board.cpu.flag(FLAG_S)
+        assert board.cpu.flag(FLAG_N)
+
+    def test_adc_hl_overflow(self):
+        # 0x7FFF + 1 = 0x8000: signed overflow upward.
+        board = run_asm("""
+            or a
+            ld hl, 0x7FFF
+            ld de, 0x0001
+            adc hl, de
+        """)
+        assert board.cpu.hl == 0x8000
+        assert board.cpu.flag(FLAG_PV)
+        assert board.cpu.flag(FLAG_S)
+
+    def test_sbc_hl_zero_flag(self):
+        board = run_asm("""
+            or a
+            ld hl, 0x1234
+            ld de, 0x1234
+            sbc hl, de
+        """)
+        assert board.cpu.hl == 0
+        assert board.cpu.flag(FLAG_Z)
+        assert not board.cpu.flag(FLAG_C)
+
+    def test_add_hl_carry_only(self):
+        # ADD HL does not touch Z or S.
+        board = run_asm("""
+            xor a          ; set Z
+            ld hl, 0xFFFF
+            ld de, 0x0001
+            add hl, de
+        """)
+        assert board.cpu.hl == 0
+        assert board.cpu.flag(FLAG_C)
+        assert board.cpu.flag(FLAG_Z)  # preserved from XOR A
+
+
+class TestDaa:
+    def test_daa_after_sub(self):
+        # BCD 0x42 - 0x13 = 0x29.
+        board = run_asm("""
+            ld a, 0x42
+            sub 0x13
+            daa
+            ld (0xC000), a
+        """)
+        assert board.memory.read8(0xC000) == 0x29
+
+    def test_daa_carry_propagation(self):
+        # BCD 0x99 + 0x01 = 1 00 with carry.
+        board = run_asm("""
+            ld a, 0x99
+            add a, 0x01
+            daa
+            ld (0xC000), a
+        """)
+        assert board.memory.read8(0xC000) == 0x00
+        assert board.cpu.flag(FLAG_C)
+
+
+class TestBlockOpFlags:
+    def test_ldir_clears_pv_at_end(self):
+        board = run_asm("""
+            ld hl, 0xC100
+            ld de, 0xC200
+            ld bc, 4
+            ldir
+        """)
+        assert not board.cpu.flag(FLAG_PV)  # BC reached zero
+        assert board.cpu.bc == 0
+
+    def test_ldi_sets_pv_while_remaining(self):
+        board = run_asm("""
+            ld hl, 0xC100
+            ld de, 0xC200
+            ld bc, 4
+            ldi
+        """)
+        assert board.cpu.flag(FLAG_PV)
+        assert board.cpu.bc == 3
+
+    def test_cpir_z_on_match(self):
+        board = run_asm("""
+            ld hl, data
+            ld bc, 4
+            ld a, 3
+            cpir
+            halt
+        data:
+            db 1, 2, 3, 4
+        """)
+        assert board.cpu.flag(FLAG_Z)
+
+    def test_cpir_no_match_exhausts_bc(self):
+        board = run_asm("""
+            ld hl, data
+            ld bc, 4
+            ld a, 9
+            cpir
+            halt
+        data:
+            db 1, 2, 3, 4
+        """)
+        assert not board.cpu.flag(FLAG_Z)
+        assert board.cpu.bc == 0
+
+
+class TestHaltAndInterrupts:
+    def test_halt_wakes_on_interrupt(self):
+        source = """
+            org 0
+            ld sp, 0xDFF0
+            ei
+            halt
+            ld a, 0x77         ; resumes here after RETI
+            ld (0xC000), a
+            halt
+        isr:
+            ld a, 0x11
+            ld (0xC001), a
+            ei
+            reti
+        """
+        assembly = assemble(source)
+        board = Board()
+        board.program(assembly.code)
+        board.run_cycles(100)
+        assert board.cpu.halted
+        board.cpu.request_interrupt(assembly.symbol("isr"))
+        board.run_cycles(500)
+        assert board.memory.read8(0xC001) == 0x11
+        assert board.memory.read8(0xC000) == 0x77
+
+    def test_interrupts_queue_in_order(self):
+        source = """
+            org 0
+            ld sp, 0xDFF0
+            ei
+        spin:
+            jp spin
+        isr1:
+            ld a, 1
+            ld (0xC000), a
+            ei
+            reti
+        isr2:
+            ld a, 2
+            ld (0xC001), a
+            ei
+            reti
+        """
+        assembly = assemble(source)
+        board = Board()
+        board.program(assembly.code)
+        board.run_cycles(50)
+        board.cpu.request_interrupt(assembly.symbol("isr1"))
+        board.cpu.request_interrupt(assembly.symbol("isr2"))
+        board.run_cycles(1000)
+        assert board.memory.read8(0xC000) == 1
+        assert board.memory.read8(0xC001) == 2
+
+    def test_neg_flags(self):
+        board = run_asm("""
+            ld a, 0x80
+            neg
+        """)
+        # -(-128) overflows back to -128.
+        assert board.cpu.a == 0x80
+        assert board.cpu.flag(FLAG_PV)
+        assert board.cpu.flag(FLAG_C)

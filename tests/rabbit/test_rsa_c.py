@@ -1,0 +1,44 @@
+"""The Dynamic C subset bignum modexp on the board."""
+
+import pytest
+
+from repro.rabbit.board import Board
+from repro.rabbit.programs.rsa_c import generate_source, RsaC
+
+
+@pytest.fixture(scope="module")
+def rsa16():
+    return RsaC(Board(), n_bytes=2)
+
+
+class TestModexp:
+    @pytest.mark.parametrize("base,exp,mod", [
+        (2, 10, 1000),
+        (0x1234, 3, 0xFFF1),
+        (1, 0xFFFF, 0xFFF1),
+        (0xFFF0, 0xFFFF, 0xFFF1),
+        (5, 0, 97),            # exponent zero -> 1
+        (0, 5, 97),            # base zero -> 0
+    ])
+    def test_matches_python_pow(self, rsa16, base, exp, mod):
+        result, cycles = rsa16.modexp(base % mod, exp, mod)
+        assert result == pow(base % mod, exp, mod)
+        assert cycles > 0
+
+    def test_range_validation(self, rsa16):
+        with pytest.raises(ValueError):
+            rsa16.modexp(1, 1, 1 << 16)   # modulus too wide
+        with pytest.raises(ValueError):
+            rsa16.modexp(100, 1, 50)      # base not reduced
+
+    def test_generate_source_width_validation(self):
+        with pytest.raises(ValueError):
+            generate_source(1)
+        with pytest.raises(ValueError):
+            generate_source(64)
+
+    def test_cycles_grow_with_width(self, rsa16):
+        rsa24 = RsaC(Board(), n_bytes=3)
+        _, c16 = rsa16.modexp(0x1234, 0xFFF1, 0xFFF1 + 0x0A)
+        _, c24 = rsa24.modexp(0x1234, 0xFFFFF1, 0xFFFFFB)
+        assert c24 > 2 * c16
