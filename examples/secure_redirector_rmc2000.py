@@ -40,7 +40,7 @@ def run_with_handlers(handlers: int, clients: int) -> list[ClientReport]:
     scheduler = build_rmc_redirector(
         stack, context, str(hosts["backend"].ip_address), handlers=handlers
     )
-    print(f"  main loop: {[c.name for c in scheduler._costates]}")
+    print(f"  main loop: {scheduler.costate_names}")
     scheduler.start()
     reports = []
     processes = []

@@ -1,0 +1,75 @@
+"""Tunables for the dclint rules.
+
+Defaults encode the paper's platform: the Figure 3 static cap of three
+request costatements, the RMC2000's 128 KB SRAM bank map as laid out by
+the subset compiler, and the TCP-stack calls that block when used
+outside the cooperative discipline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.dync.compiler.codegen import RAM_BASE, RAM_LIMIT, XMEM_PHYS_BASE
+
+#: End of SRAM in physical space (128 KB SRAM at 0x80000, paper S3).
+_SRAM_END = 0xA0000
+
+#: Calls that block until network progress -- progress that only the
+#: tcp_tick driver costatement can make, so calling them from another
+#: costatement deadlocks the big loop (paper, Section 5.3).
+DEFAULT_BLOCKING_CALLS = frozenset({
+    "tcp_read", "tcp_write", "sock_wait_established", "sock_wait_input",
+    "recv", "send", "accept", "read", "write", "sleep", "delay_ms",
+})
+
+#: Functions whose return value is an xmem (20-bit physical) pointer.
+DEFAULT_XMEM_ALLOCATORS = frozenset({"xalloc", "xavail_alloc"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One dclint run's configuration."""
+
+    #: DC003: request costatements allowed per big loop (Figure 3: "three
+    #: processes to handle requests").  Driver costatements whose *name*
+    #: matches ``driver_pattern`` (the "one to drive the TCP stack") are
+    #: exempt from the cap.
+    max_costates: int = 3
+    driver_pattern: str = r"(tick|driver|drv)"
+
+    #: DC004: functions considered interrupt context, by name.
+    isr_pattern: str = r"(^isr_|_isr$|_interrupt$)"
+
+    #: DC001: calls that block the big loop.
+    blocking_calls: frozenset = DEFAULT_BLOCKING_CALLS
+
+    #: DC006: calls returning xmem physical pointers.
+    xmem_allocators: frozenset = DEFAULT_XMEM_ALLOCATORS
+
+    #: DC005: static data budgets, mirroring the code generator's
+    #: allocators (root RAM window and the xmem bank region).
+    root_ram_budget: int = RAM_LIMIT - RAM_BASE
+    xmem_budget: int = _SRAM_END - XMEM_PHYS_BASE
+    #: Fraction of a budget that triggers a warning short of overflow.
+    budget_warn_fraction: float = 0.9
+
+    #: Where const arrays land absent an explicit storage class; must
+    #: match the CompilerOptions.data_placement used to build the image.
+    data_placement: str = "flash"
+
+    def is_driver_name(self, name: str) -> bool:
+        return bool(name) and re.search(self.driver_pattern, name,
+                                        re.IGNORECASE) is not None
+
+    def is_isr_name(self, name: str) -> bool:
+        return re.search(self.isr_pattern, name, re.IGNORECASE) is not None
+
+
+DEFAULT_CONFIG = LintConfig()
+
+#: Suppression marker: a source line containing ``dclint: allow(DC001)``
+#: (comma-separate several rules) silences those rules on that line and
+#: the next -- for deliberate demonstrations, never for real findings.
+ALLOW_RE = re.compile(r"dclint:\s*allow\(([A-Z0-9, ]+)\)")

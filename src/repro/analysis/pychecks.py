@@ -1,0 +1,155 @@
+"""dclint Layer 2: Python-source checks over embedded-runtime usage.
+
+The simulator exposes the board's constraints as Python APIs
+(:mod:`repro.dync.runtime`); misusing them reintroduces exactly the
+porting bugs the paper documents.  These checks run Python's own ``ast``
+over call sites:
+
+* PY101 -- an ``xalloc(...)`` result that is discarded: there is no
+  ``free`` (S5.2), so a dropped handle leaks that xmem forever.
+* PY102 -- writing a ``_value`` backing field directly bypasses the
+  ``shared``/``protected`` commit protocol (atomic bracket / battery-RAM
+  backup); mutate through ``.set()``.
+* PY103 -- calling ``.free(...)`` on an xmem allocator: Dynamic C has no
+  free; the runtime raises, the lint catches it before runtime does.
+* PY104 -- reaching into a scheduler's private costate list; use the
+  public accessors so the Figure 3 loop stays inspectable without
+  coupling to internals.
+
+The module also extracts embedded Dynamic C sources (plain string
+literals that look like the subset language) so Layer 1 can lint
+firmware carried inside Python files.  Docstrings and literals that do
+not even tokenize as the subset (prose, ANSI C with preprocessor lines)
+are skipped; f-strings cannot be extracted statically, so tests import
+and lint those explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.diagnostics import DiagnosticSink
+from repro.dync.compiler.lexer import LexError, tokenize
+
+#: Owner names treated as xmem allocators for PY101/PY103.
+_ALLOCATOR_NAME_RE = re.compile(r"(alloc|xmem)", re.IGNORECASE)
+
+#: A string literal is probably Dynamic C if it declares a function or a
+#: costatement and has block + statement syntax.
+_DYNC_HINT_RE = re.compile(
+    r"\b(?:void|int|char)\s+\w+\s*\([^)]*\)\s*\{|\bcostate\b"
+)
+
+#: Private scheduler fields PY104 guards.
+_PRIVATE_SCHEDULER_ATTRS = {"_costates", "_factories"}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _owner_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return _owner_name(node.value) or node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def check_python_source(tree: ast.Module, sink: DiagnosticSink) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if _call_name(call) == "xalloc":
+                sink.error(
+                    "PY101",
+                    "xalloc() result discarded: Dynamic C has no free(), "
+                    "so a dropped handle leaks that xmem permanently "
+                    "(paper S5.2)",
+                    hint="bind the returned XmemPointer, or do not allocate",
+                    line=node.lineno, col=node.col_offset + 1,
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr == "_value" \
+                        and not (isinstance(target.value, ast.Name)
+                                 and target.value.id == "self"):
+                    sink.error(
+                        "PY102",
+                        "direct write to a '_value' backing field bypasses "
+                        "the shared/protected commit protocol (no atomic "
+                        "bracket, no battery-RAM backup)",
+                        hint="mutate through .set() so the update is "
+                             "bracketed/backed up (paper, Figure 1)",
+                        line=node.lineno, col=node.col_offset + 1,
+                    )
+        elif isinstance(node, ast.Call) and _call_name(node) == "free":
+            owner = _owner_name(node.func) if isinstance(node.func,
+                                                         ast.Attribute) else ""
+            if owner and _ALLOCATOR_NAME_RE.search(owner):
+                sink.error(
+                    "PY103",
+                    f"{owner}.free() called, but Dynamic C has no free(); "
+                    "allocated xmem cannot be returned to the pool "
+                    "(paper S5.2)",
+                    hint="design the allocation to live for the life of "
+                         "the program, as the port did",
+                    line=node.lineno, col=node.col_offset + 1,
+                )
+        elif isinstance(node, ast.Attribute) \
+                and node.attr in _PRIVATE_SCHEDULER_ATTRS \
+                and not (isinstance(node.value, ast.Name)
+                         and node.value.id == "self"):
+            sink.warning(
+                "PY104",
+                f"private scheduler field '.{node.attr}' accessed from "
+                "outside the scheduler",
+                hint="use CostateScheduler.costate_names / costate_count "
+                     "instead",
+                line=node.lineno, col=node.col_offset + 1,
+            )
+
+
+def extract_embedded_sources(tree: ast.Module) -> list[tuple[int, str]]:
+    """Plain string literals that look like Dynamic C, as (lineno, text).
+
+    f-strings (``ast.JoinedStr``) are skipped: their contents are not
+    known until runtime (tests import and lint those explicitly).
+    """
+    skipped = {
+        id(part)
+        for node in ast.walk(tree) if isinstance(node, ast.JoinedStr)
+        for part in ast.walk(node)
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)) and node.body \
+                and isinstance(node.body[0], ast.Expr) \
+                and isinstance(node.body[0].value, ast.Constant):
+            skipped.add(id(node.body[0].value))  # docstring
+    sources = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+                and id(node) not in skipped \
+                and "\n" in node.value \
+                and _DYNC_HINT_RE.search(node.value) \
+                and _lexes_as_dync(node.value):
+            sources.append((node.lineno, node.value))
+    return sources
+
+
+def _lexes_as_dync(text: str) -> bool:
+    try:
+        tokenize(text)
+    except LexError:
+        return False
+    return True

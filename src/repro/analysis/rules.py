@@ -1,0 +1,349 @@
+"""dclint Layer 1: AST rules DC001..DC006 over Dynamic C subset programs.
+
+Each rule encodes one porting pitfall the paper's authors hit by hand:
+
+* DC001 -- blocking construct inside a costatement (S4.2, S5.3): a call
+  that waits on network progress, or a wait-loop that never yields,
+  stalls every other costatement in the big loop.
+* DC002 -- ``waitfor``/``yield``/``abort`` outside a costatement (S4.2):
+  the cooperative keywords have no meaning without a costatement's
+  saved program counter.
+* DC003 -- more request costatements than the static concurrency cap
+  (Figure 3: "three processes to handle requests ... and one to drive
+  the TCP stack"); the cap is configurable, driver costatements are
+  exempt by name.
+* DC004 -- torn-write race: a multibyte global written in interrupt
+  context and touched in main context must be ``shared`` so the
+  compiler brackets the store with IPSET/IPRES (S4.1, Figure 1).
+* DC005 -- static memory budget: root RAM and the xmem bank region are
+  fixed-size; the sum of every global, param and static local must fit
+  (S3: 128 KB SRAM; S5.2: all state statically allocated).
+* DC006 -- xmem pointer used as a root pointer (S5.2): ``xalloc``
+  returns a 20-bit physical address; indexing or arithmetic through a
+  16-bit root pointer reads the wrong memory.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticSink
+from repro.analysis.config import LintConfig
+from repro.analysis.walker import iter_nodes, walk
+from repro.dync.compiler.ast_nodes import (
+    Abort,
+    Assign,
+    Binary,
+    Break,
+    Call,
+    Costate,
+    For,
+    Function,
+    GlobalDecl,
+    Index,
+    LocalDecl,
+    Num,
+    Program,
+    Return,
+    Unary,
+    Var,
+    Waitfor,
+    While,
+    Yield,
+)
+from repro.dync.compiler.codegen import RAM_BASE, XMEM_PHYS_BASE
+
+
+def run_all(program: Program, sink: DiagnosticSink,
+            config: LintConfig) -> None:
+    for rule in (check_dc001, check_dc002, check_dc003, check_dc004,
+                 check_dc005, check_dc006):
+        rule(program, sink, config)
+
+
+# -- helpers -----------------------------------------------------------------
+
+def _loc(node) -> dict:
+    return {"line": getattr(node, "line", 0), "col": getattr(node, "col", 0)}
+
+
+def _vars_read(expr) -> set[str]:
+    return {n.name for n in iter_nodes(expr, Var)}
+
+
+def _has_call(expr) -> bool:
+    return any(True for _ in iter_nodes(expr, Call))
+
+
+def _assigned_names(statements) -> set[str]:
+    names = set()
+    for node in iter_nodes(statements, Assign):
+        target = node.target
+        if isinstance(target, Var):
+            names.add(target.name)
+        elif isinstance(target, Index):
+            names.add(target.base.name)
+    return names
+
+
+def _body_yields(statements) -> bool:
+    """True if control can leave the loop / reach the scheduler."""
+    return any(isinstance(node, (Yield, Waitfor, Abort, Break, Return))
+               for node, _ in walk(statements))
+
+
+# -- DC001: blocking constructs inside a costatement -------------------------
+
+def check_dc001(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    for node, ancestors in walk(program.functions):
+        if not any(isinstance(a, Costate) for a in ancestors):
+            continue
+        if isinstance(node, Call) and node.name in config.blocking_calls:
+            sink.error(
+                "DC001",
+                f"blocking call {node.name}() inside a costatement stalls "
+                "the entire big loop",
+                hint="restructure as a waitfor()/yield polling loop; only "
+                     "the tick-driver costatement can make network progress",
+                **_loc(node),
+            )
+        elif isinstance(node, (While, For)):
+            _check_loop_blocks(node, sink)
+
+
+def _check_loop_blocks(loop, sink: DiagnosticSink) -> None:
+    if _body_yields(loop.body):
+        return
+    condition = loop.condition
+    assigned = _assigned_names(loop.body)
+    if isinstance(loop, For) and loop.step is not None:
+        assigned |= _assigned_names([loop.step])
+    if condition is None or (isinstance(condition, Num) and condition.value):
+        sink.error(
+            "DC001",
+            "infinite loop without yield/waitfor inside a costatement "
+            "blocks every other costatement forever",
+            hint="add a yield inside the loop body",
+            **_loc(loop),
+        )
+    elif _has_call(condition):
+        sink.error(
+            "DC001",
+            "loop waits on an external condition without yielding; the "
+            "condition can only change when other costatements run",
+            hint="use waitfor(...) instead of a bare wait loop",
+            **_loc(loop),
+        )
+    elif condition is not None and not (_vars_read(condition) & assigned):
+        sink.error(
+            "DC001",
+            "loop condition is never changed by the loop body and the "
+            "loop never yields: a busy-wait that cannot terminate",
+            hint="yield inside the loop, or make the body advance the "
+                 "condition",
+            **_loc(loop),
+        )
+
+
+# -- DC002: cooperative keywords outside a costatement -----------------------
+
+def check_dc002(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    keyword = {Waitfor: "waitfor", Yield: "yield", Abort: "abort"}
+    for node, ancestors in walk(program.functions):
+        if type(node) in keyword \
+                and not any(isinstance(a, Costate) for a in ancestors):
+            sink.error(
+                "DC002",
+                f"'{keyword[type(node)]}' outside a costatement has no "
+                "saved program counter to return to",
+                hint="move the statement into a costate { ... } block",
+                **_loc(node),
+            )
+
+
+# -- DC003: the static concurrency cap (Figure 3) ----------------------------
+
+def check_dc003(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    for function in program.functions:
+        costates = list(iter_nodes(function.body, Costate))
+        requests = [c for c in costates if not config.is_driver_name(c.name)]
+        if len(requests) > config.max_costates:
+            worst = requests[config.max_costates]
+            sink.error(
+                "DC003",
+                f"{len(requests)} request costatements in {function.name}() "
+                f"exceed the static concurrency cap of {config.max_costates} "
+                "(Figure 3: each handler is one statically allocated "
+                "connection)",
+                hint="raising the cap means recompiling with more memory "
+                     "per connection; pass --max-costates to lint for a "
+                     "different build",
+                **_loc(worst),
+            )
+
+
+# -- DC004: torn-write race detector -----------------------------------------
+
+def _is_multibyte(decl: GlobalDecl) -> bool:
+    element = decl.ctype.size if not decl.ctype.is_pointer else 2
+    return element >= 2
+
+
+def check_dc004(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    globals_by_name = {g.name: g for g in program.globals}
+    written: dict[str, dict[str, object]] = {}   # name -> context -> site
+    read: dict[str, dict[str, object]] = {}
+    for function in program.functions:
+        context = "isr" if config.is_isr_name(function.name) else "main"
+        for node, _ in walk(function.body):
+            if isinstance(node, Assign):
+                target = node.target
+                name = target.name if isinstance(target, Var) \
+                    else target.base.name
+                if name in globals_by_name:
+                    written.setdefault(name, {}).setdefault(context, node)
+                for var in iter_nodes(node.value, Var):
+                    if var.name in globals_by_name:
+                        read.setdefault(var.name, {}).setdefault(context, var)
+            elif isinstance(node, (Var, Index)):
+                name = node.name if isinstance(node, Var) else node.base.name
+                if name in globals_by_name:
+                    read.setdefault(name, {}).setdefault(context, node)
+    for name, decl in globals_by_name.items():
+        if not _is_multibyte(decl) or decl.storage == "shared":
+            continue
+        write_ctx = set(written.get(name, ()))
+        touch_ctx = write_ctx | set(read.get(name, ()))
+        if "isr" in write_ctx and "main" in touch_ctx or \
+                "main" in write_ctx and "isr" in touch_ctx:
+            site = written[name].get("isr") or written[name].get("main")
+            sink.error(
+                "DC004",
+                f"multibyte global '{name}' is written in interrupt context "
+                "and accessed from the main loop without the atomic "
+                "bracket: an interrupt between byte stores tears the value",
+                hint=f"declare it 'shared {decl.ctype} {name};' so updates "
+                     "are bracketed with IPSET/IPRES (paper, Figure 1)",
+                line=getattr(site, "line", decl.line),
+                col=getattr(site, "col", decl.col),
+            )
+
+
+# -- DC005: static memory budget ---------------------------------------------
+
+def _placement(decl: GlobalDecl, config: LintConfig) -> str:
+    """Mirror CodeGenerator._declare_global's placement decision."""
+    placement = "ram"
+    if decl.is_const and decl.array_size:
+        placement = {"flash": "flash", "root_ram": "ram",
+                     "xmem": "xmem"}[config.data_placement]
+        if decl.storage == "root":
+            placement = "ram"
+        elif decl.storage == "xmem":
+            placement = "xmem"
+    return placement
+
+
+def _total_size(ctype, array_size: int) -> int:
+    element = ctype.size
+    return element * (array_size if array_size else 1)
+
+
+def check_dc005(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    root_used = 0
+    xmem_cursor = XMEM_PHYS_BASE
+    for decl in program.globals:
+        total = _total_size(decl.ctype, decl.array_size)
+        placement = _placement(decl, config)
+        if placement == "ram":
+            root_used += total
+        elif placement == "xmem":
+            # Mirror _alloc_xmem: arrays never straddle a 4 KB page.
+            if (xmem_cursor & 0xFFF) + total > 0x1000:
+                xmem_cursor = (xmem_cursor & ~0xFFF) + 0x1000
+            xmem_cursor += total
+    for function in program.functions:
+        for param in function.params:
+            root_used += max(2, param.ctype.size)
+        seen = set()
+        for decl in iter_nodes(function.body, LocalDecl):
+            if decl.name in seen:
+                continue  # one static slot per name per function
+            seen.add(decl.name)
+            root_used += max(1, _total_size(decl.ctype, decl.array_size))
+    xmem_used = xmem_cursor - XMEM_PHYS_BASE
+
+    line = program.globals[0].line if program.globals else 0
+    for label, used, budget in (
+        ("root RAM (globals + static locals/params at "
+         f"0x{RAM_BASE:04X})", root_used, config.root_ram_budget),
+        ("xmem bank region", xmem_used, config.xmem_budget),
+    ):
+        if used > budget:
+            sink.error(
+                "DC005",
+                f"static data overflows {label}: {used} bytes of {budget} "
+                "available (128 KB SRAM, paper S3)",
+                hint="shrink arrays, move const tables to flash/xmem, or "
+                     "drop per-connection state (S5.2: the port kept one "
+                     "key size for exactly this reason)",
+                line=line,
+            )
+        elif used > budget * config.budget_warn_fraction:
+            sink.warning(
+                "DC005",
+                f"static data uses {used}/{budget} bytes of {label} "
+                f"(over {int(config.budget_warn_fraction * 100)}%)",
+                hint="the next connection slot or key buffer will not fit",
+                line=line,
+            )
+
+
+# -- DC006: xmem pointers dereferenced as root pointers ----------------------
+
+def check_dc006(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    for function in program.functions:
+        xmem_vars: set[str] = set()
+        for node, _ in walk(function.body):
+            value = None
+            name = None
+            if isinstance(node, Assign) and isinstance(node.target, Var):
+                name, value = node.target.name, node.value
+            elif isinstance(node, LocalDecl):
+                name, value = node.name, node.initializer
+            if name is not None:
+                if isinstance(value, Call) \
+                        and value.name in config.xmem_allocators:
+                    xmem_vars.add(name)
+                elif name in xmem_vars and value is not None:
+                    xmem_vars.discard(name)  # reassigned to something else
+        if not xmem_vars:
+            continue
+        for node, _ in walk(function.body):
+            if isinstance(node, Index) and node.base.name in xmem_vars:
+                sink.error(
+                    "DC006",
+                    f"'{node.base.name}' holds an xalloc() result (a 20-bit "
+                    "physical xmem address) but is indexed like a root "
+                    "pointer; root dereferences see the wrong memory",
+                    hint="copy through the bank window with "
+                         "xmem2root()/root2xmem() instead (paper S5.2)",
+                    **_loc(node),
+                )
+            elif isinstance(node, Binary) and node.op in ("+", "-"):
+                for side in (node.left, node.right):
+                    if isinstance(side, Var) and side.name in xmem_vars:
+                        sink.error(
+                            "DC006",
+                            f"pointer arithmetic on '{side.name}', an "
+                            "xalloc() result: xmem pointers are physical "
+                            "addresses outside the 16-bit logical space",
+                            hint="xalloc handles are opaque; compute "
+                                 "offsets on the xmem side via "
+                                 "xmem2root()/root2xmem()",
+                            **_loc(node),
+                        )

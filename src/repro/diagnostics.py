@@ -1,0 +1,98 @@
+"""Shared diagnostic reporting for the compiler and the dclint analyzer.
+
+One format for everything a tool can say about a source location: the
+compiler's lex/parse/codegen errors and the static analyzer's findings
+(DC001..DC006, PY101..) all carry a :class:`Diagnostic`, so they print
+identically and serialize identically (``--format=json``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Ordered so that ``max(severities)`` is the worst finding."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, severity, location, message, fix hint.
+
+    ``rule`` ids: ``LEX001``/``PAR001``/``GEN001`` for compiler errors,
+    ``DC001``..``DC006`` for Dynamic C porting-pitfall rules, ``PY1xx``
+    for the Python-side runtime-usage checks.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    file: str = "<source>"
+    line: int = 0
+    col: int = 0
+    hint: str = ""
+
+    def format(self) -> str:
+        location = self.file
+        if self.line:
+            location += f":{self.line}"
+            if self.col:
+                location += f":{self.col}"
+        text = f"{location}: {self.severity}: {self.message} [{self.rule}]"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["severity"] = str(self.severity)
+        return data
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.col, self.rule)
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics; shared by every rule run over one target."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    file: str = "<source>"
+
+    def emit(self, rule: str, severity: Severity, message: str,
+             line: int = 0, col: int = 0, hint: str = "") -> Diagnostic:
+        diagnostic = Diagnostic(rule, severity, message, self.file,
+                                line, col, hint)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def error(self, rule: str, message: str, line: int = 0, col: int = 0,
+              hint: str = "") -> Diagnostic:
+        return self.emit(rule, Severity.ERROR, message, line, col, hint)
+
+    def warning(self, rule: str, message: str, line: int = 0, col: int = 0,
+                hint: str = "") -> Diagnostic:
+        return self.emit(rule, Severity.WARNING, message, line, col, hint)
+
+    def note(self, rule: str, message: str, line: int = 0, col: int = 0,
+             hint: str = "") -> Diagnostic:
+        return self.emit(rule, Severity.NOTE, message, line, col, hint)
+
+    @property
+    def worst(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+
+def format_text(diagnostics: list[Diagnostic]) -> str:
+    return "\n".join(d.format() for d in sorted(diagnostics,
+                                                key=Diagnostic.sort_key))

@@ -35,12 +35,14 @@ VOID = CType("void")
 class Num:
     value: int
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Var:
     name: str
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -50,6 +52,7 @@ class Index:
     base: "Var"
     index: object
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -57,6 +60,7 @@ class Unary:
     op: str  # '-', '~', '!'
     operand: object
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -65,6 +69,7 @@ class Binary:
     left: object
     right: object
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -75,6 +80,7 @@ class Assign:
     value: object
     op: str = "="
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -82,6 +88,7 @@ class Call:
     name: str
     args: list = field(default_factory=list)
     line: int = 0
+    col: int = 0
 
 
 # -- statements --------------------------------------------------------------
@@ -90,6 +97,7 @@ class Call:
 class ExprStmt:
     expr: object
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -98,6 +106,7 @@ class If:
     then_body: list
     else_body: list | None = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -105,6 +114,7 @@ class While:
     condition: object
     body: list = field(default_factory=list)
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -114,22 +124,73 @@ class For:
     step: object        # statement or None
     body: list = field(default_factory=list)
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Return:
     value: object = None
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Break:
     line: int = 0
+    col: int = 0
 
 
 @dataclass
 class Continue:
     line: int = 0
+    col: int = 0
+
+
+# -- costatements (paper, Section 4.2) ---------------------------------------
+
+@dataclass
+class Costate:
+    """``costate [name] [always_on|init_on] { body }``.
+
+    The unit of Dynamic C cooperative multitasking: each costatement in
+    the big loop keeps its own program counter; control moves on at
+    ``yield``/``waitfor`` and resumes there on the next pass.  The
+    subset's code generator does not lower these (the simulator's
+    :mod:`repro.dync.runtime.costate` models them at the Python level);
+    they exist in the AST so dclint can check the Figure 3 main-loop
+    shape statically.
+    """
+
+    body: list = field(default_factory=list)
+    name: str = ""
+    mode: str = ""         # '', 'always_on', 'init_on'
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class Waitfor:
+    """``waitfor (expr);`` == ``while (!expr) yield;``."""
+
+    condition: object = None
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class Yield:
+    """``yield;``: pass control to the next costatement."""
+
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class Abort:
+    """``abort;``: terminate the enclosing costatement."""
+
+    line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -148,6 +209,7 @@ class LocalDecl:
     initializer: object = None
     is_auto: bool = False
     line: int = 0
+    col: int = 0
 
 
 # -- top level ----------------------------------------------------------------
@@ -161,6 +223,7 @@ class GlobalDecl:
     is_const: bool = False
     storage: str = ""      # '', 'root', 'xmem', 'shared', 'protected'
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -168,6 +231,7 @@ class Param:
     name: str
     ctype: CType
     line: int = 0
+    col: int = 0
 
 
 @dataclass
@@ -179,6 +243,7 @@ class Function:
     storage: str = ""      # '', 'root', 'xmem'
     nodebug: bool = False
     line: int = 0
+    col: int = 0
 
 
 @dataclass

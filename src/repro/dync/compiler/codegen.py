@@ -24,11 +24,13 @@ import copy
 from dataclasses import dataclass
 
 from repro.dync.compiler.ast_nodes import (
+    Abort,
     Assign,
     Binary,
     Break,
     Call,
     Continue,
+    Costate,
     CType,
     ExprStmt,
     For,
@@ -42,8 +44,11 @@ from repro.dync.compiler.ast_nodes import (
     Return,
     Unary,
     Var,
+    Waitfor,
     While,
+    Yield,
 )
+from repro.diagnostics import Diagnostic, Severity
 from repro.dync.compiler.options import CompilerOptions
 from repro.dync.compiler.parser import parse
 from repro.dync.compiler.peephole import peephole_optimize
@@ -67,6 +72,11 @@ DEBUG_RST = 0x28
 
 class CompileError(ValueError):
     """Semantic errors: unknown names, bad types, unsupported forms."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(message)
+        self.diagnostic = Diagnostic("GEN001", Severity.ERROR, message,
+                                     line=line, col=col)
 
 
 @dataclass
@@ -333,6 +343,8 @@ class CodeGenerator:
                 self._allocate_locals(statement.body, function)
             elif isinstance(statement, For):
                 self._allocate_locals(statement.body, function)
+            elif isinstance(statement, Costate):
+                self._allocate_locals(statement.body, function)
 
     def _declare_local(self, decl: LocalDecl, function: Function) -> None:
         if decl.name in self._context.locals:
@@ -390,6 +402,13 @@ class CodeGenerator:
             if not self._context.continue_labels:
                 raise CompileError("continue outside loop")
             self._emit(f"        jp   {self._context.continue_labels[-1]}")
+        elif isinstance(statement, (Costate, Waitfor, Yield, Abort)):
+            raise CompileError(
+                "costatements are not lowered by this code generator; the "
+                "cooperative scheduler lives in repro.dync.runtime.costate "
+                "(run dclint on this source instead)",
+                getattr(statement, "line", 0), getattr(statement, "col", 0),
+            )
         else:
             raise CompileError(f"cannot compile statement {statement!r}")
 

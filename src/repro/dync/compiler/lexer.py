@@ -2,18 +2,25 @@
 
 Tokens cover the C subset the compiler accepts plus the Dynamic C
 storage-class keywords (``root``, ``xmem``, ``shared``, ``protected``,
-``nodebug``) and ``auto``/``static`` (locals are *static by default*;
-``auto`` opts out, exactly inverted from ANSI C -- paper, Section 4.1).
+``nodebug``), ``auto``/``static`` (locals are *static by default*;
+``auto`` opts out, exactly inverted from ANSI C -- paper, Section 4.1),
+and the cooperative-multitasking keywords (``costate``, ``waitfor``,
+``yield``, ``abort``, ``always_on`` -- paper, Section 4.2).  Every token
+carries its line *and* column so diagnostics can point at the exact
+spot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.diagnostics import Diagnostic, Severity
+
 KEYWORDS = {
     "char", "int", "unsigned", "void", "const", "if", "else", "while",
     "for", "return", "break", "continue", "auto", "static", "root",
     "xmem", "shared", "protected", "nodebug",
+    "costate", "waitfor", "yield", "abort", "always_on", "init_on",
 }
 
 # Multi-character operators, longest first.
@@ -26,9 +33,12 @@ _OPERATORS = [
 
 
 class LexError(ValueError):
-    def __init__(self, message: str, line: int):
+    def __init__(self, message: str, line: int, col: int = 0):
         super().__init__(f"line {line}: {message}")
         self.line = line
+        self.col = col
+        self.diagnostic = Diagnostic("LEX001", Severity.ERROR, message,
+                                     line=line, col=col)
 
 
 @dataclass(frozen=True)
@@ -36,21 +46,28 @@ class Token:
     kind: str   # 'num', 'ident', 'keyword', 'op', 'string', 'eof'
     value: object
     line: int
+    col: int = 0
 
     def __repr__(self) -> str:
-        return f"Token({self.kind}, {self.value!r}, l{self.line})"
+        return f"Token({self.kind}, {self.value!r}, l{self.line}c{self.col})"
 
 
 def tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     line = 1
     pos = 0
+    line_start = 0
     length = len(source)
+
+    def col_of(at: int) -> int:
+        return at - line_start + 1
+
     while pos < length:
         ch = source[pos]
         if ch == "\n":
             line += 1
             pos += 1
+            line_start = pos
             continue
         if ch in " \t\r":
             pos += 1
@@ -62,8 +79,11 @@ def tokenize(source: str) -> list[Token]:
         if source.startswith("/*", pos):
             end = source.find("*/", pos + 2)
             if end < 0:
-                raise LexError("unterminated comment", line)
-            line += source.count("\n", pos, end)
+                raise LexError("unterminated comment", line, col_of(pos))
+            newlines = source.count("\n", pos, end)
+            if newlines:
+                line += newlines
+                line_start = source.rfind("\n", pos, end) + 1
             pos = end + 2
             continue
         if ch.isdigit():
@@ -72,11 +92,13 @@ def tokenize(source: str) -> list[Token]:
                 pos += 2
                 while pos < length and source[pos] in "0123456789abcdefABCDEF":
                     pos += 1
-                tokens.append(Token("num", int(source[start:pos], 16), line))
+                tokens.append(Token("num", int(source[start:pos], 16), line,
+                                    col_of(start)))
             else:
                 while pos < length and source[pos].isdigit():
                     pos += 1
-                tokens.append(Token("num", int(source[start:pos]), line))
+                tokens.append(Token("num", int(source[start:pos]), line,
+                                    col_of(start)))
             continue
         if ch.isalpha() or ch == "_":
             start = pos
@@ -84,9 +106,10 @@ def tokenize(source: str) -> list[Token]:
                 pos += 1
             word = source[start:pos]
             kind = "keyword" if word in KEYWORDS else "ident"
-            tokens.append(Token(kind, word, line))
+            tokens.append(Token(kind, word, line, col_of(start)))
             continue
         if ch == "'":
+            start = pos
             end = pos + 1
             value = None
             if end < length and source[end] == "\\":
@@ -94,22 +117,22 @@ def tokenize(source: str) -> list[Token]:
                 value = {"\\n": 10, "\\r": 13, "\\t": 9, "\\0": 0,
                          "\\\\": 92, "\\'": 39}.get(escape)
                 if value is None:
-                    raise LexError(f"bad escape {escape!r}", line)
+                    raise LexError(f"bad escape {escape!r}", line, col_of(end))
                 end += 2
             elif end < length:
                 value = ord(source[end])
                 end += 1
             if end >= length or source[end] != "'":
-                raise LexError("unterminated char literal", line)
-            tokens.append(Token("num", value, line))
+                raise LexError("unterminated char literal", line, col_of(pos))
+            tokens.append(Token("num", value, line, col_of(start)))
             pos = end + 1
             continue
         for op in _OPERATORS:
             if source.startswith(op, pos):
-                tokens.append(Token("op", op, line))
+                tokens.append(Token("op", op, line, col_of(pos)))
                 pos += len(op)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r}", line)
-    tokens.append(Token("eof", None, line))
+            raise LexError(f"unexpected character {ch!r}", line, col_of(pos))
+    tokens.append(Token("eof", None, line, col_of(pos)))
     return tokens

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from repro.dync.compiler.ast_nodes import (
+    Abort,
     Assign,
     Binary,
     Break,
     Call,
     CHAR,
     Continue,
+    Costate,
     CType,
     ExprStmt,
     For,
@@ -25,15 +27,22 @@ from repro.dync.compiler.ast_nodes import (
     Unary,
     Var,
     VOID,
+    Waitfor,
     While,
+    Yield,
 )
 from repro.dync.compiler.lexer import Token, tokenize
+from repro.diagnostics import Diagnostic, Severity
 
 
 class ParseError(ValueError):
     def __init__(self, message: str, token: Token):
         super().__init__(f"line {token.line}: {message} (at {token.value!r})")
         self.token = token
+        self.diagnostic = Diagnostic(
+            "PAR001", Severity.ERROR, f"{message} (at {token.value!r})",
+            line=token.line, col=token.col,
+        )
 
 
 #: Binary operator precedence (higher binds tighter).
@@ -128,6 +137,7 @@ class Parser:
         return program
 
     def _parse_top_level(self, program: Program) -> None:
+        first = self.peek()
         storage = ""
         nodebug = False
         is_const = False
@@ -152,15 +162,16 @@ class Parser:
         name = self.expect_ident()
         if self.peek().kind == "op" and self.peek().value == "(":
             program.functions.append(
-                self._parse_function(ctype, name, storage, nodebug)
+                self._parse_function(ctype, name, storage, nodebug, first)
             )
         else:
             program.globals.extend(
-                self._parse_global_tail(ctype, name, is_const, storage)
+                self._parse_global_tail(ctype, name, is_const, storage, first)
             )
 
     def _parse_global_tail(self, ctype: CType, first_name: str,
-                           is_const: bool, storage: str) -> list[GlobalDecl]:
+                           is_const: bool, storage: str,
+                           first: Token) -> list[GlobalDecl]:
         decls = []
         name = first_name
         while True:
@@ -176,7 +187,8 @@ class Parser:
             if self.accept_op("="):
                 initializer = self._parse_initializer(array_size)
             decls.append(GlobalDecl(name, ctype, array_size, initializer,
-                                    is_const, storage))
+                                    is_const, storage,
+                                    first.line, first.col))
             if self.accept_op(","):
                 name = self.expect_ident()
                 continue
@@ -206,7 +218,7 @@ class Parser:
         return value.value
 
     def _parse_function(self, return_type: CType, name: str, storage: str,
-                        nodebug: bool) -> Function:
+                        nodebug: bool, first: Token) -> Function:
         self.expect_op("(")
         params: list[Param] = []
         if not self.accept_op(")"):
@@ -216,14 +228,17 @@ class Parser:
                 self.expect_op(")")
             else:
                 while True:
+                    ptoken = self.peek()
                     ptype = self.parse_type()
                     pname = self.expect_ident()
-                    params.append(Param(pname, ptype))
+                    params.append(Param(pname, ptype, ptoken.line,
+                                        ptoken.col))
                     if not self.accept_op(","):
                         break
                 self.expect_op(")")
         body = self.parse_block()
-        return Function(name, return_type, params, body, storage, nodebug)
+        return Function(name, return_type, params, body, storage, nodebug,
+                        first.line, first.col)
 
     # -- statements ---------------------------------------------------------------
     def parse_block(self) -> list:
@@ -254,18 +269,47 @@ class Parser:
                 if not (self.peek().kind == "op" and self.peek().value == ";"):
                     value = self.parse_expression()
                 self.expect_op(";")
-                return Return(value, token.line)
+                return Return(value, token.line, token.col)
             if token.value == "break":
                 self.advance()
                 self.expect_op(";")
-                return Break(token.line)
+                return Break(token.line, token.col)
             if token.value == "continue":
                 self.advance()
                 self.expect_op(";")
-                return Continue(token.line)
+                return Continue(token.line, token.col)
+            if token.value == "costate":
+                return self._parse_costate()
+            if token.value == "waitfor":
+                self.advance()
+                self.expect_op("(")
+                condition = self.parse_expression()
+                self.expect_op(")")
+                self.expect_op(";")
+                return Waitfor(condition, token.line, token.col)
+            if token.value == "yield":
+                self.advance()
+                self.expect_op(";")
+                return Yield(token.line, token.col)
+            if token.value == "abort":
+                self.advance()
+                self.expect_op(";")
+                return Abort(token.line, token.col)
         expr = self.parse_expression()
         self.expect_op(";")
-        return ExprStmt(expr, token.line)
+        return ExprStmt(expr, token.line, token.col)
+
+    def _parse_costate(self):
+        token = self.advance()  # 'costate'
+        name = ""
+        mode = ""
+        if self.peek().kind == "ident":
+            name = self.advance().value
+        if self.peek().kind == "keyword" \
+                and self.peek().value in ("always_on", "init_on"):
+            mode = self.advance().value
+        body = self.parse_block()
+        return Costate(body, name, mode, token.line, token.col)
 
     def _parse_local_decl(self):
         token = self.peek()
@@ -295,7 +339,7 @@ class Parser:
                 initializer = self.parse_expression()
             decls.append(
                 LocalDecl(name, ctype, array_size, initializer, is_auto,
-                          token.line)
+                          token.line, token.col)
             )
             if not self.accept_op(","):
                 break
@@ -311,21 +355,24 @@ class Parser:
         else_body = None
         if self.accept_keyword("else"):
             else_body = self._statement_as_list()
-        return If(condition, then_body, else_body, token.line)
+        return If(condition, then_body, else_body, token.line, token.col)
 
     def _parse_while(self) -> While:
         token = self.advance()
         self.expect_op("(")
         condition = self.parse_expression()
         self.expect_op(")")
-        return While(condition, self._statement_as_list(), token.line)
+        return While(condition, self._statement_as_list(), token.line,
+                     token.col)
 
     def _parse_for(self) -> For:
         token = self.advance()
         self.expect_op("(")
         init = None
         if not self.accept_op(";"):
-            init = ExprStmt(self.parse_expression())
+            init_token = self.peek()
+            init = ExprStmt(self.parse_expression(), init_token.line,
+                            init_token.col)
             self.expect_op(";")
         condition = None
         if not self.accept_op(";"):
@@ -333,9 +380,12 @@ class Parser:
             self.expect_op(";")
         step = None
         if not (self.peek().kind == "op" and self.peek().value == ")"):
-            step = ExprStmt(self.parse_expression())
+            step_token = self.peek()
+            step = ExprStmt(self.parse_expression(), step_token.line,
+                            step_token.col)
         self.expect_op(")")
-        return For(init, condition, step, self._statement_as_list(), token.line)
+        return For(init, condition, step, self._statement_as_list(),
+                   token.line, token.col)
 
     def _statement_as_list(self) -> list:
         statement = self.parse_statement()
@@ -357,7 +407,7 @@ class Parser:
             if not isinstance(left, (Var, Index)):
                 raise ParseError("assignment target must be a variable or "
                                  "array element", token)
-            return Assign(left, value, op, token.line)
+            return Assign(left, value, op, token.line, token.col)
         return left
 
     def _parse_binary(self, min_precedence: int):
@@ -372,25 +422,28 @@ class Parser:
             op = token.value
             self.advance()
             right = self._parse_binary(precedence + 1)
-            left = _fold(Binary(op, left, right, token.line))
+            left = _fold(Binary(op, left, right, token.line, token.col))
 
     def _parse_unary(self):
         token = self.peek()
         if token.kind == "op" and token.value in ("-", "~", "!"):
             self.advance()
             operand = self._parse_unary()
-            return _fold(Unary(token.value, operand, token.line))
+            return _fold(Unary(token.value, operand, token.line,
+                               token.col))
         if token.kind == "op" and token.value == "+":
             self.advance()
             return self._parse_unary()
         if token.kind == "op" and token.value == "++":
             self.advance()
             target = self._parse_postfix()
-            return Assign(target, Binary("+", target, Num(1)), "=", token.line)
+            return Assign(target, Binary("+", target, Num(1)), "=",
+                          token.line, token.col)
         if token.kind == "op" and token.value == "--":
             self.advance()
             target = self._parse_postfix()
-            return Assign(target, Binary("-", target, Num(1)), "=", token.line)
+            return Assign(target, Binary("-", target, Num(1)), "=",
+                          token.line, token.col)
         return self._parse_postfix()
 
     def _parse_postfix(self):
@@ -403,21 +456,22 @@ class Parser:
                 self.expect_op("]")
                 if not isinstance(expr, Var):
                     raise ParseError("can only index named arrays", token)
-                expr = Index(expr, index, token.line)
+                expr = Index(expr, index, token.line, token.col)
             elif token.kind == "op" and token.value in ("++", "--"):
                 # Postfix inc/dec in expression statements behaves like
                 # prefix for this subset (value unused); reject elsewhere
                 # is overkill for the firmware we compile.
                 self.advance()
                 op = "+" if token.value == "++" else "-"
-                expr = Assign(expr, Binary(op, expr, Num(1)), "=", token.line)
+                expr = Assign(expr, Binary(op, expr, Num(1)), "=",
+                              token.line, token.col)
             else:
                 return expr
 
     def _parse_primary(self):
         token = self.advance()
         if token.kind == "num":
-            return Num(token.value, token.line)
+            return Num(token.value, token.line, token.col)
         if token.kind == "ident":
             if self.peek().kind == "op" and self.peek().value == "(":
                 self.advance()
@@ -428,8 +482,8 @@ class Parser:
                         if not self.accept_op(","):
                             break
                     self.expect_op(")")
-                return Call(token.value, args, token.line)
-            return Var(token.value, token.line)
+                return Call(token.value, args, token.line, token.col)
+            return Var(token.value, token.line, token.col)
         if token.kind == "op" and token.value == "(":
             # Either a cast "(char) expr" (ignored: all math is 16-bit,
             # stores truncate) or a parenthesized expression.
@@ -477,11 +531,11 @@ def _fold(expr):
             }[op]
         except KeyError:
             return expr
-        return Num(value & 0xFFFF, expr.line)
+        return Num(value & 0xFFFF, expr.line, expr.col)
     if isinstance(expr, Unary) and isinstance(expr.operand, Num):
         a = expr.operand.value
         value = {"-": -a, "~": ~a, "!": int(not a)}[expr.op]
-        return Num(value & 0xFFFF, expr.line)
+        return Num(value & 0xFFFF, expr.line, expr.col)
     return expr
 
 

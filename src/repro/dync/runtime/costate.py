@@ -159,6 +159,16 @@ class CostateScheduler:
             yield self.pass_overhead_s + busy
 
     @property
+    def costate_names(self) -> list[str]:
+        """Names of the registered costatements, in big-loop order."""
+        return [costate.name for costate in self._costates]
+
+    @property
+    def costate_count(self) -> int:
+        """Figure 3's static concurrency number: costatements in the loop."""
+        return len(self._costates)
+
+    @property
     def all_done(self) -> bool:
         return all(
             costate.done and costate not in self._factories

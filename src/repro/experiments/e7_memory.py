@@ -80,7 +80,8 @@ def xalloc_churn(pool_bytes: int, per_connection: int) -> int:
     served = 0
     try:
         while True:
-            allocator.xalloc(per_connection)
+            # The leak *is* the experiment: churn until the pool dies.
+            allocator.xalloc(per_connection)  # dclint: allow(PY101)
             served += 1
     except XallocError:
         return served

@@ -3,5 +3,7 @@ Dynamic C subset (DESIGN.md S13)."""
 
 from repro.rabbit.programs.aes_asm import AesAsm
 from repro.rabbit.programs.aes_c import AES_C_SOURCE, AesC
+from repro.rabbit.programs.redirector_dc import FIGURE3_MAIN_SOURCE, main_source
 
-__all__ = ["AES_C_SOURCE", "AesAsm", "AesC"]
+__all__ = ["AES_C_SOURCE", "AesAsm", "AesC", "FIGURE3_MAIN_SOURCE",
+           "main_source"]

@@ -1,0 +1,133 @@
+"""The dclint CLI: formats, exit codes, and the golden JSON shape."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+VIOLATING = """\
+int ticks;
+
+void timer_isr(void) {
+    ticks = ticks + 1;
+}
+
+void main(void) {
+    int t;
+    t = ticks;
+    yield;
+}
+"""
+
+CLEAN = """\
+shared int ticks;
+
+void timer_isr(void) {
+    ticks = ticks + 1;
+}
+
+void main(void) {
+    int t;
+    t = ticks;
+}
+"""
+
+
+@pytest.fixture
+def violating_file(tmp_path):
+    path = tmp_path / "violating.c"
+    path.write_text(VIOLATING)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return path
+
+
+class TestExitCodes:
+    def test_errors_exit_nonzero(self, violating_file, capsys):
+        assert main([str(violating_file)]) == 1
+        out = capsys.readouterr().out
+        assert "DC002" in out and "DC004" in out
+
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert main([str(clean_file)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_directory_tree_is_scanned(self, tmp_path, capsys):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "fw.c").write_text(VIOLATING)
+        assert main([str(tmp_path)]) == 1
+
+    def test_fail_on_warning(self, tmp_path, capsys):
+        path = tmp_path / "warn.py"
+        path.write_text("names = scheduler._costates\n")
+        assert main([str(path)]) == 0
+        assert main([str(path), "--fail-on=warning"]) == 1
+
+    def test_max_costates_flag(self, tmp_path, capsys):
+        blocks = "".join(
+            f"costate h{i} {{ yield; }}\n" for i in range(4)
+        )
+        path = tmp_path / "wide.c"
+        path.write_text(f"void main(void) {{ for (;;) {{ {blocks} }} }}")
+        assert main([str(path)]) == 1
+        assert main([str(path), "--max-costates=4"]) == 0
+
+    def test_module_entry_point(self, violating_file):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(violating_file)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "DC004" in result.stdout
+
+
+class TestJsonFormat:
+    def test_golden_json(self, violating_file, capsys):
+        assert main([str(violating_file), "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        file = str(violating_file)
+        assert payload == {
+            "tool": "dclint",
+            "version": 1,
+            "diagnostics": [
+                {
+                    "rule": "DC004",
+                    "severity": "error",
+                    "message": "multibyte global 'ticks' is written in "
+                               "interrupt context and accessed from the "
+                               "main loop without the atomic bracket: an "
+                               "interrupt between byte stores tears the "
+                               "value",
+                    "file": file,
+                    "line": 4,
+                    "col": 11,
+                    "hint": "declare it 'shared int ticks;' so updates are "
+                            "bracketed with IPSET/IPRES (paper, Figure 1)",
+                },
+                {
+                    "rule": "DC002",
+                    "severity": "error",
+                    "message": "'yield' outside a costatement has no saved "
+                               "program counter to return to",
+                    "file": file,
+                    "line": 10,
+                    "col": 5,
+                    "hint": "move the statement into a costate { ... } block",
+                },
+            ],
+            "summary": {"errors": 2, "warnings": 0, "notes": 0},
+        }
+
+    def test_json_clean_run(self, clean_file, capsys):
+        assert main([str(clean_file), "--format=json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+        assert payload["summary"] == {"errors": 0, "warnings": 0, "notes": 0}

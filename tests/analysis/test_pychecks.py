@@ -1,0 +1,111 @@
+"""Layer 2: Python-side runtime-usage checks and embedded-source lint."""
+
+import textwrap
+
+from repro.analysis import Severity, analyze_python_source
+
+
+def rules_of(source):
+    return [d.rule for d in analyze_python_source(textwrap.dedent(source))]
+
+
+class TestPY101:
+    def test_discarded_xalloc_flagged(self):
+        assert rules_of("""
+            allocator.xalloc(128)
+        """) == ["PY101"]
+
+    def test_bound_xalloc_clean(self):
+        assert rules_of("""
+            handle = allocator.xalloc(128)
+        """) == []
+
+    def test_bare_function_form_flagged(self):
+        assert rules_of("""
+            xalloc(64)
+        """) == ["PY101"]
+
+
+class TestPY102:
+    def test_direct_value_write_flagged(self):
+        assert rules_of("""
+            state._value = 7
+        """) == ["PY102"]
+
+    def test_augmented_write_flagged(self):
+        assert rules_of("""
+            state._value += 1
+        """) == ["PY102"]
+
+    def test_self_write_inside_class_clean(self):
+        assert rules_of("""
+            class ProtectedVariable:
+                def set(self, value):
+                    self._value = value
+        """) == []
+
+    def test_set_method_clean(self):
+        assert rules_of("""
+            state.set(7)
+        """) == []
+
+
+class TestPY103:
+    def test_free_on_allocator_flagged(self):
+        assert rules_of("""
+            allocator.free(handle)
+        """) == ["PY103"]
+
+    def test_free_on_unrelated_object_clean(self):
+        assert rules_of("""
+            widget.free(handle)
+        """) == []
+
+
+class TestPY104:
+    def test_private_costate_list_warned(self):
+        diagnostics = analyze_python_source("names = scheduler._costates\n")
+        assert [d.rule for d in diagnostics] == ["PY104"]
+        assert diagnostics[0].severity == Severity.WARNING
+
+    def test_public_accessor_clean(self):
+        assert rules_of("""
+            names = scheduler.costate_names
+        """) == []
+
+    def test_self_access_inside_scheduler_clean(self):
+        assert rules_of("""
+            class CostateScheduler:
+                def tick(self):
+                    return len(self._costates)
+        """) == []
+
+
+class TestEmbeddedExtraction:
+    def test_embedded_dync_literal_is_linted(self):
+        diagnostics = analyze_python_source(textwrap.dedent('''
+            FIRMWARE = """
+            void main(void) {
+                yield;
+            }
+            """
+        '''), file="fw.py")
+        assert [d.rule for d in diagnostics] == ["DC002"]
+        # Line numbers point into the host Python file.
+        assert diagnostics[0].file == "fw.py"
+        assert diagnostics[0].line == 4
+
+    def test_docstrings_are_not_extracted(self):
+        assert rules_of('''
+            """Discusses costate { yield; } in prose... with ellipses."""
+            x = 1
+        ''') == []
+
+    def test_suppression_in_python_source(self):
+        assert rules_of("""
+            allocator.xalloc(128)  # dclint: allow(PY101)
+        """) == []
+
+    def test_python_syntax_error_reported(self):
+        diagnostics = analyze_python_source("def broken(:\n")
+        assert [d.rule for d in diagnostics] == ["PY000"]

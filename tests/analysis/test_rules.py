@@ -1,0 +1,321 @@
+"""dclint rule coverage: one violating and one clean fixture per rule.
+
+Each DC rule encodes a porting pitfall from the paper (Sections 4-5);
+the positive fixture is the bug class as the authors would have hit it,
+the negative fixture is the disciplined version the port shipped.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import LintConfig, Severity, analyze_dync_source
+from repro.analysis.config import DEFAULT_CONFIG
+
+
+def rules_of(source, **config_overrides):
+    config = dataclasses.replace(DEFAULT_CONFIG, **config_overrides) \
+        if config_overrides else DEFAULT_CONFIG
+    return [d.rule for d in analyze_dync_source(source, config=config)]
+
+
+def diags_of(source):
+    return analyze_dync_source(source)
+
+
+# -- DC001: blocking constructs inside a costatement -------------------------
+
+class TestDC001:
+    def test_blocking_call_flagged(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate { tcp_read(0, 0, 16); }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC001"]
+
+    def test_infinite_loop_without_yield_flagged(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate { while (1) { work(); } }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC001"]
+
+    def test_wait_loop_on_external_condition_flagged(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate { while (sock_established(0)) { log(1); } }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC001"]
+
+    def test_busy_wait_on_unchanged_variable_flagged(self):
+        source = """
+        int flag;
+        void main(void) {
+            for (;;) {
+                costate { while (flag) { log(1); } }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC001"]
+
+    def test_yielding_loop_clean(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate {
+                    while (1) { yield; }
+                }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_bounded_loop_clean(self):
+        source = """
+        void main(void) {
+            int i;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < 16; i = i + 1) acc = acc + i;
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_blocking_call_outside_costate_not_dc001(self):
+        # The unix original may block; DC001 is a costatement rule.
+        source = "void main(void) { tcp_read(0, 0, 16); }"
+        assert "DC001" not in rules_of(source)
+
+
+# -- DC002: cooperative keywords outside a costatement -----------------------
+
+class TestDC002:
+    @pytest.mark.parametrize("statement", [
+        "yield;", "abort;", "waitfor(ready());",
+    ])
+    def test_keyword_outside_costate_flagged(self, statement):
+        source = f"void main(void) {{ {statement} }}"
+        assert rules_of(source) == ["DC002"]
+
+    def test_keywords_inside_costate_clean(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate { waitfor(ready()); yield; abort; }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+
+# -- DC003: the Figure 3 static concurrency cap ------------------------------
+
+def _main_with_costates(count, driver=True):
+    blocks = "".join(
+        f"costate handler{i} {{ yield; }}\n" for i in range(count)
+    )
+    if driver:
+        blocks += "costate tick_driver always_on { yield; }\n"
+    return f"void main(void) {{ for (;;) {{ {blocks} }} }}"
+
+
+class TestDC003:
+    def test_four_request_costates_flagged(self):
+        assert rules_of(_main_with_costates(4)) == ["DC003"]
+
+    def test_three_request_costates_plus_driver_clean(self):
+        # Figure 3 exactly: the driver costatement is exempt by name.
+        assert rules_of(_main_with_costates(3)) == []
+
+    def test_cap_is_configurable(self):
+        assert rules_of(_main_with_costates(4), max_costates=4) == []
+        assert rules_of(_main_with_costates(2), max_costates=1) == ["DC003"]
+
+
+# -- DC004: torn-write race detector -----------------------------------------
+
+class TestDC004:
+    def test_unshared_dual_context_multibyte_flagged(self):
+        source = """
+        int ticks;
+        void timer_isr(void) { ticks = ticks + 1; }
+        void main(void) { int t; t = ticks; }
+        """
+        assert rules_of(source) == ["DC004"]
+
+    def test_shared_dual_context_clean(self):
+        source = """
+        shared int ticks;
+        void timer_isr(void) { ticks = ticks + 1; }
+        void main(void) { int t; t = ticks; }
+        """
+        assert rules_of(source) == []
+
+    def test_single_byte_global_clean(self):
+        # char stores are single-byte and cannot tear.
+        source = """
+        char flag;
+        void timer_isr(void) { flag = 1; }
+        void main(void) { int t; t = flag; }
+        """
+        assert rules_of(source) == []
+
+    def test_single_context_multibyte_clean(self):
+        source = """
+        int ticks;
+        void main(void) { ticks = ticks + 1; }
+        """
+        assert rules_of(source) == []
+
+    def test_main_writes_isr_reads_flagged(self):
+        source = """
+        int total;
+        void main(void) { total = total + 1; }
+        void status_isr(void) { report(total); }
+        """
+        assert rules_of(source) == ["DC004"]
+
+
+# -- DC005: static memory budget ---------------------------------------------
+
+class TestDC005:
+    def test_root_overflow_flagged(self):
+        # The compiler's root data window is ~1.25 KB; two such arrays
+        # cannot fit (they would collide with the stack segment).
+        source = """
+        char a[700];
+        char b[700];
+        void main(void) { a[0] = b[0]; }
+        """
+        diagnostics = diags_of(source)
+        assert [d.rule for d in diagnostics] == ["DC005"]
+        assert diagnostics[0].severity == Severity.ERROR
+
+    def test_near_budget_warns(self):
+        source = """
+        char a[1200];
+        void main(void) { a[0] = 1; }
+        """
+        diagnostics = diags_of(source)
+        assert [d.rule for d in diagnostics] == ["DC005"]
+        assert diagnostics[0].severity == Severity.WARNING
+
+    def test_locals_and_params_count(self):
+        # Locals are static in Dynamic C: they consume the same window.
+        source = """
+        int helper(int x) { char buffer[900]; buffer[0] = x; return 0; }
+        void main(void) { char other[500]; other[0] = 1; }
+        """
+        assert "DC005" in rules_of(source)
+
+    def test_const_tables_in_flash_clean(self):
+        # Default placement puts const arrays in flash, not root RAM.
+        source = """
+        const char table[1400] = {1};
+        void main(void) { int t; t = table[0]; }
+        """
+        assert rules_of(source) == []
+
+    def test_small_program_clean(self):
+        source = """
+        char state[16];
+        void main(void) { state[0] = 1; }
+        """
+        assert rules_of(source) == []
+
+
+# -- DC006: xmem pointers dereferenced as root pointers ----------------------
+
+class TestDC006:
+    def test_indexing_xalloc_result_flagged(self):
+        source = """
+        void main(void) {
+            int p;
+            p = xalloc(64);
+            p[0] = 1;
+        }
+        """
+        assert rules_of(source) == ["DC006"]
+
+    def test_arithmetic_on_xalloc_result_flagged(self):
+        source = """
+        void main(void) {
+            int p;
+            int q;
+            p = xalloc(64);
+            q = p + 2;
+        }
+        """
+        assert rules_of(source) == ["DC006"]
+
+    def test_opaque_handle_use_clean(self):
+        source = """
+        void main(void) {
+            int p;
+            p = xalloc(64);
+            xmem2root(0xC400, p, 64);
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_reassigned_variable_clean(self):
+        source = """
+        void main(void) {
+            int p;
+            p = xalloc(64);
+            p = 0;
+            p = p + 2;
+        }
+        """
+        assert rules_of(source) == []
+
+
+# -- cross-cutting -----------------------------------------------------------
+
+class TestEngine:
+    def test_parse_error_becomes_diagnostic(self):
+        diagnostics = analyze_dync_source("void main( {", file="broken.c")
+        assert len(diagnostics) == 1
+        assert diagnostics[0].rule == "PAR001"
+        assert diagnostics[0].severity == Severity.ERROR
+        assert diagnostics[0].file == "broken.c"
+
+    def test_suppression_comment_silences_rule(self):
+        source = """
+        void main(void) {
+            /* dclint: allow(DC002) */
+            yield;
+        }
+        """
+        assert analyze_dync_source(source) == []
+
+    def test_suppression_is_rule_specific(self):
+        source = """
+        void main(void) {
+            /* dclint: allow(DC001) */
+            yield;
+        }
+        """
+        assert rules_of(source) == ["DC002"]
+
+    def test_diagnostics_carry_line_and_col(self):
+        source = "void main(void) {\n    yield;\n}"
+        (diag,) = analyze_dync_source(source)
+        assert (diag.line, diag.col) == (2, 5)
+
+    def test_config_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            LintConfig().max_costates = 5

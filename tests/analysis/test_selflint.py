@@ -1,0 +1,67 @@
+"""Self-lint: dclint over the repository's own sources, as a CI gate.
+
+Every embedded-DSL source and every runtime call site in the repo must
+satisfy the platform contract the paper's authors discovered by hand
+(Sections 4-5).  A new error-severity finding here means a change
+reintroduced one of the porting bugs; fix it or annotate the deliberate
+demonstration with ``dclint: allow(RULE)`` -- do not relax this test.
+"""
+
+import pathlib
+
+from repro.analysis import Severity, analyze_dync_source, analyze_paths
+from repro.rabbit.programs.aes_c import AES_C_SOURCE
+from repro.rabbit.programs.redirector_dc import FIGURE3_MAIN_SOURCE, main_source
+from repro.rabbit.programs.rsa_c import generate_source
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+#: The trees the acceptance gate lints (examples + services), plus the
+#: subsystems that carry embedded firmware or runtime call sites.
+LINTED_TREES = [
+    REPO / "examples",
+    REPO / "src" / "repro" / "services",
+    REPO / "src" / "repro" / "rabbit" / "programs",
+    REPO / "src" / "repro" / "experiments",
+    REPO / "src" / "repro" / "dync",
+]
+
+
+def _errors(diagnostics):
+    return [d for d in diagnostics if d.severity == Severity.ERROR]
+
+
+def test_repo_trees_lint_clean():
+    diagnostics = analyze_paths(LINTED_TREES)
+    assert _errors(diagnostics) == [], "\n".join(
+        d.format() for d in _errors(diagnostics)
+    )
+
+
+def test_repo_trees_have_no_undocumented_warnings():
+    diagnostics = analyze_paths(LINTED_TREES)
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
+
+
+def test_figure3_firmware_lints_clean():
+    assert analyze_dync_source(FIGURE3_MAIN_SOURCE) == []
+
+
+def test_generated_firmware_lints_clean():
+    """f-string sources static extraction cannot see, linted by import."""
+    for source in (AES_C_SOURCE, generate_source(32), main_source(3)):
+        assert _errors(analyze_dync_source(source)) == []
+
+
+def test_fourth_handler_requires_recompile():
+    """The paper's trade-off, statically: one more handler costatement
+    than the Figure 3 cap is a DC003 finding, not a silent queue."""
+    rules = [d.rule for d in analyze_dync_source(main_source(4))]
+    assert rules == ["DC003"]
+
+
+def test_unshared_stats_is_a_torn_write():
+    rules = [d.rule for d in analyze_dync_source(
+        main_source(3, shared_stats=False)
+    )]
+    assert rules == ["DC004"]

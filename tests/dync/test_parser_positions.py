@@ -1,0 +1,99 @@
+"""Source positions: every AST node carries usable line/col info.
+
+The analyzer's diagnostics are only as good as the positions the parser
+threads through; these tests pin the productions that used to drop them
+(functions, globals, params, for-clauses) and the costatement syntax.
+"""
+
+from repro.dync.compiler.ast_nodes import (
+    Abort,
+    Costate,
+    ExprStmt,
+    Waitfor,
+    Yield,
+)
+from repro.dync.compiler.parser import parse
+
+SOURCE = """\
+shared int ticks;
+const char table[4] = {1, 2, 3, 4};
+
+int add(int a, int b) {
+    return a + b;
+}
+
+void main(void) {
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        ticks = ticks + table[i];
+    }
+    for (;;) {
+        costate handler1 {
+            waitfor(ready());
+            yield;
+        }
+        costate tick_driver always_on {
+            tick();
+            yield;
+        }
+    }
+}
+"""
+
+
+def test_globals_carry_declaration_position():
+    program = parse(SOURCE)
+    ticks, table = program.globals
+    assert (ticks.line, ticks.col) == (1, 1)
+    assert (table.line, table.col) == (2, 1)
+
+
+def test_functions_and_params_carry_positions():
+    program = parse(SOURCE)
+    add = program.function("add")
+    assert (add.line, add.col) == (4, 1)
+    assert [(p.name, p.line) for p in add.params] == [("a", 4), ("b", 4)]
+    assert all(p.col > 0 for p in add.params)
+
+
+def test_for_clauses_carry_positions():
+    program = parse(SOURCE)
+    counted_for = program.function("main").body[1]
+    assert isinstance(counted_for.init, ExprStmt)
+    assert (counted_for.init.line, counted_for.init.col) == (10, 10)
+    assert isinstance(counted_for.step, ExprStmt)
+    assert counted_for.step.line == 10
+
+
+def test_costate_productions_and_positions():
+    program = parse(SOURCE)
+    big_loop = program.function("main").body[2]
+    handler, driver = big_loop.body
+    assert isinstance(handler, Costate)
+    assert (handler.name, handler.mode) == ("handler1", "")
+    assert (handler.line, handler.col) == (14, 9)
+    assert isinstance(handler.body[0], Waitfor)
+    assert handler.body[0].line == 15
+    assert isinstance(handler.body[1], Yield)
+    assert isinstance(driver, Costate)
+    assert (driver.name, driver.mode) == ("tick_driver", "always_on")
+
+
+def test_abort_parses():
+    program = parse("""
+    void main(void) {
+        for (;;) {
+            costate { abort; }
+        }
+    }
+    """)
+    big_loop = program.function("main").body[0]
+    costate = big_loop.body[0]
+    assert isinstance(costate.body[0], Abort)
+
+
+def test_expression_nodes_carry_col():
+    program = parse("int f(void) { return 1 + x; }")
+    ret = program.function("f").body[0]
+    assert ret.value.line == 1
+    assert ret.value.col > 0
