@@ -48,6 +48,10 @@ class LintConfig:
     #: DC006: calls returning xmem physical pointers.
     xmem_allocators: frozenset = DEFAULT_XMEM_ALLOCATORS
 
+    #: DC007: constant-bound loops with at most this many iterations are
+    #: routine compute, not big-loop starvation.
+    busy_loop_iterations: int = 64
+
     #: DC005: static data budgets, mirroring the code generator's
     #: allocators (root RAM window and the xmem bank region).
     root_ram_budget: int = RAM_LIMIT - RAM_BASE

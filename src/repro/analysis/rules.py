@@ -21,6 +21,12 @@ Each rule encodes one porting pitfall the paper's authors hit by hand:
 * DC006 -- xmem pointer used as a root pointer (S5.2): ``xalloc``
   returns a 20-bit physical address; indexing or arithmetic through a
   16-bit root pointer reads the wrong memory.
+* DC007 -- bounded busy-loop inside a costatement without a scheduling
+  point (S4.2): the loop terminates (its condition variables advance in
+  the body), so it is not DC001's deadlock, but while it grinds, every
+  other costatement in the big loop is starved -- the jitter the
+  scheduler's ``costate.gap_s`` histogram measures.  Warning, not
+  error: sometimes a short compute loop is exactly what you want.
 """
 
 from __future__ import annotations
@@ -55,7 +61,7 @@ from repro.dync.compiler.codegen import RAM_BASE, XMEM_PHYS_BASE
 def run_all(program: Program, sink: DiagnosticSink,
             config: LintConfig) -> None:
     for rule in (check_dc001, check_dc002, check_dc003, check_dc004,
-                 check_dc005, check_dc006):
+                 check_dc005, check_dc006, check_dc007):
         rule(program, sink, config)
 
 
@@ -347,3 +353,84 @@ def check_dc006(program: Program, sink: DiagnosticSink,
                                  "xmem2root()/root2xmem()",
                             **_loc(node),
                         )
+
+
+# -- DC007: busy compute loop starves the big loop ----------------------------
+
+def check_dc007(program: Program, sink: DiagnosticSink,
+                config: LintConfig) -> None:
+    """A terminating loop with no yield still monopolizes the CPU.
+
+    DC001 flags no-yield loops that cannot make progress (infinite, or
+    waiting on something only other costatements can change).  The
+    complementary case is a loop that *does* terminate -- its condition
+    reads variables its body assigns -- but runs to completion without
+    ever reaching the scheduler.  On a cooperative big loop that is a
+    latency cliff for every other costatement.
+    """
+    for node, ancestors in walk(program.functions):
+        if not isinstance(node, (While, For)):
+            continue
+        if not any(isinstance(a, Costate) for a in ancestors):
+            continue
+        if _body_yields(node.body):
+            continue
+        condition = node.condition
+        if condition is None or (isinstance(condition, Num) and condition.value):
+            continue  # DC001: infinite no-yield loop
+        if _has_call(condition):
+            continue  # DC001: waiting on an external condition
+        assigned = _assigned_names(node.body)
+        if isinstance(node, For) and node.step is not None:
+            assigned |= _assigned_names([node.step])
+        if not (_vars_read(condition) & assigned):
+            continue  # DC001: busy-wait that cannot terminate
+        trip = _constant_trip_count(node)
+        if trip is not None and trip <= config.busy_loop_iterations:
+            continue  # short constant-bound compute loop: routine work
+        sink.warning(
+                "DC007",
+                "busy compute loop inside a costatement runs to completion "
+                "without yielding; every other costatement is starved for "
+                "its whole duration",
+                hint="yield periodically inside the loop, or move the "
+                     "computation out of the costatement",
+                **_loc(node),
+            )
+
+
+def _constant_trip_count(loop) -> int | None:
+    """Trip count for ``for (v = C0; v cmp C1; v = v +/- C2)`` shapes.
+
+    Returns None when the bounds are not literal (trip count unknown at
+    compile time) or the loop is a ``while``.
+    """
+    if not isinstance(loop, For):
+        return None
+    init, condition, step = loop.init, loop.condition, loop.step
+    init = getattr(init, "expr", init)      # unwrap ExprStmt
+    step = getattr(step, "expr", step)
+    if not (isinstance(init, Assign) and isinstance(init.target, Var)
+            and isinstance(init.value, Num)):
+        return None
+    if not (isinstance(condition, Binary)
+            and condition.op in ("<", "<=", ">", ">=", "!=")):
+        return None
+    if isinstance(condition.left, Var) and isinstance(condition.right, Num):
+        bound = condition.right.value
+    elif isinstance(condition.left, Num) and isinstance(condition.right, Var):
+        bound = condition.left.value
+    else:
+        return None
+    span = abs(bound - init.value.value)
+    stride = 1
+    if isinstance(step, Assign):
+        value = step.value
+        if step.op in ("+=", "-=") and isinstance(value, Num):
+            stride = abs(value.value) or 1
+        elif isinstance(value, Binary) and value.op in ("+", "-"):
+            if isinstance(value.right, Num):
+                stride = abs(value.right.value) or 1
+            elif isinstance(value.left, Num):
+                stride = abs(value.left.value) or 1
+    return (span + stride - 1) // stride

@@ -29,10 +29,15 @@ from __future__ import annotations
 from typing import Callable, Generator
 
 from repro.net.sim import Simulator
+from repro.obs.trace import CAT_COSTATE
 
 #: Default simulated cost of one pass through the big loop.  At 30 MHz a
 #: few hundred cycles of loop/dispatch overhead is ~10 us.
 DEFAULT_PASS_OVERHEAD_S = 10e-6
+
+#: Histogram buckets for the gap between consecutive runs of the same
+#: costatement (seconds): big-loop jitter, Figure 3's starvation signal.
+GAP_BUCKETS = (20e-6, 50e-6, 100e-6, 500e-6, 1e-3, 5e-3, 20e-3, 100e-3, 1.0)
 
 
 class CostateError(RuntimeError):
@@ -47,6 +52,10 @@ class Costate:
         self.name = name or getattr(gen, "__name__", "costate")
         self.done = False
         self.passes = 0
+        # Slice bookkeeping, kept even without a tracer so the scheduler
+        # can say *which* costatement starved when a run times out.
+        self.last_ran_at: float | None = None
+        self.total_busy_s = 0.0
 
     def step(self) -> float:
         """Advance to the next yield (one scheduler pass).
@@ -106,7 +115,7 @@ class CostateScheduler:
 
     def __init__(self, sim: Simulator,
                  pass_overhead_s: float = DEFAULT_PASS_OVERHEAD_S,
-                 name: str = "bigloop"):
+                 name: str = "bigloop", obs=None):
         self.sim = sim
         self.pass_overhead_s = pass_overhead_s
         self.name = name
@@ -115,6 +124,11 @@ class CostateScheduler:
         self._process = None
         self.passes = 0
         self.running = False
+        self.obs = obs if obs is not None else sim.obs
+        self._ctr_passes = self.obs.metrics.counter(f"costate.{name}.passes")
+        self._gap_histogram = self.obs.metrics.histogram(
+            "costate.gap_s", GAP_BUCKETS
+        )
 
     def add(self, gen: Generator, name: str = "") -> Costate:
         """Register a one-shot costatement (runs to completion once)."""
@@ -142,8 +156,10 @@ class CostateScheduler:
         self.running = False
 
     def _big_loop(self):
+        tracer = self.obs.tracer
         while self.running:
             self.passes += 1
+            self._ctr_passes.inc()
             busy = 0.0
             for costate in list(self._costates):
                 if costate.done:
@@ -153,7 +169,27 @@ class CostateScheduler:
                         costate.done = False
                     else:
                         continue
-                busy += costate.step()
+                # Reconstruct where this slice sits on the board's
+                # timeline: the simulator charges the whole pass in one
+                # lump at the trailing yield, but on hardware the slices
+                # run back to back after the loop overhead.
+                slice_start = self.sim.now + self.pass_overhead_s + busy
+                if costate.last_ran_at is not None:
+                    self._gap_histogram.observe(
+                        slice_start - costate.last_ran_at
+                    )
+                costate.last_ran_at = slice_start
+                step_busy = costate.step()
+                costate.total_busy_s += step_busy
+                busy += step_busy
+                if step_busy > 0:
+                    # Idle polling slices are counted, not traced; busy
+                    # slices are what starves the other costatements.
+                    tracer.add_complete(
+                        f"costate.{costate.name}", slice_start,
+                        slice_start + step_busy, cat=CAT_COSTATE,
+                        tid=self.name, run=costate.passes,
+                    )
             # One trip around the for(;;) loop costs real time, plus
             # whatever blocking computation the costatements performed.
             yield self.pass_overhead_s + busy
@@ -175,17 +211,55 @@ class CostateScheduler:
             for costate in self._costates
         )
 
-    def run_until_all_done(self, timeout: float = 60.0) -> None:
+    def run_until_all_done(self, timeout: float = 60.0,
+                           max_passes: int | None = None) -> None:
         """Convenience for tests: start (if needed) and run the sim until
-        every one-shot costatement finishes."""
+        every one-shot costatement finishes.
+
+        ``timeout`` bounds *simulated* seconds; ``max_passes``
+        additionally bounds big-loop passes (a simulated-tick budget,
+        checked between simulation chunks), so a run can be capped by
+        work performed rather than by wall-like time.  On expiry the
+        error names the starved costatement, derived from the same
+        slice bookkeeping the tracer's spans come from.
+        """
         if not self.running:
             self.start()
         deadline = self.sim.now + timeout
+        pass_budget = None if max_passes is None else self.passes + max_passes
         while not self.all_done:
-            if self.sim.now >= deadline or not self.sim.pending_events:
+            if self.sim.now >= deadline:
+                raise CostateError(self._starvation_report("timeout"))
+            if pass_budget is not None and self.passes >= pass_budget:
                 raise CostateError(
-                    f"costates not done by t={self.sim.now}: "
-                    f"{[c for c in self._costates if not c.done]}"
+                    self._starvation_report("pass budget exhausted")
                 )
+            if not self.sim.pending_events:
+                raise CostateError(self._starvation_report("deadlock"))
             self.sim.run(until=min(deadline, self.sim.now + 0.05))
         self.stop()
+
+    def _starvation_report(self, reason: str) -> str:
+        """Who is stuck, and who got the least CPU while we waited."""
+        stuck = [c for c in self._costates if not c.done]
+        parts = []
+        for c in stuck:
+            last = ("never ran" if c.last_ran_at is None
+                    else f"last ran t={c.last_ran_at:.6g}")
+            parts.append(
+                f"{c.name}(passes={c.passes}, "
+                f"busy={c.total_busy_s:.6g}s, {last})"
+            )
+        details = ", ".join(parts) or "(none)"
+        message = (
+            f"costates not done by t={self.sim.now:.6g} after "
+            f"{self.passes} passes ({reason}): {details}"
+        )
+        if stuck:
+            starved = min(stuck, key=lambda c: (c.total_busy_s, c.passes))
+            message += (
+                f"; most starved: {starved.name!r} "
+                f"(busy {starved.total_busy_s:.6g}s over {starved.passes} "
+                "passes)"
+            )
+        return message

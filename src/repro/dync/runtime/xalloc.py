@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.trace import CAT_XALLOC
+
 
 class XallocError(MemoryError):
     """Raised when the xmem pool is exhausted."""
@@ -44,27 +46,50 @@ class XmemPointer:
 
 
 class XmemAllocator:
-    """Bump allocator over [base, base+capacity); no free, ever."""
+    """Bump allocator over [base, base+capacity); no free, ever.
 
-    def __init__(self, capacity: int, base: int = 0x80000):
+    With an :class:`repro.obs.Obs` handle the allocator keeps a
+    ``xalloc.used`` gauge (its high-water mark is the port's static
+    memory budget) and emits an instant per allocation -- on a no-free
+    allocator every xalloc is permanent, so each one is an event worth
+    seeing on the timeline.
+    """
+
+    def __init__(self, capacity: int, base: int = 0x80000, obs=None):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.base = base
         self.capacity = capacity
         self._brk = base
         self.allocations = 0
+        if obs is None:
+            from repro.obs import NULL_OBS
+            obs = NULL_OBS
+        self._tracer = obs.tracer
+        self._gauge_used = obs.metrics.gauge("xalloc.used")
+        self._ctr_allocations = obs.metrics.counter("xalloc.allocations")
 
     def xalloc(self, nbytes: int) -> XmemPointer:
         """Allocate ``nbytes``; raises :class:`XallocError` when exhausted."""
         if nbytes <= 0:
             raise ValueError(f"allocation must be positive, got {nbytes}")
         if self._brk + nbytes > self.base + self.capacity:
+            self._tracer.instant(
+                "xalloc.exhausted", cat=CAT_XALLOC, tid="xmem",
+                requested=nbytes, available=self.available,
+            )
             raise XallocError(
                 f"xalloc({nbytes}) with only {self.available} bytes left"
             )
         pointer = XmemPointer(self._brk, nbytes)
         self._brk += nbytes
         self.allocations += 1
+        self._gauge_used.set(self.used)
+        self._ctr_allocations.inc()
+        self._tracer.instant(
+            "xalloc", cat=CAT_XALLOC, tid="xmem",
+            size=nbytes, used=self.used, available=self.available,
+        )
         return pointer
 
     def free(self, pointer: XmemPointer) -> None:

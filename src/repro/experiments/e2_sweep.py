@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.dync.compiler import CompilerOptions
 from repro.experiments.e1_aes import measure_implementation
 from repro.experiments.harness import ExperimentResult
+from repro.obs.profile import CycleProfiler, compiled_function_symbols
 from repro.rabbit.board import Board
 from repro.rabbit.programs.aes_c import AesC
 
@@ -33,13 +34,32 @@ SWEEP: tuple[tuple[str, CompilerOptions], ...] = (
 )
 
 
-def run_e2(keys: int = 1, blocks_per_key: int = 2) -> ExperimentResult:
+def run_e2(keys: int = 1, blocks_per_key: int = 2,
+           profile_routines: bool = True) -> ExperimentResult:
+    """Run the sweep; ``profile_routines`` adds per-routine cycle
+    attribution for the two interesting endpoints (baseline and
+    all-knobs-on) so the 20% can be traced to specific routines."""
     measurements = []
+    extra_tables: dict = {}
+    profiled = {SWEEP[0][0], SWEEP[-1][0]} if profile_routines else set()
     for label, options in SWEEP:
         implementation = AesC(Board(), options, include_decrypt=False)
-        measurement = measure_implementation(
-            implementation, keys, blocks_per_key, label
-        )
+        if label in profiled:
+            profiler = CycleProfiler(
+                implementation.board.cpu,
+                compiled_function_symbols(implementation.program.compilation),
+            )
+            with profiler:
+                measurement = measure_implementation(
+                    implementation, keys, blocks_per_key, label
+                )
+            extra_tables[f"{label}: cycles by routine"] = (
+                profiler.report_rows(top=6)
+            )
+        else:
+            measurement = measure_implementation(
+                implementation, keys, blocks_per_key, label
+            )
         measurements.append((label, options, measurement))
     baseline = measurements[0][2].cycles_per_block
     rows = []
@@ -76,4 +96,5 @@ def run_e2(keys: int = 1, blocks_per_key: int = 2) -> ExperimentResult:
             f"{combined_gain:.1f}% -- far short of the assembly's 10x+"
         ),
         reproduced=reproduced,
+        extra_tables=extra_tables,
     )

@@ -44,13 +44,19 @@ from repro.services import (
 
 
 def _run_rmc_service(secure: bool, requests: int, request_size: int,
-                     cost_model) -> ClientReport:
-    """One simulation: client -> RMC redirector -> backend."""
-    sim = Simulator()
+                     cost_model, obs=None) -> tuple[ClientReport, object]:
+    """One simulation: client -> RMC redirector -> backend.
+
+    Returns ``(report, obs)``; pass ``obs=None`` for an uninstrumented
+    run (the null handle costs one attribute lookup per site).
+    """
+    from repro.obs import NULL_OBS
+    sim = Simulator(obs=obs)
     _lan, hosts = build_lan(sim, ["rmc", "backend", "client"])
     stack = DyncTcpStack(hosts["rmc"])
     profile = RMC2000_PORT.with_cost_model(cost_model)
-    context = IsslContext(profile, CipherRng(b"rmc-e4"), psk=DEMO_PSK)
+    context = IsslContext(profile, CipherRng(b"rmc-e4"), psk=DEMO_PSK,
+                          obs=obs if obs is not None else NULL_OBS)
     hosts["backend"].spawn(backend_line_server(hosts["backend"]))
     port = TLS_PORT if secure else PLAIN_PORT
     scheduler = build_rmc_redirector(
@@ -74,13 +80,43 @@ def _run_rmc_service(secure: bool, requests: int, request_size: int,
     sim.run_until_complete(process, timeout=3600)
     if report.error:
         raise AssertionError(f"E4 client failed: {report.error}")
-    return report
+    return report, sim.obs
 
 
-def run_e4(requests: int = 8, request_size: int = 256) -> ExperimentResult:
-    plain = _run_rmc_service(False, requests, request_size, RMC2000_ASM)
-    secure_asm = _run_rmc_service(True, requests, request_size, RMC2000_ASM)
-    secure_c = _run_rmc_service(True, requests, request_size, RMC2000_C_PORT)
+def run_e4(requests: int = 8, request_size: int = 256,
+           instrument: bool = True) -> ExperimentResult:
+    """Run E4; ``instrument`` (default on) gives each simulation its own
+    :class:`repro.obs.Obs` handle and reports the secure runs' issl
+    counters alongside the throughput table.  ``instrument=False`` is
+    the overhead-check configuration: every site sees the null handle.
+    """
+    from repro.obs import Obs
+
+    def fresh_obs():
+        return Obs() if instrument else None
+
+    plain, _ = _run_rmc_service(
+        False, requests, request_size, RMC2000_ASM, obs=fresh_obs()
+    )
+    secure_asm, obs_asm = _run_rmc_service(
+        True, requests, request_size, RMC2000_ASM, obs=fresh_obs()
+    )
+    secure_c, obs_c = _run_rmc_service(
+        True, requests, request_size, RMC2000_C_PORT, obs=fresh_obs()
+    )
+    extra_tables: dict = {}
+    if instrument:
+        counter_rows = []
+        for label, obs in (("asm AES", obs_asm), ("C-port AES", obs_c)):
+            counters = obs.metrics.snapshot()["counters"]
+            counter_rows.append({
+                "run": label,
+                "records sent": counters.get("issl.records.sent", 0),
+                "bytes encrypted": counters.get("issl.bytes.encrypted", 0),
+                "handshakes": counters.get("issl.handshakes.completed", 0),
+                "retransmits": counters.get("tcp.segments.retransmitted", 0),
+            })
+        extra_tables["issl counters (server side)"] = counter_rows
     rows = []
     for label, report in (
         ("plaintext redirector", plain),
@@ -116,4 +152,5 @@ def run_e4(requests: int = 8, request_size: int = 256) -> ExperimentResult:
             "30 MHz Rabbit; the C-port row shows why the assembly cipher "
             "mattered for the product, not just the benchmark"
         ),
+        extra_tables=extra_tables,
     )

@@ -21,6 +21,9 @@ class ExperimentResult:
     summary: str = ""
     reproduced: bool = False
     notes: str = ""
+    #: Named side tables (per-routine cycle attribution, issl counters,
+    #: ...), rendered after the main table.
+    extra_tables: dict = field(default_factory=dict)
 
     def format(self) -> str:
         lines = [
@@ -29,6 +32,9 @@ class ExperimentResult:
         ]
         if self.rows:
             lines.append(_format_table(self.rows, indent="  "))
+        for title, rows in self.extra_tables.items():
+            lines.append(f"  -- {title} --")
+            lines.append(_format_table(rows, indent="  "))
         lines.append(f"  measured: {self.summary}")
         lines.append(f"  reproduced: {'YES' if self.reproduced else 'NO'}")
         if self.notes:

@@ -30,6 +30,8 @@ from repro.issl.handshake import (
     psk_pre_master,
 )
 from repro.issl.log import Logger, NullLogger
+from repro.obs import NULL_OBS
+from repro.obs.trace import CAT_ISSL
 from repro.issl.record import (
     ALERT_CLOSE_NOTIFY,
     CT_ALERT,
@@ -56,7 +58,8 @@ class IsslContext:
 
     def __init__(self, profile: BuildProfile, rng, logger: Logger | None = None,
                  rsa_key: "rsa_mod.RsaPrivateKey | None" = None,
-                 psk: bytes | None = None, psk_identity: bytes = b"rmc2000"):
+                 psk: bytes | None = None, psk_identity: bytes = b"rmc2000",
+                 obs=None):
         self.profile = profile
         self.rng = rng
         self.logger = logger if logger is not None else NullLogger()
@@ -66,6 +69,15 @@ class IsslContext:
         self.sessions_active = 0
         self.sessions_total = 0
         self.sessions_peak = 0
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._ctr_records_sent = metrics.counter("issl.records.sent")
+        self._ctr_records_received = metrics.counter("issl.records.received")
+        self._ctr_bytes_encrypted = metrics.counter("issl.bytes.encrypted")
+        self._ctr_bytes_decrypted = metrics.counter("issl.bytes.decrypted")
+        self._ctr_hs_completed = metrics.counter("issl.handshakes.completed")
+        self._ctr_hs_failed = metrics.counter("issl.handshakes.failed")
+        self._gauge_sessions = metrics.gauge("issl.sessions.active")
         if any(s.uses_rsa for s in profile.suites) and profile.name == "RMC2000_PORT":
             raise IsslConfigError("RMC2000 port cannot carry RSA suites")
 
@@ -78,22 +90,28 @@ class IsslContext:
         self.sessions_active += 1
         self.sessions_total += 1
         self.sessions_peak = max(self.sessions_peak, self.sessions_active)
+        self._gauge_sessions.set(self.sessions_active)
 
     def release_session_slot(self) -> None:
         if self.sessions_active > 0:
             self.sessions_active -= 1
+            self._gauge_sessions.set(self.sessions_active)
 
 
 class IsslSession:
     """One secure connection endpoint over a transport adapter."""
 
-    def __init__(self, context: IsslContext, transport, role: str):
+    def __init__(self, context: IsslContext, transport, role: str, obs=None):
         if role not in ("client", "server"):
             raise ValueError(f"role must be client/server, got {role!r}")
         context.acquire_session_slot()
         self.context = context
         self.transport = transport
         self.role = role
+        # ``obs`` overrides the context's tracer for this one session
+        # (counters stay context-wide); default is the context's handle.
+        self._tracer = (obs if obs is not None else context.obs).tracer
+        self._span_tid = f"issl:{role}:{context.sessions_total}"
         self.suite: CipherSuite | None = None
         self._send_state: RecordCipherState | None = None
         self._recv_state: RecordCipherState | None = None
@@ -120,10 +138,12 @@ class IsslSession:
         if self._send_state is not None:
             yield from self._charge(cost.record_seconds(len(payload)))
             body = self._send_state.seal(content_type, payload)
+            self.context._ctr_bytes_encrypted.inc(len(payload))
         else:
             body = payload
         self.transport.send(encode_record(content_type, body))
         self.records_sent += 1
+        self.context._ctr_records_sent.inc()
 
     def _read_record(self):
         header = yield from self.transport.recv_exactly(HEADER_LEN)
@@ -136,7 +156,9 @@ class IsslSession:
                 body = self._recv_state.open(content_type, body)
             except RecordError as exc:
                 raise IsslError(f"record protection failure: {exc}") from exc
+            self.context._ctr_bytes_decrypted.inc(len(body))
         self.records_received += 1
+        self.context._ctr_records_received.inc()
         return content_type, body
 
     def _read_handshake(self, expected_type: int):
@@ -159,6 +181,9 @@ class IsslSession:
     def handshake(self, suites: tuple[CipherSuite, ...] | None = None):
         """Generator: run the full handshake for this session's role."""
         start = self._now()
+        span = self._tracer.begin(
+            "issl.handshake", cat=CAT_ISSL, tid=self._span_tid, role=self.role
+        )
         try:
             if self.role == "client":
                 yield from self._client_handshake(suites)
@@ -166,12 +191,18 @@ class IsslSession:
                 yield from self._server_handshake()
         except (TransportError, HandshakeError) as exc:
             self._abandon()
+            self.context._ctr_hs_failed.inc()
+            self._tracer.end(span, error=type(exc).__name__)
             raise IsslError(f"handshake failed: {exc}") from exc
-        except IsslError:
+        except IsslError as exc:
             self._abandon()
+            self.context._ctr_hs_failed.inc()
+            self._tracer.end(span, error=type(exc).__name__)
             raise
         self.established = True
         self.handshake_seconds = self._now() - start
+        self.context._ctr_hs_completed.inc()
+        self._tracer.end(span, suite=self.suite.name)
         self.context.logger.log(
             f"issl: {self.role} handshake complete suite={self.suite.name}"
         )
@@ -295,7 +326,11 @@ class IsslSession:
         body = yield from self._read_handshake(HS_CLIENT_KEY_EXCHANGE)
         key_exchange = ClientKeyExchange.decode(body, self.suite)
         if self.suite.uses_rsa:
+            rsa_span = self._tracer.begin(
+                "issl.rsa_decrypt", cat=CAT_ISSL, tid=self._span_tid
+            )
             yield from self._charge(cost.rsa_private_seconds())
+            self._tracer.end(rsa_span)
             try:
                 pre_master = rsa_mod.decrypt(
                     self.context.rsa_key, key_exchange.encrypted_pre_master

@@ -116,13 +116,26 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a time-ordered queue of callbacks."""
+    """The event loop: a time-ordered queue of callbacks.
 
-    def __init__(self):
+    ``obs`` is an optional :class:`repro.obs.Obs` handle; passing one
+    binds its tracer to this simulator's clock and makes the handle
+    reachable (``sim.obs``) by everything running on the simulation --
+    TCP connections, schedulers, services -- without threading it
+    through every constructor.  Default: the shared null handle.
+    """
+
+    def __init__(self, obs=None):
         self.now = 0.0
         self._queue: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._processes: list[Process] = []
+        if obs is None:
+            from repro.obs import NULL_OBS
+            obs = NULL_OBS
+        else:
+            obs.bind_clock(lambda: self.now)
+        self.obs = obs
 
     # -- scheduling -----------------------------------------------------
     def call_at(self, when: float, fn: Callable, *args) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 
+from repro.obs.trace import CAT_TCP
 from repro.net.addresses import Ipv4Address
 from repro.net.packet import (
     IpPacket,
@@ -124,6 +125,26 @@ class TcpConnection:
         self.bytes_received = 0
         self.segments_retransmitted = 0
 
+        # Observability: handles cached once (null by default, see
+        # repro.obs); the connection-lifetime span opens on SYN.
+        obs = self._host.sim.obs
+        self._tracer = obs.tracer
+        self._ctr_retransmits = obs.metrics.counter("tcp.segments.retransmitted")
+        self._ctr_bytes_sent = obs.metrics.counter("tcp.bytes.sent")
+        self._ctr_bytes_received = obs.metrics.counter("tcp.bytes.received")
+        self._ctr_opened = obs.metrics.counter("tcp.connections.opened")
+        self._span = None
+        self._span_tid = (
+            f"tcp:{self._host.name}:{local_port}->{remote_port}"
+        )
+
+    def _begin_span(self, how: str) -> None:
+        self._ctr_opened.inc()
+        self._span = self._tracer.begin(
+            "tcp.connection", cat=CAT_TCP, tid=self._span_tid, open=how,
+            remote=f"{self.remote_ip}:{self.remote_port}",
+        )
+
     # -- helpers ---------------------------------------------------------
     def _notify(self) -> None:
         self.update_event.trigger()
@@ -145,7 +166,20 @@ class TcpConnection:
         self._host.ip.send(self.remote_ip, IPPROTO_TCP, segment)
 
     def _enter(self, state: TcpState) -> None:
+        previous = self.state
         self.state = state
+        self._tracer.instant(
+            "tcp.state", cat=CAT_TCP, tid=self._span_tid,
+            transition=f"{previous.value}->{state.value}",
+        )
+        if state in (TcpState.CLOSED, TcpState.TIME_WAIT) \
+                and self._span is not None:
+            attrs = {"state": state.value,
+                     "retransmits": self.segments_retransmitted}
+            if self.error:
+                attrs["error"] = self.error
+            self._tracer.end(self._span, **attrs)
+            self._span = None
         self._notify()
 
     def _fail(self, reason: str) -> None:
@@ -176,6 +210,9 @@ class TcpConnection:
             self._fail("too many retransmissions")
             return
         self.segments_retransmitted += 1
+        self._ctr_retransmits.inc()
+        self._tracer.instant("tcp.retransmit", cat=CAT_TCP,
+                             tid=self._span_tid, rto_s=self._rto)
         self._rto = min(self._rto * 2, MAX_RTO_S)
         if self.state == TcpState.SYN_SENT:
             self._emit(TCP_SYN, seq=self._iss)
@@ -193,6 +230,7 @@ class TcpConnection:
     # -- open/close ----------------------------------------------------------
     def connect(self) -> None:
         """Send SYN (active open)."""
+        self._begin_span("active")
         self.state = TcpState.SYN_SENT
         self._emit(TCP_SYN, seq=self._iss)
         self.snd_nxt = seq_add(self._iss, 1)
@@ -200,6 +238,7 @@ class TcpConnection:
 
     def _passive_open(self, segment: TcpSegment) -> None:
         """Reply SYN/ACK to a listener-delivered SYN."""
+        self._begin_span("passive")
         self.rcv_nxt = seq_add(segment.seq, 1)
         self.peer_window = segment.window
         self.state = TcpState.SYN_RCVD
@@ -257,6 +296,7 @@ class TcpConnection:
             self._retransmit += chunk
             self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
             self.bytes_sent += len(chunk)
+            self._ctr_bytes_sent.inc(len(chunk))
             sent_something = True
         if (
             self._fin_queued
@@ -379,6 +419,7 @@ class TcpConnection:
                 self._recv_buffer += fresh
                 self.rcv_nxt = seq_add(self.rcv_nxt, len(fresh))
                 self.bytes_received += len(fresh)
+                self._ctr_bytes_received.inc(len(fresh))
                 notify = True
             # ACK whatever we have (also handles duplicates and old data).
             self._emit(TCP_ACK)

@@ -1,0 +1,209 @@
+"""Metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately small: instruments are memoized by name so
+hot paths can cache the instrument object once (``self._sent =
+metrics.counter("issl.records.sent")``) and pay a single method call per
+update.  Snapshots render as text tables through the experiment
+harness's ``format_table`` and as JSON for the structured pipeline.
+
+The null variant (:class:`NullMetricsRegistry`) hands out one shared
+do-nothing instrument, the metrics half of the <5 %-overhead contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A sampled level; also tracks its high-water mark."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus an overflow bucket.
+
+    ``bounds`` are inclusive upper edges in ascending order; an
+    observation lands in the first bucket whose bound is >= the value,
+    or in the overflow bucket past the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple[float, ...]):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"bucket bounds must ascend, got {bounds!r}")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_rows(self) -> list[dict]:
+        rows = [
+            {"le": bound, "count": count}
+            for bound, count in zip(self.bounds, self.counts)
+        ]
+        rows.append({"le": "+inf", "count": self.overflow})
+        return rows
+
+
+class MetricsRegistry:
+    """Name -> instrument, memoized; the one handle a layer needs."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = ()) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything, as plain data (the JSON export shape)."""
+        return {
+            "counters": {c.name: c.value
+                         for c in self._counters.values()},
+            "gauges": {g.name: {"value": g.value,
+                                "high_water": g.high_water}
+                       for g in self._gauges.values()},
+            "histograms": {
+                h.name: {"count": h.count, "mean": h.mean,
+                         "buckets": h.bucket_rows()}
+                for h in self._histograms.values()
+            },
+        }
+
+    def rows(self, prefix: str = "") -> list[dict]:
+        """One row per instrument, for table rendering."""
+        rows = []
+        for counter in self._counters.values():
+            if counter.name.startswith(prefix):
+                rows.append({"metric": counter.name, "type": "counter",
+                             "value": counter.value, "high water": None})
+        for gauge in self._gauges.values():
+            if gauge.name.startswith(prefix):
+                rows.append({"metric": gauge.name, "type": "gauge",
+                             "value": gauge.value,
+                             "high water": gauge.high_water})
+        for histogram in self._histograms.values():
+            if histogram.name.startswith(prefix):
+                rows.append({
+                    "metric": histogram.name, "type": "histogram",
+                    "value": f"n={histogram.count} mean={histogram.mean:.4g}",
+                    "high water": None,
+                })
+        return sorted(rows, key=lambda row: row["metric"])
+
+    def render_text(self, prefix: str = "") -> str:
+        # Imported lazily: the harness sits in repro.experiments, which
+        # imports runners that import repro.obs back.
+        from repro.experiments.harness import format_table
+        rows = self.rows(prefix)
+        return format_table(rows) if rows else "(no metrics recorded)"
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=2)
+
+
+class _NullInstrument:
+    """One shared sink for every disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    high_water = 0.0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_rows(self) -> list:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Observability off: hands out the shared no-op instrument."""
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = ()):
+        return _NULL_INSTRUMENT
+
+    @property
+    def enabled(self) -> bool:
+        return False

@@ -1,0 +1,211 @@
+"""Cycle-accurate profiling of programs on the Rabbit core.
+
+The E1 question -- "where does the order of magnitude go?" -- needs more
+than total cycle counts.  :class:`CycleProfiler` wraps a
+:meth:`repro.rabbit.cpu.Cpu.step` (instance-level, reversible) and, per
+executed instruction, attributes its cycles to the routine containing
+the program counter, using the assembler's symbol table.
+
+Attribution is *PC-sampling* (every instruction, not statistical) plus
+*call/return tracking*: the profiler inspects the opcode about to
+execute, and when a CALL/RST actually transfers (SP dropped by two) it
+pushes the callee on a shadow stack; a taken RET pops it.  The shadow
+stack yields collapsed flame stacks (``main;aes_encrypt 1234``) on top
+of the flat self-cycle table.
+
+Notes and limits:
+
+* Reading memory between CPU steps is side-effect-free for cycle
+  accounting: :meth:`Cpu.step` measures wait-state deltas only within
+  the step.
+* Interrupt dispatch pushes PC without a CALL opcode; the shadow stack
+  does not model ISR frames (the profiled kernels -- AES, RSA -- run
+  with interrupts off).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.obs.trace import CAT_CPU, Tracer
+
+#: CALL nn, CALL cc,nn and the eight RST vectors (all push a return PC).
+_CALL_OPCODES = frozenset(
+    [0xCD] + [0xC4 + 8 * cc for cc in range(8)]       # CALL / CALL cc
+    + [0xC7 + 8 * t for t in range(8)]                # RST t
+)
+#: RET, RET cc, RETI/RETN are prefixed (ED) -- handled separately.
+_RET_OPCODES = frozenset([0xC9] + [0xC0 + 8 * cc for cc in range(8)])
+_ED_RET_SECOND = frozenset([0x4D, 0x45])              # RETI, RETN
+
+
+def collapse_sublabels(symbols: dict[str, int]) -> dict[str, int]:
+    """Drop local labels: ``__mul16_loop`` folds into ``__mul16``.
+
+    A symbol is local when another symbol's name plus ``_`` prefixes it;
+    dropping it makes nearest-preceding-symbol attribution charge inner
+    loops to their containing routine.
+    """
+    names = sorted(symbols)
+    kept = {}
+    for name in names:
+        if any(name.startswith(other + "_") for other in names
+               if other != name):
+            continue
+        kept[name] = symbols[name]
+    return kept
+
+
+def assembly_function_symbols(assembly, prefix: str = "") -> dict[str, int]:
+    """Routine entry points from an :class:`Assembly` symbol table."""
+    chosen = {
+        name: addr for name, addr in assembly.symbols.items()
+        if name.startswith(prefix)
+    }
+    return collapse_sublabels(chosen)
+
+
+_STRUCTURAL = frozenset(["__code_end", "__image_end"])
+
+
+def _is_control_flow_label(name: str) -> bool:
+    """Codegen emits ``__<stem>_<counter>`` for branches inside a
+    function (``__for_17``, ``__endif_2``...) and ``__ret_<fn>`` for
+    epilogues; none of those is a routine entry point."""
+    if name.startswith("__ret_") or name in _STRUCTURAL:
+        return True
+    stem, _, counter = name.rpartition("_")
+    return bool(stem) and counter.isdigit()
+
+
+def compiled_function_symbols(compilation) -> dict[str, int]:
+    """Routine entry points from a Dynamic C :class:`Compilation`.
+
+    Functions compile to ``_fn_<name>`` labels (displayed without the
+    prefix); the arithmetic runtime helpers keep their ``__`` names.
+    Compiler-generated control-flow labels are dropped so loop bodies
+    attribute to their containing function.
+    """
+    symbols: dict[str, int] = {}
+    for name, addr in compilation.assembly.symbols.items():
+        if name.startswith("_fn_"):
+            symbols[name[4:]] = addr
+        elif name.startswith("__") and not _is_control_flow_label(name):
+            symbols[name] = addr
+    return collapse_sublabels(symbols)
+
+
+class CycleProfiler:
+    """Attach to a CPU, attribute every instruction's cycles to a routine."""
+
+    def __init__(self, cpu, symbols: dict[str, int],
+                 tracer: Tracer | None = None, root: str = "<root>"):
+        self.cpu = cpu
+        self.root = root
+        self._addresses = sorted(symbols.values())
+        by_address: dict[int, str] = {}
+        for name, addr in sorted(symbols.items()):
+            by_address.setdefault(addr, name)
+        self._names = [by_address[a] for a in self._addresses]
+        self.tracer = tracer
+        self.self_cycles: dict[str, int] = {}
+        self.instruction_counts: dict[str, int] = {}
+        self.call_counts: dict[str, int] = {}
+        self.collapsed: dict[str, int] = {}
+        self.total_cycles = 0
+        #: Shadow call stack of *caller* routine names; the currently
+        #: executing routine is always derived from PC, not the stack.
+        self._stack: list[str] = []
+        self._frame_starts: list[int] = []
+        self._original_step = None
+
+    # -- attachment -----------------------------------------------------
+    def install(self) -> "CycleProfiler":
+        """Shadow ``cpu.step`` with the profiling wrapper."""
+        if self._original_step is not None:
+            raise RuntimeError("profiler already installed")
+        self._original_step = self.cpu.step
+        self.cpu.step = self._profiled_step
+        return self
+
+    def uninstall(self) -> None:
+        if self._original_step is None:
+            return
+        # Remove the instance attribute so the class method shows again.
+        del self.cpu.step
+        self._original_step = None
+
+    def __enter__(self) -> "CycleProfiler":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()
+
+    # -- the hook -------------------------------------------------------
+    def routine_at(self, pc: int) -> str:
+        """Nearest symbol at or below ``pc`` (the containing routine)."""
+        index = bisect_right(self._addresses, pc) - 1
+        return self._names[index] if index >= 0 else self.root
+
+    def _profiled_step(self) -> int:
+        cpu = self.cpu
+        pc = cpu.pc
+        sp = cpu.sp
+        opcode = cpu.memory.read8(pc)
+        transfer = None
+        if opcode in _CALL_OPCODES:
+            transfer = "call"
+        elif opcode in _RET_OPCODES or (
+            opcode == 0xED and cpu.memory.read8((pc + 1) & 0xFFFF)
+            in _ED_RET_SECOND
+        ):
+            transfer = "ret"
+        cycles = self._original_step()
+        routine = self.routine_at(pc)
+        self.self_cycles[routine] = self.self_cycles.get(routine, 0) + cycles
+        self.instruction_counts[routine] = (
+            self.instruction_counts.get(routine, 0) + 1
+        )
+        stack_key = ";".join(self._stack + [routine])
+        self.collapsed[stack_key] = self.collapsed.get(stack_key, 0) + cycles
+        self.total_cycles += cycles
+        if transfer == "call" and cpu.sp == (sp - 2) & 0xFFFF:
+            callee = self.routine_at(cpu.pc)
+            self.call_counts[callee] = self.call_counts.get(callee, 0) + 1
+            self._stack.append(routine)
+            self._frame_starts.append(cpu.cycles)
+        elif transfer == "ret" and cpu.sp == (sp + 2) & 0xFFFF \
+                and self._stack:
+            self._stack.pop()
+            started = self._frame_starts.pop()
+            if self.tracer is not None and self.tracer.enabled:
+                from repro.rabbit.board import CLOCK_HZ
+                self.tracer.add_complete(
+                    f"cpu.{routine}", started / CLOCK_HZ,
+                    cpu.cycles / CLOCK_HZ, cat=CAT_CPU, tid="rabbit-cpu",
+                    cycles=cpu.cycles - started,
+                )
+        return cycles
+
+    # -- reports --------------------------------------------------------
+    def report_rows(self, top: int = 0) -> list[dict]:
+        """Flat per-routine table, heaviest first."""
+        rows = []
+        for routine, cycles in sorted(self.self_cycles.items(),
+                                      key=lambda kv: -kv[1]):
+            rows.append({
+                "routine": routine,
+                "self cycles": cycles,
+                "% of total": round(100.0 * cycles / self.total_cycles, 1)
+                if self.total_cycles else 0.0,
+                "instructions": self.instruction_counts.get(routine, 0),
+                "calls": self.call_counts.get(routine, 0),
+            })
+        return rows[:top] if top else rows
+
+    def flame_lines(self) -> list[str]:
+        """Collapsed-stack lines for flamegraph.pl / speedscope."""
+        return [
+            f"{stack} {cycles}"
+            for stack, cycles in sorted(self.collapsed.items())
+        ]

@@ -1,0 +1,154 @@
+"""Canned, fully-instrumented runs for ``python -m repro.obs``.
+
+Two scenarios:
+
+* ``redirector`` -- the ported secure redirector under client load, with
+  every layer traced: issl handshakes/records, TCP state machines,
+  costatement slices, the service's request relays, and the port's
+  static xalloc allocations.
+* ``aes`` -- one AES implementation on the cycle-counting Rabbit core
+  under :class:`repro.obs.profile.CycleProfiler`, producing per-routine
+  cycle attribution and collapsed flame stacks.
+
+Each returns a plain dict so the CLI (and tests) can pick out the
+:class:`repro.obs.Obs` handle, reports, and profiler.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.demokeys import DEMO_PSK
+from repro.crypto.prng import CipherRng
+from repro.crypto.rijndael import Rijndael
+from repro.dync.compiler import CompilerOptions
+from repro.dync.runtime.xalloc import XmemAllocator
+from repro.issl import (
+    CircularLogger,
+    IsslContext,
+    RMC2000_ASM,
+    RMC2000_PORT,
+    UNIX_FULL,
+)
+from repro.net.dynctcp import DyncTcpStack
+from repro.net.host import build_lan
+from repro.net.sim import Simulator
+from repro.obs import Obs
+from repro.obs.profile import (
+    CycleProfiler,
+    assembly_function_symbols,
+    compiled_function_symbols,
+)
+from repro.rabbit.board import Board
+from repro.services import (
+    ClientReport,
+    TLS_PORT,
+    backend_line_server,
+    build_rmc_redirector,
+    secure_request_client,
+)
+
+#: Per-handler record buffer the port allocates statically at boot; the
+#: paper's Section 5.2 rationale (no free) is why these never shrink.
+_SESSION_BUFFER_BYTES = 4096
+
+
+def run_redirector_scenario(obs: Obs | None = None, *, clients: int = 3,
+                            requests: int = 4, request_size: int = 64,
+                            handlers: int = 3) -> dict:
+    """The ported redirector under load, instrumented end to end."""
+    if obs is None:
+        obs = Obs()
+    sim = Simulator(obs=obs)
+    names = ["rmc", "backend"] + [f"c{i}" for i in range(clients)]
+    _lan, hosts = build_lan(sim, names, bandwidth_bps=100_000_000)
+    stack = DyncTcpStack(hosts["rmc"])
+    # The asm cost model: crypto costs real simulated milliseconds, so
+    # costatement slices have visible width on the trace.
+    profile = RMC2000_PORT.with_cost_model(RMC2000_ASM)
+    logger = CircularLogger(capacity=16, obs=obs)
+    context = IsslContext(profile, CipherRng(b"obs-redirector"),
+                          logger=logger, psk=DEMO_PSK, obs=obs)
+    # Boot-time static allocation, as on the port: one record buffer per
+    # handler costatement out of the no-free xmem pool.
+    xmem = XmemAllocator(capacity=64 * 1024, obs=obs)
+    buffers = [xmem.xalloc(_SESSION_BUFFER_BYTES) for _ in range(handlers)]
+    hosts["backend"].spawn(backend_line_server(hosts["backend"]))
+    stats: dict = {}
+    scheduler = build_rmc_redirector(
+        stack, context, str(hosts["backend"].ip_address),
+        handlers=handlers, stats=stats, obs=obs,
+    )
+    scheduler.start()
+    reports: list[ClientReport] = []
+    processes = []
+    for index in range(clients):
+        host = hosts[f"c{index}"]
+        report = ClientReport(f"client{index}")
+        reports.append(report)
+        client_context = IsslContext(
+            UNIX_FULL, CipherRng(b"obs-c%d" % index), psk=DEMO_PSK
+        )
+        processes.append(host.spawn(secure_request_client(
+            host, client_context, str(hosts["rmc"].ip_address), TLS_PORT,
+            requests, request_size, report,
+        )))
+    for process in processes:
+        sim.run_until_complete(process, timeout=600)
+    scheduler.stop()
+    obs.tracer.finish_open()
+    return {
+        "obs": obs,
+        "sim": sim,
+        "reports": reports,
+        "stats": stats,
+        "scheduler": scheduler,
+        "xalloc": xmem,
+        "buffers": buffers,
+        "logger": logger,
+    }
+
+
+def run_aes_scenario(obs: Obs | None = None, *, implementation: str = "asm",
+                     keys: int = 1, blocks_per_key: int = 2) -> dict:
+    """Profile one AES implementation per routine on the Rabbit core."""
+    if obs is None:
+        obs = Obs()
+    board = Board()
+    if implementation == "asm":
+        from repro.rabbit.programs.aes_asm import AesAsm
+        impl = AesAsm(board, include_decrypt=False)
+        symbols = assembly_function_symbols(impl.assembly, prefix="aes_")
+    elif implementation == "c":
+        from repro.rabbit.programs.aes_c import AesC
+        impl = AesC(board, CompilerOptions(), include_decrypt=False)
+        symbols = compiled_function_symbols(impl.program.compilation)
+    else:
+        raise ValueError(f"implementation must be asm/c, got {implementation!r}")
+    profiler = CycleProfiler(board.cpu, symbols, tracer=obs.tracer)
+    blocks = 0
+    with profiler:
+        for key_index in range(keys):
+            key = bytes((key_index * 29 + j * 13 + 5) & 0xFF
+                        for j in range(16))
+            reference = Rijndael(key)
+            impl.set_key(key)
+            for block_index in range(blocks_per_key):
+                block = bytes((key_index + block_index * 11 + j * 7) & 0xFF
+                              for j in range(16))
+                ciphertext, _cycles = impl.encrypt_block(block)
+                if ciphertext != reference.encrypt_block(block):
+                    raise AssertionError("AES scenario: wrong ciphertext")
+                blocks += 1
+    obs.metrics.counter("aes.blocks.encrypted").inc(blocks)
+    obs.metrics.gauge("aes.total_cycles").set(profiler.total_cycles)
+    return {
+        "obs": obs,
+        "profiler": profiler,
+        "implementation": implementation,
+        "blocks": blocks,
+    }
+
+
+SCENARIOS = {
+    "redirector": run_redirector_scenario,
+    "aes": run_aes_scenario,
+}

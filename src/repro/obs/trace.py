@@ -1,0 +1,314 @@
+"""Tracing: nestable spans over simulated time (DESIGN.md S16).
+
+A :class:`Tracer` records *spans* -- named intervals with attributes --
+and *instants* -- point events.  Time comes from an injectable ``clock``
+callable (normally the discrete-event simulator's ``sim.now``, so span
+durations are simulated seconds, not host seconds); each span also
+records host wall-clock time, and, when a ``cycle_clock`` is bound, the
+Rabbit core's cycle counter, so one span carries all three of the
+paper's time bases.
+
+Spans nest: :meth:`Tracer.begin` pushes onto a per-``tid`` stack and the
+span remembers its parent.  ``tid`` ("thread id") names a logical
+timeline -- a costatement, a TCP connection, an issl role -- because the
+simulator interleaves many logical flows through one Python thread and a
+single global stack would mis-nest them.
+
+Two export formats:
+
+* :meth:`Tracer.to_jsonl` -- one JSON object per line, the harness's
+  structured output format.
+* :meth:`Tracer.to_chrome` -- the Chrome ``trace_event`` format, loadable
+  in ``chrome://tracing`` or https://ui.perfetto.dev: ``X`` (complete)
+  events for spans, ``i`` for instants, ``M`` metadata naming threads.
+
+:class:`NullTracer` is the disabled variant: every operation is a no-op
+on shared singletons, so instrumented hot paths cost one attribute
+lookup and one method call when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+#: Span category names used across the stack; a layer tags its spans so
+#: traces can be filtered and the acceptance test can count layers.
+CAT_ISSL = "issl"
+CAT_TCP = "net.tcp"
+CAT_COSTATE = "costate"
+CAT_CPU = "rabbit.cpu"
+CAT_XALLOC = "xalloc"
+CAT_SERVICE = "service"
+CAT_APP = "app"
+
+
+class Span:
+    """One named interval on one logical timeline."""
+
+    __slots__ = ("name", "cat", "tid", "start", "end", "args", "span_id",
+                 "parent_id", "wall_start", "wall_end", "cycles_start",
+                 "cycles_end")
+
+    def __init__(self, name: str, cat: str, tid: str, start: float,
+                 span_id: int, parent_id: int | None, args: dict,
+                 wall_start: float, cycles_start: int | None):
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.start = start
+        self.end: float | None = None
+        self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.wall_start = wall_start
+        self.wall_end: float | None = None
+        self.cycles_start = cycles_start
+        self.cycles_end: int | None = None
+
+    @property
+    def duration(self) -> float:
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def cycles(self) -> int | None:
+        if self.cycles_start is None or self.cycles_end is None:
+            return None
+        return self.cycles_end - self.cycles_start
+
+    def to_dict(self) -> dict:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "cat": self.cat,
+            "tid": self.tid,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start_s": self.start,
+            "end_s": self.end,
+            "wall_s": (None if self.wall_end is None
+                       else self.wall_end - self.wall_start),
+        }
+        if self.cycles is not None:
+            record["cycles"] = self.cycles
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration:.6g}s"
+        return f"Span({self.name!r}, cat={self.cat}, tid={self.tid}, {state})"
+
+
+class _SpanContext:
+    """``with tracer.span(...)`` support, reusable and allocation-light."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None:
+            self._span.args["error"] = type(exc).__name__
+        self._tracer.end(self._span)
+
+
+class Tracer:
+    """Records spans and instants against an injectable clock."""
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 cycle_clock: Callable[[], int] | None = None):
+        self.clock = clock
+        self.cycle_clock = cycle_clock
+        self.spans: list[Span] = []
+        self.instants: list[dict] = []
+        self._stacks: dict[str, list[Span]] = {}
+        self._next_id = 1
+
+    # -- recording ------------------------------------------------------
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _cycles(self) -> int | None:
+        return self.cycle_clock() if self.cycle_clock is not None else None
+
+    def begin(self, name: str, cat: str = CAT_APP, tid: str = "main",
+              **args) -> Span:
+        """Open a span; it nests under the tid's current open span."""
+        stack = self._stacks.setdefault(tid, [])
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(name, cat, tid, self.now(), self._next_id, parent_id,
+                    args, time.perf_counter(), self._cycles())
+        self._next_id += 1
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, **args) -> Span:
+        """Close a span (tolerates out-of-order closes across yields)."""
+        if span.end is not None:
+            return span
+        span.end = self.now()
+        span.wall_end = time.perf_counter()
+        span.cycles_end = self._cycles()
+        if args:
+            span.args.update(args)
+        stack = self._stacks.get(span.tid, [])
+        if span in stack:
+            stack.remove(span)
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str, cat: str = CAT_APP, tid: str = "main",
+             **args) -> _SpanContext:
+        """Context manager form: ``with tracer.span("x"): ...``."""
+        return _SpanContext(self, self.begin(name, cat, tid, **args))
+
+    def add_complete(self, name: str, start: float, end: float,
+                     cat: str = CAT_APP, tid: str = "main", **args) -> Span:
+        """Record an already-timed interval (reconstructed timelines:
+        the costatement scheduler knows where each slice *would* sit on
+        the board even though the simulator charges time in one lump)."""
+        span = Span(name, cat, tid, start, self._next_id, None, args,
+                    time.perf_counter(), None)
+        self._next_id += 1
+        span.end = end
+        span.wall_end = span.wall_start
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, cat: str = CAT_APP, tid: str = "main",
+                **args) -> None:
+        """Record a point event (TCP state transitions, aborts...)."""
+        self.instants.append({
+            "type": "instant", "name": name, "cat": cat, "tid": tid,
+            "ts_s": self.now(), "args": args,
+        })
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    @property
+    def open_spans(self) -> list[Span]:
+        return [span for stack in self._stacks.values() for span in stack]
+
+    def finish_open(self) -> None:
+        """Close any still-open spans (long-lived connections at the end
+        of a scenario), tagging them so exports stay honest."""
+        for span in list(self.open_spans):
+            span.args.setdefault("unfinished", True)
+            self.end(span)
+
+    # -- queries --------------------------------------------------------
+    def categories(self) -> set[str]:
+        return ({s.cat for s in self.spans}
+                | {i["cat"] for i in self.instants})
+
+    def summary_rows(self) -> list[dict]:
+        """Per span-name aggregate: count and simulated time."""
+        totals: dict[tuple[str, str], list] = {}
+        for span in self.spans:
+            entry = totals.setdefault((span.cat, span.name), [0, 0.0])
+            entry[0] += 1
+            entry[1] += span.duration
+        return [
+            {"cat": cat, "span": name, "count": count,
+             "total sim ms": round(total * 1000, 3),
+             "mean sim ms": round(total * 1000 / count, 3)}
+            for (cat, name), (count, total) in sorted(totals.items())
+        ]
+
+    # -- exports --------------------------------------------------------
+    def to_jsonl(self) -> str:
+        records = [span.to_dict() for span in self.spans] + list(self.instants)
+        return "\n".join(json.dumps(r, sort_keys=True) for r in records)
+
+    def to_chrome(self, pid: int = 1) -> dict:
+        """The ``trace_event`` JSON object ``chrome://tracing`` loads."""
+        tids: dict[str, int] = {}
+        events: list[dict] = []
+
+        def tid_of(name: str) -> int:
+            if name not in tids:
+                tids[name] = len(tids) + 1
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tids[name],
+                    "name": "thread_name", "args": {"name": name},
+                })
+            return tids[name]
+
+        for span in sorted(self.spans, key=lambda s: (s.start, s.span_id)):
+            event = {
+                "ph": "X", "pid": pid, "tid": tid_of(span.tid),
+                "name": span.name, "cat": span.cat,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+            }
+            args = dict(span.args)
+            if span.cycles is not None:
+                args["cycles"] = span.cycles
+            if args:
+                event["args"] = args
+            events.append(event)
+        for instant in self.instants:
+            events.append({
+                "ph": "i", "pid": pid, "tid": tid_of(instant["tid"]),
+                "name": instant["name"], "cat": instant["cat"],
+                "ts": round(instant["ts_s"] * 1e6, 3), "s": "t",
+                "args": instant["args"],
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+class _NullSpan:
+    """Shared do-nothing span; also its own context manager."""
+
+    __slots__ = ()
+    name = ""
+    cat = ""
+    tid = ""
+    args: dict = {}
+    end = None
+    duration = 0.0
+    cycles = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Observability off: every operation is a cheap no-op."""
+
+    def __init__(self):
+        super().__init__()
+
+    def begin(self, name, cat=CAT_APP, tid="main", **args):
+        return _NULL_SPAN
+
+    def end(self, span, **args):
+        return _NULL_SPAN
+
+    def span(self, name, cat=CAT_APP, tid="main", **args):
+        return _NULL_SPAN
+
+    def add_complete(self, name, start, end, cat=CAT_APP, tid="main", **args):
+        return _NULL_SPAN
+
+    def instant(self, name, cat=CAT_APP, tid="main", **args):
+        return None
+
+    @property
+    def enabled(self) -> bool:
+        return False

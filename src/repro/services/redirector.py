@@ -31,6 +31,7 @@ from repro.net.addresses import Ipv4Address
 from repro.net.bsd import LISTENQ, SocketError, socket
 from repro.net.dynctcp import DyncTcpStack, make_socket
 from repro.net.host import Host
+from repro.obs.trace import CAT_SERVICE
 from repro.unixsim.host import UnixHost
 from repro.unixsim.process import exit_process
 
@@ -127,41 +128,60 @@ def unix_secure_redirector(host: UnixHost, context: IsslContext,
     lsock = socket(host)
     lsock.bind(("", listen_port))
     lsock.listen(LISTENQ)
+    accepted = 0
     while True:
         conn = yield from lsock.accept()
+        accepted += 1
         # if ((childpid = fork()) == 0) { handle(accept_fd); exit(0); }
         host.kernel.fork(
-            _unix_child(host, context, conn, backend_ip, backend_port, stats),
+            _unix_child(host, context, conn, backend_ip, backend_port, stats,
+                        f"svc:unix-child:{accepted}"),
             name="issl-child",
         )
 
 
-def _unix_child(host, context, conn, backend_ip, backend_port, stats):
+def _unix_child(host, context, conn, backend_ip, backend_port, stats,
+                tid="svc:unix-child"):
+    obs = host.sim.obs
+    tracer = obs.tracer
+    ctr_redirected = obs.metrics.counter("redirector.redirected")
+    span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
     session = issl_bind(context, conn, role="server")
     try:
         yield from session.handshake()
     except IsslError:
         conn.close()
+        tracer.end(span, error="handshake")
         exit_process(1)
     backend = socket(host)
     try:
         yield from backend.connect((backend_ip, backend_port))
     except SocketError:
         yield from session.close()
+        tracer.end(span, error="backend-connect")
         exit_process(1)
+    requests = 0
     while True:
         line = yield from _read_secure_line(session)
         if line is None:
             break
+        request_start = host.sim.now
         yield from backend.sendall(line + b"\n")
         response = yield from _read_plain_line(backend)
         if response is None:
             break
         yield from session.write(response + b"\n")
+        requests += 1
+        ctr_redirected.inc()
+        tracer.add_complete(
+            "service.request", request_start, host.sim.now,
+            cat=CAT_SERVICE, tid=tid, bytes=len(line),
+        )
         if stats is not None:
             stats["redirected"] = stats.get("redirected", 0) + 1
     backend.close()
     yield from session.close()
+    tracer.end(span, requests=requests)
     exit_process(0)
 
 
@@ -206,8 +226,11 @@ def unix_plain_redirector(host: Host, backend_ip: Ipv4Address | str,
 
 def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
                  backend_ip, backend_port, listen_port,
-                 stats: dict | None, secure: bool):
+                 stats: dict | None, secure: bool, label: str = "handler"):
     """One handler costatement: serve one connection at a time, forever."""
+    sim = stack.host.sim
+    tracer = sim.obs.tracer
+    tid = f"svc:{label}"
     sock = make_socket(stack)
     while True:
         # tcp_listen refuses while the previous connection is still
@@ -215,51 +238,66 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
         while not stack.tcp_listen(sock, listen_port):
             yield
         yield from waitfor(lambda: stack.sock_established(sock))
+        span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
         if secure:
             session = issl_bind(context, sock, stack=stack, role="server")
             try:
                 yield from session.handshake()
             except IsslError:
                 stack.sock_abort(sock)
+                tracer.end(span, error="handshake")
                 yield
                 continue
         backend = make_socket(stack)
         stack.tcp_open(backend, 0, backend_ip, backend_port)
         yield from waitfor(lambda: stack.sock_established(backend))
-        yield from _rmc_serve(stack, sock, backend, session if secure else None,
-                              stats)
+        requests = yield from _rmc_serve(
+            stack, sock, backend, session if secure else None, stats, tid
+        )
         stack.sock_close(backend)
         if secure:
             yield from session.close()
         # Close our TCP side regardless of who spoke last; sock_close is
         # idempotent and tcp_listen above waits for the teardown.
         stack.sock_close(sock)
+        tracer.end(span, requests=requests)
         yield
 
 
-def _rmc_serve(stack, sock, backend, session, stats):
+def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler"):
     """Relay request/response lines until the client is done."""
+    obs = stack.host.sim.obs
+    tracer = obs.tracer
+    ctr_redirected = obs.metrics.counter("redirector.redirected")
+    requests = 0
     while True:
         if session is not None:
             try:
                 line = yield from _read_secure_line(session)
             except IsslError:
-                return
+                return requests
         else:
             line = yield from _dync_read_line(stack, sock)
         if line is None:
-            return
+            return requests
+        request_start = stack.host.sim.now
         stack.sock_write(backend, line + b"\n")
         response = yield from _dync_read_line(stack, backend)
         if response is None:
-            return
+            return requests
         if session is not None:
             try:
                 yield from session.write(response + b"\n")
             except (IsslError, TransportError):
-                return
+                return requests
         else:
             stack.sock_write(sock, response + b"\n")
+        requests += 1
+        ctr_redirected.inc()
+        tracer.add_complete(
+            "service.request", request_start, stack.host.sim.now,
+            cat=CAT_SERVICE, tid=tid, bytes=len(line),
+        )
         if stats is not None:
             stats["redirected"] = stats.get("redirected", 0) + 1
 
@@ -286,13 +324,15 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
                          handlers: int = 3,
                          secure: bool = True,
                          stats: dict | None = None,
-                         pass_overhead_s: float | None = None) -> CostateScheduler:
+                         pass_overhead_s: float | None = None,
+                         obs=None) -> CostateScheduler:
     """Assemble Figure 3's main loop and return its (unstarted) scheduler.
 
     ``handlers`` defaults to 3: "three processes to handle requests
     (allowing a maximum of three connections), and one to drive the TCP
     stack".  Increasing it is the paper's "add more costatements and
-    recompile".
+    recompile".  ``obs`` overrides the simulator's observability handle
+    for the scheduler (slice spans, jitter histogram).
     """
     if isinstance(backend_ip, str):
         backend_ip = Ipv4Address.parse(backend_ip)
@@ -300,11 +340,13 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
     kwargs = {}
     if pass_overhead_s is not None:
         kwargs["pass_overhead_s"] = pass_overhead_s
-    scheduler = CostateScheduler(stack.host.sim, name="rmc-redirector", **kwargs)
+    scheduler = CostateScheduler(stack.host.sim, name="rmc-redirector",
+                                 obs=obs, **kwargs)
     for index in range(handlers):
         scheduler.add(
             _rmc_handler(stack, context, backend_ip, backend_port,
-                         listen_port, stats, secure),
+                         listen_port, stats, secure,
+                         label=f"handler{index + 1}"),
             name=f"handler{index + 1}",
         )
 

@@ -283,6 +283,102 @@ class TestDC006:
         assert rules_of(source) == []
 
 
+# -- DC007: busy compute loop starves the big loop ----------------------------
+
+class TestDC007:
+    def test_unbounded_compute_loop_warns(self):
+        # Trip count depends on a runtime variable: could grind for a
+        # long time with no scheduling point.
+        source = """
+        void main(void) {
+            int i;
+            int n;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < n; i = i + 1) acc = acc + i;
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC007"]
+        (diag,) = diags_of(source)
+        assert diag.severity == Severity.WARNING
+
+    def test_large_constant_loop_warns(self):
+        source = """
+        void main(void) {
+            int i;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < 4096; i = i + 1) acc = acc + i;
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC007"]
+
+    def test_short_constant_loop_clean(self):
+        # 16 iterations of integer math is routine work, not starvation.
+        source = """
+        void main(void) {
+            int i;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < 16; i = i + 1) acc = acc + i;
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_loop_with_yield_clean(self):
+        source = """
+        void main(void) {
+            int i;
+            int n;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < n; i = i + 1) { acc = acc + i; yield; }
+                }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_loop_outside_costate_not_dc007(self):
+        source = """
+        void main(void) {
+            int i;
+            int n;
+            int acc;
+            for (i = 0; i < n; i = i + 1) acc = acc + i;
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_threshold_is_configurable(self):
+        source = """
+        void main(void) {
+            int i;
+            int acc;
+            for (;;) {
+                costate {
+                    for (i = 0; i < 16; i = i + 1) acc = acc + i;
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source, busy_loop_iterations=8) == ["DC007"]
+
+
 # -- cross-cutting -----------------------------------------------------------
 
 class TestEngine:

@@ -24,6 +24,7 @@ LINTED_TREES = [
     REPO / "src" / "repro" / "rabbit" / "programs",
     REPO / "src" / "repro" / "experiments",
     REPO / "src" / "repro" / "dync",
+    REPO / "src" / "repro" / "obs",
 ]
 
 

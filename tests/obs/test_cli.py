@@ -1,0 +1,81 @@
+"""The ``python -m repro.obs`` entry point.
+
+Two subprocess tests pin the acceptance contract (``--help`` and a
+minimal ``report`` exit 0 through the real module entry point); the
+rest drive :func:`repro.obs.cli.main` in-process for speed.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.obs.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _run_module(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.obs", *argv],
+        capture_output=True, text=True, env=env, cwd=REPO, timeout=300,
+    )
+
+
+class TestEntryPoint:
+    def test_help_exits_zero(self):
+        completed = _run_module("--help")
+        assert completed.returncode == 0
+        for subcommand in ("report", "trace", "flame"):
+            assert subcommand in completed.stdout
+
+    def test_minimal_report_exits_zero(self):
+        completed = _run_module("report", "--scenario", "aes")
+        assert completed.returncode == 0, completed.stderr
+        assert "cycles by routine" in completed.stdout
+        assert "aes_encrypt" in completed.stdout
+
+
+class TestInProcess:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["report", "--scenario", "aes", "--out", str(out)]) == 0
+        text = out.read_text(encoding="utf-8")
+        assert "== metrics ==" in text
+        assert "aes.blocks.encrypted" in text
+        assert capsys.readouterr().out == ""
+
+    def test_trace_chrome_is_loadable_json(self, tmp_path):
+        # The C port's runtime-helper calls give the profiler RET edges
+        # to emit cpu spans from (the hand assembly never calls inward).
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--scenario", "aes", "--implementation", "c",
+                     "--out", str(out)]) == 0
+        trace = json.loads(out.read_text(encoding="utf-8"))
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_trace_jsonl_lines_parse(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "--scenario", "aes", "--implementation", "c",
+                     "--format", "jsonl", "--out", str(out)]) == 0
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+    def test_flame_emits_collapsed_stacks(self, tmp_path):
+        out = tmp_path / "flame.txt"
+        assert main(["flame", "--out", str(out)]) == 0
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            stack, cycles = line.rsplit(" ", 1)
+            assert stack
+            int(cycles)
+
+    def test_flame_on_cpu_less_scenario_fails_cleanly(self, capsys):
+        assert main(["flame", "--scenario", "redirector"]) == 2
+        assert "no CPU profile" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Metrics registry: instruments, bucket math, snapshots, null variant."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_default_and_amount(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.counter("c") is not registry.counter("d")
+
+
+class TestGauge:
+    def test_high_water_survives_drops(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.0)
+        gauge.set(7.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.high_water == 7.0
+
+
+class TestHistogram:
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_bucket_edges_are_inclusive_upper(self):
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 5.0):
+            histogram.observe(value)
+        # 0.5 and 1.0 land in [..1.0]; 1.5 in (1.0..2.0]; 4.0 exactly on
+        # the last edge stays in (2.0..4.0]; 5.0 overflows.
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.overflow == 1
+        assert histogram.count == 5
+        assert histogram.mean == pytest.approx(12.0 / 5)
+
+    def test_bucket_rows_end_with_overflow(self):
+        histogram = Histogram("h", (10.0,))
+        histogram.observe(100.0)
+        assert histogram.bucket_rows() == [
+            {"le": 10.0, "count": 0},
+            {"le": "+inf", "count": 1},
+        ]
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", (1.0,)).mean == 0.0
+
+
+class TestRegistrySnapshots:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("issl.records.sent").inc(12)
+        registry.gauge("xalloc.used").set(4096)
+        registry.histogram("costate.gap_s", (0.001, 0.01)).observe(0.002)
+        return registry
+
+    def test_snapshot_shape(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"] == {"issl.records.sent": 12}
+        assert snapshot["gauges"]["xalloc.used"]["high_water"] == 4096
+        histogram = snapshot["histograms"]["costate.gap_s"]
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1] == {"le": "+inf", "count": 0}
+
+    def test_rows_filter_by_prefix_and_sort(self):
+        registry = self._populated()
+        assert [r["metric"] for r in registry.rows()] == [
+            "costate.gap_s", "issl.records.sent", "xalloc.used",
+        ]
+        assert [r["metric"] for r in registry.rows("issl.")] == [
+            "issl.records.sent",
+        ]
+
+    def test_render_text_and_json(self):
+        registry = self._populated()
+        text = registry.render_text()
+        assert "issl.records.sent" in text
+        assert "12" in text
+        assert MetricsRegistry().render_text() == "(no metrics recorded)"
+        parsed = json.loads(registry.to_json())
+        assert parsed == registry.snapshot()
+
+
+class TestNullRegistry:
+    def test_hands_out_one_shared_noop(self):
+        registry = NullMetricsRegistry()
+        counter = registry.counter("a")
+        assert counter is registry.gauge("b")
+        assert counter is registry.histogram("c", (1.0,))
+        counter.inc()
+        counter.set(5.0)
+        counter.observe(1.0)
+        assert counter.value == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert not registry.enabled

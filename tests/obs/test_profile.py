@@ -1,0 +1,163 @@
+"""CycleProfiler: attribution on a tiny program with a known call tree.
+
+The fixture program has three routines -- ``start`` calls ``addone``
+twice, ``addone`` calls ``noop`` once -- so every attribution mechanism
+(nearest-preceding symbol, shadow call stack, call/return span emission)
+has a hand-checkable answer.
+"""
+
+import pytest
+
+from repro.obs import Obs
+from repro.obs.profile import (
+    CycleProfiler,
+    _is_control_flow_label,
+    assembly_function_symbols,
+    collapse_sublabels,
+    compiled_function_symbols,
+)
+from repro.rabbit.asm import assemble
+from repro.rabbit.board import CLOCK_HZ, Board
+
+FIXTURE = """
+        org  0
+start:
+        ld   a, 0
+        call addone
+        call addone
+        ret
+addone:
+        inc  a
+        call noop
+        ret
+noop:
+        nop
+        ret
+"""
+
+
+@pytest.fixture
+def profiled():
+    assembly = assemble(FIXTURE)
+    board = Board()
+    board.program(assembly.code)
+    obs = Obs()
+    profiler = CycleProfiler(
+        board.cpu,
+        {name: addr for name, addr in assembly.symbols.items()},
+        tracer=obs.tracer,
+    )
+    with profiler:
+        board.cpu.call_subroutine(assembly.symbols["start"])
+    return profiler, obs, board
+
+
+class TestAttribution:
+    def test_every_cycle_lands_in_a_routine(self, profiled):
+        profiler, _obs, board = profiled
+        assert set(profiler.self_cycles) == {"start", "addone", "noop"}
+        assert sum(profiler.self_cycles.values()) == profiler.total_cycles
+        assert profiler.total_cycles == board.cpu.cycles
+
+    def test_call_counts_match_the_call_tree(self, profiled):
+        profiler, _obs, _board = profiled
+        assert profiler.call_counts == {"addone": 2, "noop": 2}
+
+    def test_collapsed_stacks_name_full_paths(self, profiled):
+        profiler, _obs, _board = profiled
+        assert set(profiler.collapsed) == {
+            "start", "start;addone", "start;addone;noop",
+        }
+        assert sum(profiler.collapsed.values()) == profiler.total_cycles
+        for line in profiler.flame_lines():
+            stack, cycles = line.rsplit(" ", 1)
+            assert profiler.collapsed[stack] == int(cycles)
+
+    def test_returns_emit_cpu_spans_innermost_first(self, profiled):
+        profiler, obs, board = profiled
+        # Each taken RET closes the routine it returns from; the final
+        # RET of `start` pops the injected stop address (no shadow frame)
+        # so only the four real frames produce spans.
+        assert [s.name for s in obs.tracer.spans] == [
+            "cpu.noop", "cpu.addone", "cpu.noop", "cpu.addone",
+        ]
+        for span in obs.tracer.spans:
+            assert span.cat == "rabbit.cpu"
+            assert span.args["cycles"] == pytest.approx(
+                (span.end - span.start) * CLOCK_HZ
+            )
+        assert obs.tracer.spans[-1].end <= board.cpu.cycles / CLOCK_HZ
+
+    def test_report_rows_are_heaviest_first(self, profiled):
+        profiler, _obs, _board = profiled
+        rows = profiler.report_rows()
+        cycles = [row["self cycles"] for row in rows]
+        assert cycles == sorted(cycles, reverse=True)
+        assert sum(row["instructions"] for row in rows) > 0
+        assert sum(row["% of total"] for row in rows) == pytest.approx(
+            100.0, abs=0.5
+        )
+        assert len(profiler.report_rows(top=2)) == 2
+
+    def test_pc_below_first_symbol_charges_root(self):
+        profiler = CycleProfiler(None, {"fn": 0x100})
+        assert profiler.routine_at(0x50) == "<root>"
+        assert profiler.routine_at(0x100) == "fn"
+        assert profiler.routine_at(0x150) == "fn"
+
+
+class TestInstallation:
+    def test_uninstall_restores_the_class_method(self):
+        board = Board()
+        profiler = CycleProfiler(board.cpu, {"fn": 0})
+        profiler.install()
+        assert "step" in vars(board.cpu)
+        profiler.uninstall()
+        assert "step" not in vars(board.cpu)
+        profiler.uninstall()  # idempotent
+
+    def test_double_install_rejected(self):
+        board = Board()
+        profiler = CycleProfiler(board.cpu, {"fn": 0})
+        with profiler:
+            with pytest.raises(RuntimeError):
+                profiler.install()
+
+
+class TestSymbolSelection:
+    def test_collapse_sublabels_folds_locals(self):
+        symbols = {"mul16": 0x10, "mul16_loop": 0x14, "other": 0x30}
+        assert collapse_sublabels(symbols) == {"mul16": 0x10, "other": 0x30}
+
+    def test_assembly_function_symbols_filter_by_prefix(self):
+        assembly = assemble(FIXTURE)
+        assert assembly_function_symbols(assembly) == dict(assembly.symbols)
+        assert assembly_function_symbols(assembly, prefix="add") == {
+            "addone": assembly.symbols["addone"],
+        }
+
+    def test_control_flow_labels_recognized(self):
+        for label in ("__for_17", "__endif_2", "__while_103",
+                      "__ret_add_round_key", "__code_end", "__image_end"):
+            assert _is_control_flow_label(label), label
+        for label in ("__mul16", "__debug_trap", "__memcpy8"):
+            assert not _is_control_flow_label(label), label
+
+    def test_compiled_function_symbols_strip_and_filter(self):
+        class FakeAssembly:
+            symbols = {
+                "_fn_main": 0x00,
+                "_fn_xtime_c": 0x40,
+                "__mul16": 0x80,
+                "__mul16_loop": 0x84,
+                "__for_17": 0x20,
+                "__ret_main": 0x3E,
+                "__code_end": 0xFF,
+            }
+
+        class FakeCompilation:
+            assembly = FakeAssembly()
+
+        assert compiled_function_symbols(FakeCompilation()) == {
+            "main": 0x00, "xtime_c": 0x40, "__mul16": 0x80,
+        }

@@ -1,0 +1,75 @@
+"""The canned scenarios behind ``python -m repro.obs``.
+
+The redirector scenario is the acceptance surface for the tracing
+subsystem: one run must produce spans from at least four layers of the
+stack and a Chrome trace a viewer will load.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.scenarios import run_aes_scenario, run_redirector_scenario
+
+
+@pytest.fixture(scope="module")
+def redirector():
+    return run_redirector_scenario()
+
+
+class TestRedirectorScenario:
+    def test_clients_complete(self, redirector):
+        for report in redirector["reports"]:
+            assert report.error is None
+            assert len(report.request_times) == 4
+        assert redirector["stats"]["redirected"] == 12
+
+    def test_spans_cover_at_least_four_layers(self, redirector):
+        tracer = redirector["obs"].tracer
+        span_cats = {s.cat for s in tracer.spans}
+        assert {"issl", "net.tcp", "costate", "service"} <= span_cats
+        assert "xalloc" in tracer.categories()
+
+    def test_counters_track_the_run(self, redirector):
+        counters = redirector["obs"].metrics.snapshot()["counters"]
+        assert counters["issl.handshakes.completed"] == 3
+        assert counters["redirector.redirected"] == 12
+        assert counters["issl.bytes.encrypted"] > 0
+        assert counters["issl.log.messages"] > 0
+        assert counters["xalloc.allocations"] == 3
+
+    def test_costate_slices_sit_inside_the_run(self, redirector):
+        # Slices are reconstructed ahead of the scheduler's lump charge,
+        # so the last one may extend past the instant the sim stopped --
+        # but every slice must start inside the run and have width.
+        sim = redirector["sim"]
+        scheduler = redirector["scheduler"]
+        slices = [s for s in redirector["obs"].tracer.spans
+                  if s.cat == "costate"]
+        assert slices
+        for span in slices:
+            assert span.end > span.start >= 0.0
+            assert span.start <= sim.now + scheduler.pass_overhead_s
+
+    def test_chrome_trace_is_valid(self, redirector):
+        trace = json.loads(
+            json.dumps(redirector["obs"].tracer.to_chrome())
+        )
+        events = trace["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        assert len([e for e in events if e["ph"] == "X"]) >= 20
+
+
+class TestAesScenario:
+    def test_profiles_the_asm_cipher(self):
+        result = run_aes_scenario(implementation="asm")
+        profiler = result["profiler"]
+        assert result["blocks"] == 2
+        assert {"aes_set_key", "aes_encrypt"} <= set(profiler.self_cycles)
+        assert profiler.total_cycles > 0
+        counters = result["obs"].metrics.snapshot()["counters"]
+        assert counters["aes.blocks.encrypted"] == 2
+
+    def test_rejects_unknown_implementation(self):
+        with pytest.raises(ValueError):
+            run_aes_scenario(implementation="fortran")
