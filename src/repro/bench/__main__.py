@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.bench``; see :mod:`repro.bench.cli`."""
+
+from repro.bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

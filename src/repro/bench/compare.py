@@ -1,0 +1,188 @@
+"""Snapshot comparison: per-metric diffs under tolerance bands.
+
+Two bands, matching what the numbers are:
+
+* :data:`DETERMINISTIC_BAND` -- experiment metrics and obs detail come
+  off the simulator, which is bit-for-bit deterministic, so any drift
+  means the *code* changed.  Sub-0.1% drift passes (float rounding in
+  derived ratios), up to 2% warns (an intentional change that should
+  come with a baseline refresh), beyond that fails.
+* :data:`WALL_BAND` -- the harness's own wall-clock timings measure the
+  Python simulator on whatever host runs the gate; they warn at 2x and
+  never fail on their own.
+
+A metric present on only one side is reported (``added``/``removed``)
+at warn level: schema drift should be visible, but growing the metric
+set must not break the gate retroactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.schema import BenchSchemaError, flatten_metrics, flatten_wall
+
+PASS = "pass"
+WARN = "warn"
+FAIL = "fail"
+ADDED = "added"
+REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class ToleranceBand:
+    """Relative-drift thresholds for one class of metric."""
+
+    #: Relative drift beyond which the diff is a WARN.
+    warn_rel: float
+    #: Relative drift beyond which the diff is a FAIL; ``None`` means
+    #: the class can never fail (wall time).
+    fail_rel: float | None
+    #: Absolute drift at or below this always passes, whatever the
+    #: relative looks like (guards division around zero).
+    abs_floor: float = 1e-9
+
+
+DETERMINISTIC_BAND = ToleranceBand(warn_rel=0.001, fail_rel=0.02)
+WALL_BAND = ToleranceBand(warn_rel=1.0, fail_rel=None, abs_floor=0.05)
+
+
+@dataclass
+class MetricDiff:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    baseline: float | None
+    current: float | None
+    status: str
+    rel_drift: float = 0.0
+    band: str = "deterministic"
+
+    @property
+    def delta(self) -> float | None:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    def row(self) -> dict:
+        return {
+            "metric": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "drift": f"{self.rel_drift * 100:+.2f}%"
+            if self.baseline is not None and self.current is not None
+            else "-",
+            "band": self.band,
+            "status": self.status.upper(),
+        }
+
+
+def _classify(value_delta: float, baseline: float,
+              band: ToleranceBand) -> tuple[str, float]:
+    magnitude = abs(value_delta)
+    rel = magnitude / max(abs(baseline), band.abs_floor)
+    signed_rel = rel if value_delta >= 0 else -rel
+    if magnitude <= band.abs_floor:
+        return PASS, signed_rel
+    if band.fail_rel is not None and rel > band.fail_rel:
+        return FAIL, signed_rel
+    if rel > band.warn_rel:
+        return WARN, signed_rel
+    return PASS, signed_rel
+
+
+def _diff_maps(baseline: dict, current: dict, band: ToleranceBand,
+               band_name: str) -> list[MetricDiff]:
+    diffs = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            diffs.append(MetricDiff(name, baseline[name], None, REMOVED,
+                                    band=band_name))
+        elif name not in baseline:
+            diffs.append(MetricDiff(name, None, current[name], ADDED,
+                                    band=band_name))
+        else:
+            status, rel = _classify(
+                current[name] - baseline[name], baseline[name], band
+            )
+            diffs.append(MetricDiff(name, baseline[name], current[name],
+                                    status, rel, band=band_name))
+    return diffs
+
+
+@dataclass
+class CompareReport:
+    """Every metric diff between two snapshots, plus the verdict."""
+
+    baseline_tag: str
+    current_tag: str
+    diffs: list[MetricDiff] = field(default_factory=list)
+
+    def _with_status(self, *statuses: str) -> list[MetricDiff]:
+        return [d for d in self.diffs if d.status in statuses]
+
+    @property
+    def failures(self) -> list[MetricDiff]:
+        return self._with_status(FAIL)
+
+    @property
+    def warnings(self) -> list[MetricDiff]:
+        return self._with_status(WARN, ADDED, REMOVED)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> dict:
+        counts = {PASS: 0, WARN: 0, FAIL: 0, ADDED: 0, REMOVED: 0}
+        for diff in self.diffs:
+            counts[diff.status] += 1
+        return counts
+
+    def format(self, verbose: bool = False) -> str:
+        from repro.experiments.harness import format_table
+
+        shown = self.diffs if verbose else self._with_status(
+            FAIL, WARN, ADDED, REMOVED
+        )
+        counts = self.counts()
+        lines = [
+            f"compare: baseline={self.baseline_tag} "
+            f"current={self.current_tag}",
+            f"  {counts[PASS]} pass, {counts[WARN]} warn, "
+            f"{counts[FAIL]} fail, {counts[ADDED]} added, "
+            f"{counts[REMOVED]} removed",
+        ]
+        if shown:
+            lines.append(format_table([d.row() for d in shown]))
+        elif not verbose:
+            lines.append("  all metrics within tolerance")
+        return "\n".join(lines)
+
+
+def compare_snapshots(baseline: dict, current: dict) -> CompareReport:
+    """Diff every metric of two snapshot documents.
+
+    Raises :class:`BenchSchemaError` when the snapshots ran different
+    workloads -- quick and full runs measure different work and must
+    never be drift-gated against each other.
+    """
+    if baseline.get("workload") != current.get("workload"):
+        raise BenchSchemaError(
+            f"cannot compare workloads "
+            f"{baseline.get('workload')!r} vs {current.get('workload')!r}; "
+            f"re-run the snapshot with the matching workload"
+        )
+    report = CompareReport(
+        baseline_tag=baseline.get("tag", "?"),
+        current_tag=current.get("tag", "?"),
+    )
+    report.diffs.extend(_diff_maps(
+        flatten_metrics(baseline), flatten_metrics(current),
+        DETERMINISTIC_BAND, "deterministic",
+    ))
+    report.diffs.extend(_diff_maps(
+        flatten_wall(baseline), flatten_wall(current), WALL_BAND, "wall",
+    ))
+    return report

@@ -1,0 +1,157 @@
+"""Build one benchmark snapshot: experiments + obs detail + wall clock.
+
+``build_snapshot`` runs the E1..E10 battery through the results-as-data
+harness (:class:`repro.experiments.harness.ExperimentResult`), then the
+two instrumented obs scenarios for the detail the tables alone don't
+carry: per-routine cycle attribution from
+:class:`repro.obs.profile.CycleProfiler` for both AES implementations,
+and the E4-scenario :class:`repro.obs.MetricsRegistry` counters, gauge
+high-waters, and histogram percentiles from the redirector under load.
+
+Everything simulated is deterministic, so those numbers diff exactly
+between runs; the snapshot also records how long each piece took on the
+host's wall clock, so a regression in the *simulator's* performance is
+visible too (with a loose tolerance band -- see
+:mod:`repro.bench.compare`).
+
+The ``quick`` workload shrinks every knob for tests; quick and full
+snapshots are never compared against each other (the ``workload`` field
+guards it).
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+
+from repro.bench.schema import SCHEMA_VERSION
+from repro.experiments import RUNNERS
+
+FULL_WORKLOAD = "full"
+QUICK_WORKLOAD = "quick"
+
+#: Per-experiment runner kwargs for the shrunken test workload.  Absent
+#: ids run with their defaults in both workloads.
+_QUICK_KWARGS: dict[str, dict] = {
+    "E1": {"keys": 1, "blocks_per_key": 1},
+    "E2": {"keys": 1, "blocks_per_key": 1},
+    "E4": {"requests": 3, "request_size": 128},
+    "E5": {"max_clients": 4},
+    "E10": {"widths": (2, 3)},
+}
+
+_QUICK_OBS_KWARGS = {
+    "aes": {"keys": 1, "blocks_per_key": 1},
+    "redirector": {"clients": 2, "requests": 2, "request_size": 64},
+}
+
+
+def _runner_kwargs(experiment_id: str, workload: str) -> dict:
+    if workload == QUICK_WORKLOAD:
+        return dict(_QUICK_KWARGS.get(experiment_id, {}))
+    return {}
+
+
+def _harness_info() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
+    """Run the instrumented scenarios; returns ``(obs_section, wall)``."""
+    from repro.obs.scenarios import run_aes_scenario, run_redirector_scenario
+
+    aes_kwargs = (
+        _QUICK_OBS_KWARGS["aes"] if workload == QUICK_WORKLOAD else {}
+    )
+    redirector_kwargs = (
+        _QUICK_OBS_KWARGS["redirector"] if workload == QUICK_WORKLOAD else {}
+    )
+    obs_section: dict = {"aes_profile": {}}
+    wall: dict = {}
+    for implementation in ("c", "asm"):
+        start = time.time()
+        result = run_aes_scenario(
+            implementation=implementation, **aes_kwargs
+        )
+        wall[f"aes_{implementation}"] = round(time.time() - start, 3)
+        profiler = result["profiler"]
+        obs_section["aes_profile"][implementation] = {
+            "total_cycles": profiler.total_cycles,
+            "blocks": result["blocks"],
+            "routines": profiler.report_rows(),
+        }
+    start = time.time()
+    result = run_redirector_scenario(**redirector_kwargs)
+    wall["redirector"] = round(time.time() - start, 3)
+    metrics = result["obs"].metrics.snapshot()
+    obs_section["redirector"] = {
+        "counters": metrics["counters"],
+        "gauges": metrics["gauges"],
+        "histograms": metrics["histograms"],
+        "clients_ok": sum(
+            1 for report in result["reports"] if report.error is None
+        ),
+    }
+    return obs_section, wall
+
+
+def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
+                   experiments: list[str] | None = None,
+                   include_obs: bool = True,
+                   progress=None) -> dict:
+    """Run the battery and return a schema-versioned snapshot document.
+
+    ``experiments`` restricts the run to a subset of ids (for tests and
+    targeted comparisons); ``include_obs=False`` skips the instrumented
+    scenarios.  ``progress`` is an optional ``callable(str)`` used by
+    the CLI to narrate long runs.
+    """
+    if workload not in (FULL_WORKLOAD, QUICK_WORKLOAD):
+        raise ValueError(f"workload must be full/quick, got {workload!r}")
+    wanted = [e.upper() for e in experiments] if experiments else list(RUNNERS)
+    unknown = [e for e in wanted if e not in RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"unknown experiment ids: {unknown}; known: {list(RUNNERS)}"
+        )
+    say = progress if progress is not None else (lambda message: None)
+    total_start = time.time()
+    experiment_records: dict = {}
+    experiment_wall: dict = {}
+    for experiment_id in wanted:
+        say(f"running {experiment_id} ...")
+        start = time.time()
+        result = RUNNERS[experiment_id](
+            **_runner_kwargs(experiment_id, workload)
+        )
+        experiment_wall[experiment_id] = round(time.time() - start, 3)
+        experiment_records[experiment_id] = result.to_dict()
+    obs_section: dict = {}
+    obs_wall: dict = {}
+    if include_obs:
+        say("running instrumented obs scenarios ...")
+        obs_section, obs_wall = _collect_obs_detail(workload)
+    created = time.time()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tag": tag,
+        "workload": workload,
+        "created_unix": round(created, 3),
+        "created_iso": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(created)
+        ),
+        "harness": _harness_info(),
+        "experiments": experiment_records,
+        "obs": obs_section,
+        "wall_seconds": {
+            "experiments": experiment_wall,
+            "obs": obs_wall,
+            "total": round(time.time() - total_start, 3),
+        },
+    }

@@ -143,11 +143,24 @@ def run_e1(keys: int = 2, blocks_per_key: int = 2,
         }
         for m in (c_measurement, asm_measurement)
     ]
+    metrics = {
+        "c_cycles_per_block": c_measurement.cycles_per_block,
+        "asm_cycles_per_block": asm_measurement.cycles_per_block,
+        "asm_over_c_speed_ratio": ratio,
+        "c_code_bytes": c_measurement.code_size,
+        "asm_code_bytes": asm_measurement.code_size,
+        "c_key_schedule_cycles": c_measurement.key_schedule_cycles // keys,
+        "asm_key_schedule_cycles": asm_measurement.key_schedule_cycles // keys,
+        "c_kb_per_s": c_measurement.throughput_bytes_per_second / 1024,
+        "asm_kb_per_s": asm_measurement.throughput_bytes_per_second / 1024,
+        "blocks_measured": c_measurement.blocks,
+    }
     return ExperimentResult(
         experiment_id="E1",
         title="AES: straightforward C port vs hand-coded assembly",
         paper_claim="assembly faster by more than an order of magnitude",
         rows=rows,
+        metrics=metrics,
         summary=f"assembly is {ratio:.1f}x faster than the C port",
         reproduced=ratio >= 10.0,
         notes=(

@@ -85,11 +85,20 @@ def run_e2(keys: int = 1, blocks_per_key: int = 2,
         all(gain < 30 for gain in individual_gains)
         and 10 <= combined_gain <= 45
     )
+    metrics = {
+        "baseline_cycles_per_block": baseline,
+        "all_on_cycles_per_block": all_on,
+        "combined_gain_pct": combined_gain,
+        "min_individual_gain_pct": min(individual_gains),
+        "max_individual_gain_pct": max(individual_gains),
+        "xmem_cycles_per_block": measurements[5][2].cycles_per_block,
+    }
     return ExperimentResult(
         experiment_id="E2",
         title="C optimization sweep: root data, unrolling, nodebug, optimizer",
         paper_claim="all of it together improved run time by perhaps 20%",
         rows=rows,
+        metrics=metrics,
         summary=(
             f"individual knobs {min(individual_gains):.1f}%.."
             f"{max(individual_gains):.1f}%, all together "

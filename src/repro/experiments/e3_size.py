@@ -70,9 +70,18 @@ def run_e3(keys: int = 1, blocks_per_key: int = 1) -> ExperimentResult:
     # and across C variants bigger code is certainly not slower code
     # (no positive size->cycles correlation).
     reproduced = correlation < 0.5 and speed_ratio >= 5 and size_delta > 0
+    metrics = {
+        "pearson_r_size_cycles": correlation,
+        "asm_size_delta_pct": size_delta,
+        "asm_speed_ratio": speed_ratio,
+        "asm_code_bytes": asm.code_size,
+        "best_c_code_bytes": best_c_size,
+        "best_c_cycles_per_block": float(best_c_speed),
+    }
     return ExperimentResult(
         experiment_id="E3",
         title="Code size vs execution speed",
+        metrics=metrics,
         paper_claim=(
             "assembly 9% smaller than the C yet >10x faster; size "
             "uncorrelated with speed"

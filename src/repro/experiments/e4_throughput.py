@@ -134,6 +134,26 @@ def run_e4(requests: int = 8, request_size: int = 256,
     ratio_asm = plain.throughput_bps / secure_asm.throughput_bps
     ratio_c = plain.throughput_bps / secure_c.throughput_bps
     reproduced = ratio_asm >= 5.0
+    metrics = {
+        "plain_kb_per_s": plain.throughput_bps / 1000,
+        "secure_asm_kb_per_s": secure_asm.throughput_bps / 1000,
+        "secure_c_kb_per_s": secure_c.throughput_bps / 1000,
+        "plain_over_secure_asm_ratio": ratio_asm,
+        "plain_over_secure_c_ratio": ratio_c,
+        "secure_asm_handshake_ms": secure_asm.handshake_time * 1000,
+        "secure_c_handshake_ms": secure_c.handshake_time * 1000,
+        "secure_asm_mean_request_ms": 1000 * sum(secure_asm.request_times)
+        / len(secure_asm.request_times),
+    }
+    if instrument:
+        counters = obs_asm.metrics.snapshot()["counters"]
+        metrics["asm_records_sent"] = counters.get("issl.records.sent", 0)
+        metrics["asm_bytes_encrypted"] = counters.get(
+            "issl.bytes.encrypted", 0
+        )
+        metrics["asm_handshakes_completed"] = counters.get(
+            "issl.handshakes.completed", 0
+        )
     return ExperimentResult(
         experiment_id="E4",
         title="Throughput cost of TLS on the embedded redirector",
@@ -153,4 +173,5 @@ def run_e4(requests: int = 8, request_size: int = 256,
             "mattered for the product, not just the benchmark"
         ),
         extra_tables=extra_tables,
+        metrics=metrics,
     )

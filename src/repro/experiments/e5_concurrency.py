@@ -125,9 +125,19 @@ def run_e5(max_clients: int = 5) -> ExperimentResult:
         and queue_step > 3.0
         and recompile_relief > 3.0
     )
+    metrics = {
+        "peak_sessions_3_handlers": peaks[max_clients],
+        "peak_sessions_5_handlers": wide_context.sessions_peak,
+        "queue_step_ratio": queue_step,
+        "recompile_relief_ratio": recompile_relief,
+        "worst_wait_ms_at_ceiling": max_waits[max_clients] * 1000,
+        "worst_wait_ms_5_handlers": wide_wait * 1000,
+        "clients_tested": max_clients,
+    }
     return ExperimentResult(
         experiment_id="E5",
         title="Connection concurrency ceiling of the costatement structure",
+        metrics=metrics,
         paper_claim=(
             "three handler costatements allow a maximum of three "
             "connections; more requires recompiling with more costatements"

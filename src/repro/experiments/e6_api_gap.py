@@ -81,9 +81,16 @@ def run_e6() -> ExperimentResult:
     dync_only = sorted(set(_DYNC_CALLS) & dync_used - bsd_used)
     api_overlap = len(shared)
     reproduced = behaviour_equal and api_overlap == 0 and len(dync_only) >= 6
+    metrics = {
+        "api_overlap_calls": api_overlap,
+        "dync_only_calls": len(dync_only),
+        "bsd_calls": len(set(_BSD_CALLS) & bsd_used),
+        "payloads_identical": int(behaviour_equal),
+    }
     return ExperimentResult(
         experiment_id="E6",
         title="Figure 2: BSD vs Dynamic C echo server",
+        metrics=metrics,
         paper_claim=(
             "equivalent code, significantly different API (Figure 2a vs 2b)"
         ),

@@ -126,9 +126,18 @@ def run_e7() -> ExperimentResult:
         and RMC2000_PORT.suites[0].key_bytes == 16
         and len(RMC2000_PORT.suites) == 1
     )
+    metrics = {
+        "unix_ram_bytes": unix_plan.ram_used,
+        "port_ram_bytes": port_plan.ram_used,
+        "port_data_segment_bytes": port_plan.data_segment_used,
+        "static_session_bytes": static_total,
+        "xalloc_churn_connections": churn_limit,
+        "port_fits": int(port_plan.fits),
+    }
     return ExperimentResult(
         experiment_id="E7",
         title="Memory: static allocation, xalloc without free, dropped key sizes",
+        metrics=metrics,
         paper_claim=(
             "no malloc/free: removed all dynamic allocation, statically "
             "allocated all variables, dropped multiple key/block sizes; "

@@ -67,9 +67,18 @@ def run_e8() -> ExperimentResult:
         and monitor.saved_counter > 0
         and max(latencies) <= 30
     )
+    metrics = {
+        "isr_latency_min_cycles": min(latencies),
+        "isr_latency_max_cycles": max(latencies),
+        "isr_latency_mean_us": mean_latency / CLOCK_HZ * 1e6,
+        "status_counter_before_reset": status_before,
+        "status_counter_after_reset": status_after,
+        "saved_counter_after_warm_reset": monitor.saved_counter,
+    }
     return ExperimentResult(
         experiment_id="E8",
         title="Interrupt-driven serial debug channel",
+        metrics=metrics,
         paper_claim=(
             "serial port interrupts the processor on each character; the "
             "system replies with status or resets, possibly keeping state"

@@ -38,9 +38,21 @@ def run_e9() -> ExperimentResult:
         and not missing
         and strategies_used == set(Strategy)
     )
+    metrics = {
+        "issue_sites": len(report.issues),
+        "files_scanned": report.files_scanned,
+        "missing_facility_sites": len(by_class[ProblemClass.MISSING_FACILITY]),
+        "different_api_sites": len(by_class[ProblemClass.DIFFERENT_API]),
+        "invalid_assumption_sites": len(
+            by_class[ProblemClass.INVALID_ASSUMPTION]
+        ),
+        "paper_named_symbols_missing": len(missing),
+        "strategies_used": len(strategies_used),
+    }
     return ExperimentResult(
         experiment_id="E9",
         title="Porting-problem census of the Unix issl service",
+        metrics=metrics,
         paper_claim=(
             "three broad classes of porting problems; solutions ranged "
             "from reimplementing to reworking to abandoning functionality"

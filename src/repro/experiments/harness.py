@@ -1,13 +1,19 @@
 """Experiment harness: result records and table rendering (DESIGN.md S15).
 
 Every experiment runner returns an :class:`ExperimentResult`; the
-benchmark suite asserts on its ``reproduced`` flag and the CLI prints
-its table.  EXPERIMENTS.md is the prose record of the same runs.
+benchmark suite asserts on its ``reproduced`` flag, the CLI prints
+its table, and the bench subsystem (:mod:`repro.bench`) serializes it
+into ``BENCH_*.json`` snapshots.  EXPERIMENTS.md is the prose record of
+the same runs.
+
+Results are data first: ``metrics`` carries every headline number as a
+named scalar, and ``to_dict``/``from_dict`` round-trip the whole record
+through JSON so a committed snapshot can regenerate any table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass
@@ -24,6 +30,21 @@ class ExperimentResult:
     #: Named side tables (per-routine cycle attribution, issl counters,
     #: ...), rendered after the main table.
     extra_tables: dict = field(default_factory=dict)
+    #: Machine-readable headline numbers (``name -> scalar``): exactly
+    #: the values the summary sentence is built from, so snapshots can
+    #: be diffed metric by metric.  Deterministic on the simulator.
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-data form; every value is JSON-serializable."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`; ignores unknown keys so newer
+        snapshots load under older code."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def format(self) -> str:
         lines = [

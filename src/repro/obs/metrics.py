@@ -77,6 +77,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation within the bucket holding the q-th
+        observation, Prometheus ``histogram_quantile`` style: the first
+        bucket's lower edge is 0 (or its bound, if negative) and
+        observations are assumed uniform inside a bucket.  Quantiles
+        that land in the overflow bucket clamp to the last finite bound
+        -- the honest answer for "somewhere past the largest bucket".
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, (bound, bucket_count) in enumerate(
+            zip(self.bounds, self.counts)
+        ):
+            if bucket_count > 0 and cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index else min(
+                    0.0, self.bounds[0]
+                )
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (bound - lower) * fraction
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict:
+        """The p50/p95/p99 summary bench snapshots record."""
+        return {
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
     def bucket_rows(self) -> list[dict]:
         rows = [
             {"le": bound, "count": count}
@@ -128,7 +164,7 @@ class MetricsRegistry:
                        for g in self._gauges.values()},
             "histograms": {
                 h.name: {"count": h.count, "mean": h.mean,
-                         "buckets": h.bucket_rows()}
+                         **h.percentiles(), "buckets": h.bucket_rows()}
                 for h in self._histograms.values()
             },
         }
@@ -184,6 +220,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def percentiles(self) -> dict:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
     def bucket_rows(self) -> list:
         return []

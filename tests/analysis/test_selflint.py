@@ -25,6 +25,7 @@ LINTED_TREES = [
     REPO / "src" / "repro" / "experiments",
     REPO / "src" / "repro" / "dync",
     REPO / "src" / "repro" / "obs",
+    REPO / "src" / "repro" / "bench",
 ]
 
 

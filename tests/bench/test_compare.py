@@ -1,0 +1,152 @@
+"""Tolerance-band logic: pass / warn / fail, added/removed, wall band."""
+
+import pytest
+
+from repro.bench.compare import (
+    DETERMINISTIC_BAND,
+    WALL_BAND,
+    compare_snapshots,
+)
+from repro.bench.schema import BenchSchemaError
+
+from tests.bench.conftest import make_snapshot
+
+
+def _with_metric(document, name, value):
+    document["experiments"]["E1"]["metrics"][name] = value
+    return document
+
+
+def _diff(report, name):
+    matches = [d for d in report.diffs if d.name == name]
+    assert len(matches) == 1, f"{name} not in report"
+    return matches[0]
+
+
+class TestDeterministicBand:
+    def test_identical_snapshots_all_pass(self, snapshot):
+        report = compare_snapshots(snapshot, make_snapshot())
+        assert report.ok
+        assert report.failures == []
+        counts = report.counts()
+        assert counts["warn"] == counts["fail"] == 0
+        assert counts["pass"] == len(report.diffs)
+
+    def test_sub_band_drift_passes(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               512000.0 * 1.0005)
+        diff = _diff(compare_snapshots(snapshot, current),
+                     "E1.c_cycles_per_block")
+        assert diff.status == "pass"
+
+    def test_mid_band_drift_warns(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               512000.0 * 1.01)
+        report = compare_snapshots(snapshot, current)
+        diff = _diff(report, "E1.c_cycles_per_block")
+        assert diff.status == "warn"
+        assert report.ok  # warns alone never fail a compare
+        assert diff in report.warnings
+
+    def test_beyond_band_drift_fails(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               512000.0 * 1.10)
+        report = compare_snapshots(snapshot, current)
+        diff = _diff(report, "E1.c_cycles_per_block")
+        assert diff.status == "fail"
+        assert not report.ok
+        assert diff.rel_drift == pytest.approx(0.10)
+
+    def test_negative_drift_fails_symmetrically(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               512000.0 * 0.90)
+        diff = _diff(compare_snapshots(snapshot, current),
+                     "E1.c_cycles_per_block")
+        assert diff.status == "fail"
+        assert diff.rel_drift == pytest.approx(-0.10)
+
+    def test_reproduced_flip_fails(self, snapshot):
+        current = make_snapshot()
+        current["experiments"]["E1"]["reproduced"] = False
+        diff = _diff(compare_snapshots(snapshot, current), "E1.reproduced")
+        assert diff.status == "fail"
+
+    def test_zero_baseline_uses_abs_floor(self, snapshot):
+        baseline = _with_metric(make_snapshot(), "new_zero", 0.0)
+        current = _with_metric(make_snapshot(), "new_zero", 1.0)
+        assert _diff(compare_snapshots(baseline, current),
+                     "E1.new_zero").status == "fail"
+
+
+class TestAddedRemoved:
+    def test_added_metric_warns_not_fails(self, snapshot):
+        current = _with_metric(make_snapshot(), "brand_new", 7.0)
+        report = compare_snapshots(snapshot, current)
+        diff = _diff(report, "E1.brand_new")
+        assert diff.status == "added"
+        assert diff.delta is None
+        assert report.ok
+
+    def test_removed_metric_warns_not_fails(self, snapshot):
+        current = make_snapshot()
+        del current["experiments"]["E1"]["metrics"]["c_cycles_per_block"]
+        report = compare_snapshots(snapshot, current)
+        assert _diff(report, "E1.c_cycles_per_block").status == "removed"
+        assert report.ok
+
+
+class TestWallBand:
+    def test_wall_never_fails(self, snapshot):
+        current = make_snapshot()
+        current["wall_seconds"]["experiments"]["E1"] = 50.0  # 25x slower
+        report = compare_snapshots(snapshot, current)
+        diff = _diff(report, "wall.experiments.E1")
+        assert diff.status == "warn"
+        assert diff.band == "wall"
+        assert report.ok
+
+    def test_small_wall_jitter_passes(self, snapshot):
+        current = make_snapshot()
+        current["wall_seconds"]["total"] = 3.5
+        assert _diff(compare_snapshots(snapshot, current),
+                     "wall.total").status == "pass"
+
+    def test_sub_floor_wall_ignored(self, snapshot):
+        # 0.01 s -> 0.05 s is 5x but under the absolute floor: timer
+        # noise on tiny experiments must not even warn.
+        baseline = make_snapshot()
+        baseline["wall_seconds"]["experiments"]["E1"] = 0.01
+        current = make_snapshot()
+        current["wall_seconds"]["experiments"]["E1"] = 0.05
+        assert _diff(compare_snapshots(baseline, current),
+                     "wall.experiments.E1").status == "pass"
+
+
+class TestWorkloadGuard:
+    def test_workload_mismatch_raises(self, snapshot):
+        with pytest.raises(BenchSchemaError, match="workload"):
+            compare_snapshots(snapshot, make_snapshot(workload="quick"))
+
+
+class TestReportRendering:
+    def test_format_lists_failures(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               700000.0)
+        text = compare_snapshots(snapshot, current).format()
+        assert "E1.c_cycles_per_block" in text
+        assert "FAIL" in text
+        assert "deterministic" in text
+
+    def test_format_clean(self, snapshot):
+        text = compare_snapshots(snapshot, make_snapshot()).format()
+        assert "all metrics within tolerance" in text
+
+    def test_format_verbose_shows_passes(self, snapshot):
+        text = compare_snapshots(snapshot, make_snapshot()).format(
+            verbose=True
+        )
+        assert "E1.asm_cycles_per_block" in text
+
+    def test_band_constants(self):
+        assert DETERMINISTIC_BAND.fail_rel is not None
+        assert WALL_BAND.fail_rel is None

@@ -1,0 +1,109 @@
+"""Gate logic: claim evaluation, reproduced flags, drift integration."""
+
+from repro.bench.gate import (
+    CLAIMS,
+    Claim,
+    evaluate_gate,
+)
+
+from tests.bench.conftest import make_snapshot
+
+
+def _result_for(report, experiment_id, metric):
+    for result in report.claim_results:
+        claim = result.claim
+        if claim.experiment_id == experiment_id and claim.metric == metric:
+            return result
+    raise AssertionError(f"no claim {experiment_id}.{metric}")
+
+
+class TestClaimEvaluation:
+    def test_holding_claim_ok(self, snapshot):
+        result = Claim("E1", "asm_over_c_speed_ratio", ">=", 10.0,
+                       "order of magnitude").evaluate(snapshot)
+        assert result.status == "ok"
+        assert result.value == 25.0
+
+    def test_violated_claim(self, snapshot):
+        snapshot["experiments"]["E1"]["metrics"][
+            "asm_over_c_speed_ratio"
+        ] = 4.0
+        result = Claim("E1", "asm_over_c_speed_ratio", ">=", 10.0,
+                       "order of magnitude").evaluate(snapshot)
+        assert result.status == "violated"
+
+    def test_absent_experiment_skipped(self, snapshot):
+        result = Claim("E5", "peak_sessions_3_handlers", "==", 3.0,
+                       "ceiling").evaluate(snapshot)
+        assert result.status == "skipped"
+
+    def test_absent_metric_is_missing(self, snapshot):
+        result = Claim("E1", "not_a_metric", ">=", 1.0,
+                       "schema drift").evaluate(snapshot)
+        assert result.status == "missing-metric"
+
+    def test_claim_table_covers_all_ten_experiments_but_skips_none_extra(
+        self,
+    ):
+        claimed = {claim.experiment_id for claim in CLAIMS}
+        assert claimed == {f"E{i}" for i in range(1, 11)}
+
+
+class TestGateVerdict:
+    def test_healthy_snapshot_passes(self, snapshot):
+        report = evaluate_gate(snapshot)
+        assert report.ok
+        assert _result_for(report, "E1",
+                           "asm_over_c_speed_ratio").status == "ok"
+        # Claims for experiments this snapshot lacks are skipped, not
+        # failed: subset snapshots stay gateable.
+        assert _result_for(report, "E5",
+                           "peak_sessions_3_handlers").status == "skipped"
+
+    def test_violated_claim_fails_gate(self, snapshot):
+        snapshot["experiments"]["E1"]["metrics"][
+            "asm_over_c_speed_ratio"
+        ] = 4.0
+        report = evaluate_gate(snapshot)
+        assert not report.ok
+        assert report.violated_claims
+
+    def test_not_reproduced_fails_gate(self, snapshot):
+        snapshot["experiments"]["E1"]["reproduced"] = False
+        report = evaluate_gate(snapshot)
+        assert not report.ok
+        assert report.not_reproduced == ["E1"]
+
+    def test_drift_against_baseline_fails_gate(self, snapshot):
+        current = make_snapshot()
+        current["experiments"]["E1"]["metrics"]["c_cycles_per_block"] *= 1.5
+        report = evaluate_gate(current, baseline=snapshot)
+        assert not report.ok
+        assert report.compare is not None
+        assert not report.compare.ok
+        # The claims themselves still hold -- the drift is the failure.
+        assert not report.violated_claims
+
+    def test_no_baseline_means_claims_only(self, snapshot):
+        report = evaluate_gate(snapshot)
+        assert report.compare is None
+        assert report.ok
+
+
+class TestGateRendering:
+    def test_format_readable_on_failure(self, snapshot):
+        snapshot["experiments"]["E1"]["metrics"][
+            "asm_over_c_speed_ratio"
+        ] = 4.0
+        text = evaluate_gate(snapshot).format()
+        assert "asm_over_c_speed_ratio >= 10" in text
+        assert "VIOLATED" in text
+        assert "verdict: FAIL" in text
+
+    def test_format_pass(self, snapshot):
+        text = evaluate_gate(snapshot).format()
+        assert "verdict: PASS" in text
+
+    def test_format_verbose_lists_ok_claims(self, snapshot):
+        text = evaluate_gate(snapshot).format(verbose=True)
+        assert "order of magnitude" in text

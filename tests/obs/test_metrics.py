@@ -64,6 +64,80 @@ class TestHistogram:
         assert Histogram("h", (1.0,)).mean == 0.0
 
 
+class TestHistogramPercentiles:
+    def test_quantile_domain(self):
+        histogram = Histogram("h", (1.0,))
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                histogram.percentile(bad)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram("h", (1.0,)).percentile(0.5) == 0.0
+
+    def test_uniform_single_bucket_interpolation(self):
+        # 10 observations in (0..100]: rank of p50 is 5, so the estimate
+        # interpolates halfway up the only bucket.
+        histogram = Histogram("h", (100.0,))
+        for _ in range(10):
+            histogram.observe(50.0)
+        assert histogram.percentile(0.5) == pytest.approx(50.0)
+        assert histogram.percentile(1.0) == pytest.approx(100.0)
+
+    def test_multi_bucket_interpolation(self):
+        # 8 obs <= 10, 2 obs in (10..20]: p50 -> rank 5 of 8 in the
+        # first bucket = 10 * 5/8; p90 -> rank 9, the first of the two
+        # in (10..20], interpolated halfway through that bucket.
+        histogram = Histogram("h", (10.0, 20.0))
+        for _ in range(8):
+            histogram.observe(5.0)
+        for _ in range(2):
+            histogram.observe(15.0)
+        assert histogram.percentile(0.5) == pytest.approx(10.0 * 5 / 8)
+        assert histogram.percentile(0.9) == pytest.approx(10.0 + 10.0 * 0.5)
+
+    def test_skips_empty_buckets(self):
+        histogram = Histogram("h", (1.0, 2.0, 3.0))
+        for _ in range(4):
+            histogram.observe(2.5)
+        # Everything sits in (2.0..3.0]; p50 interpolates there.
+        assert histogram.percentile(0.5) == pytest.approx(2.5)
+
+    def test_overflow_clamps_to_last_bound(self):
+        histogram = Histogram("h", (1.0, 2.0))
+        histogram.observe(0.5)
+        for _ in range(9):
+            histogram.observe(99.0)
+        assert histogram.percentile(0.99) == 2.0
+
+    def test_negative_first_bound_extends_lower_edge(self):
+        # Both land in (-10..0]; the bucket's lower edge is the previous
+        # bound, so p50 interpolates to the middle of that range.
+        histogram = Histogram("h", (-10.0, 0.0))
+        for _ in range(2):
+            histogram.observe(-5.0)
+        assert histogram.percentile(0.5) == pytest.approx(-5.0)
+
+    def test_percentiles_summary_keys(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe(0.5)
+        summary = histogram.percentiles()
+        assert sorted(summary) == ["p50", "p95", "p99"]
+
+    def test_snapshot_carries_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (4.0,)).observe(2.0)
+        snapshot = registry.snapshot()["histograms"]["h"]
+        assert snapshot["p50"] == pytest.approx(2.0)
+        assert snapshot["p99"] == pytest.approx(3.96)
+
+    def test_null_registry_percentiles(self):
+        instrument = NullMetricsRegistry().histogram("h", (1.0,))
+        assert instrument.percentile(0.5) == 0.0
+        assert instrument.percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+
 class TestRegistrySnapshots:
     def _populated(self) -> MetricsRegistry:
         registry = MetricsRegistry()
