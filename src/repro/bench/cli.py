@@ -46,6 +46,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run a subset of experiments")
         p.add_argument("--no-obs", action="store_true",
                        help="skip the instrumented obs scenarios")
+        p.add_argument("--no-faults", action="store_true",
+                       help="skip the fault-injection matrix")
 
     run = sub.add_parser("run", help="run the battery, write a snapshot")
     run.add_argument("--tag", default="current",
@@ -95,7 +97,8 @@ def _snapshot_from_run_options(args, tag: str, workload: str) -> dict:
     only = args.only.split(",") if args.only else None
     return build_snapshot(
         tag, workload=workload, experiments=only,
-        include_obs=not args.no_obs, progress=_progress,
+        include_obs=not args.no_obs, include_faults=not args.no_faults,
+        progress=_progress,
     )
 
 

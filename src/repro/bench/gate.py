@@ -125,6 +125,7 @@ class GateReport:
     tag: str
     claim_results: list[ClaimResult] = field(default_factory=list)
     not_reproduced: list[str] = field(default_factory=list)
+    faults_failed: list[str] = field(default_factory=list)
     compare: CompareReport | None = None
 
     @property
@@ -134,7 +135,8 @@ class GateReport:
 
     @property
     def ok(self) -> bool:
-        if self.violated_claims or self.not_reproduced:
+        if (self.violated_claims or self.not_reproduced
+                or self.faults_failed):
             return False
         return self.compare.ok if self.compare is not None else True
 
@@ -157,6 +159,11 @@ class GateReport:
                 "  experiments no longer reproducing: "
                 + ", ".join(self.not_reproduced)
             )
+        if self.faults_failed:
+            lines.append(
+                "  fault scenarios no longer recovering: "
+                + ", ".join(self.faults_failed)
+            )
         if self.compare is not None:
             lines.append(self.compare.format(verbose=verbose))
         lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
@@ -173,6 +180,13 @@ def evaluate_gate(current: dict,
         experiment_id
         for experiment_id, record in sorted(current["experiments"].items())
         if not record.get("reproduced")
+    ]
+    report.faults_failed = [
+        name
+        for name, scenario in sorted(
+            current.get("faults", {}).get("scenarios", {}).items()
+        )
+        if not scenario.get("ok")
     ]
     if baseline is not None:
         report.compare = compare_snapshots(baseline, current)

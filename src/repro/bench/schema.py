@@ -11,9 +11,14 @@ A snapshot is one JSON document::
       "harness": {"python": "3.12.3", "platform": "linux", ...},
       "experiments": {"E1": <ExperimentResult.to_dict()>, ...},
       "obs": {"aes_profile": {...}, "redirector": {...}},
+      "faults": {"seed": ..., "scenarios": {"baseline": {...}, ...}},
       "wall_seconds": {"experiments": {"E1": ...}, "obs": {...},
-                       "total": ...}
+                       "faults": ..., "total": ...}
     }
+
+The ``faults`` section (fault-injection matrix verdicts and
+injected/recovered counters) is optional, so snapshots from before the
+campaign runner existed still load.
 
 ``experiments`` entries are exactly
 :meth:`repro.experiments.harness.ExperimentResult.to_dict`, so every
@@ -166,6 +171,14 @@ def flatten_metrics(document: dict) -> dict:
         flat[f"{base}.count"] = histogram["count"]
         for quantile in ("p50", "p95", "p99"):
             flat[f"{base}.{quantile}"] = histogram[quantile]
+    faults = document.get("faults", {})
+    for name, scenario in sorted(faults.get("scenarios", {}).items()):
+        base = f"faults.{name}"
+        flat[f"{base}.ok"] = scenario["ok"]
+        for kind, count in sorted(scenario.get("injected", {}).items()):
+            flat[f"{base}.injected.{kind}"] = count
+        for kind, count in sorted(scenario.get("recovered", {}).items()):
+            flat[f"{base}.recovered.{kind}"] = count
     return flat
 
 
@@ -180,6 +193,8 @@ def flatten_wall(document: dict) -> dict:
     }
     for name, seconds in sorted(wall.get("obs", {}).items()):
         flat[f"wall.obs.{name}"] = seconds
+    if "faults" in wall:
+        flat["wall.faults"] = wall["faults"]
     if "total" in wall:
         flat["wall.total"] = wall["total"]
     return flat

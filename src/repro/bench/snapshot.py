@@ -46,6 +46,11 @@ _QUICK_OBS_KWARGS = {
     "redirector": {"clients": 2, "requests": 2, "request_size": 64},
 }
 
+#: Fault scenarios in the quick workload -- a fast cross-section (one
+#: link fault, one transport fault) next to the yardstick.  The full
+#: workload runs the entire matrix.
+_QUICK_FAULTS_SCENARIOS = ["baseline", "syn-loss", "rst-midhandshake"]
+
 
 def _runner_kwargs(experiment_id: str, workload: str) -> dict:
     if workload == QUICK_WORKLOAD:
@@ -101,16 +106,61 @@ def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
     return obs_section, wall
 
 
+def _counters_by_prefix(counters: dict, prefix: str) -> dict:
+    cut = len(prefix)
+    return {
+        name[cut:]: value for name, value in sorted(counters.items())
+        if name.startswith(prefix)
+    }
+
+
+def _collect_faults_detail(workload: str) -> tuple[dict, float]:
+    """Run the fault matrix; returns ``(faults_section, wall_seconds)``.
+
+    The section keeps what the gate needs per scenario: the verdict and
+    the injected/recovered counters, so a hardening regression (a fault
+    that stops being recovered) fails the drift gate even when tier-1
+    tests stay green.
+    """
+    from repro.faults.campaign import DEFAULT_SEED, run_matrix
+
+    names = (
+        _QUICK_FAULTS_SCENARIOS if workload == QUICK_WORKLOAD else None
+    )
+    start = time.time()
+    report = run_matrix(names, seed=DEFAULT_SEED)
+    wall = round(time.time() - start, 3)
+    scenarios = {}
+    for verdict in report["scenarios"]:
+        counters = verdict.get("counters", {})
+        scenarios[verdict["name"]] = {
+            "ok": int(verdict["ok"]),
+            "sim_seconds": verdict.get("sim_seconds"),
+            "injected": _counters_by_prefix(counters, "faults.injected."),
+            "recovered": _counters_by_prefix(counters, "faults.recovered."),
+        }
+    section = {
+        "seed": report["seed"],
+        "total": report["total"],
+        "passed": report["passed"],
+        "failed": report["failed"],
+        "scenarios": scenarios,
+    }
+    return section, wall
+
+
 def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
                    experiments: list[str] | None = None,
                    include_obs: bool = True,
+                   include_faults: bool = True,
                    progress=None) -> dict:
     """Run the battery and return a schema-versioned snapshot document.
 
     ``experiments`` restricts the run to a subset of ids (for tests and
     targeted comparisons); ``include_obs=False`` skips the instrumented
-    scenarios.  ``progress`` is an optional ``callable(str)`` used by
-    the CLI to narrate long runs.
+    scenarios and ``include_faults=False`` the fault-injection matrix.
+    ``progress`` is an optional ``callable(str)`` used by the CLI to
+    narrate long runs.
     """
     if workload not in (FULL_WORKLOAD, QUICK_WORKLOAD):
         raise ValueError(f"workload must be full/quick, got {workload!r}")
@@ -137,7 +187,19 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     if include_obs:
         say("running instrumented obs scenarios ...")
         obs_section, obs_wall = _collect_obs_detail(workload)
+    faults_section: dict = {}
+    faults_wall = 0.0
+    if include_faults:
+        say("running fault-injection matrix ...")
+        faults_section, faults_wall = _collect_faults_detail(workload)
     created = time.time()
+    wall_seconds = {
+        "experiments": experiment_wall,
+        "obs": obs_wall,
+        "total": round(time.time() - total_start, 3),
+    }
+    if include_faults:
+        wall_seconds["faults"] = faults_wall
     return {
         "schema_version": SCHEMA_VERSION,
         "tag": tag,
@@ -149,9 +211,6 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
         "harness": _harness_info(),
         "experiments": experiment_records,
         "obs": obs_section,
-        "wall_seconds": {
-            "experiments": experiment_wall,
-            "obs": obs_wall,
-            "total": round(time.time() - total_start, 3),
-        },
+        "faults": faults_section,
+        "wall_seconds": wall_seconds,
     }

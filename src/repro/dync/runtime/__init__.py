@@ -24,7 +24,12 @@ from repro.dync.runtime.storage import (
     StaticLocals,
     UnsharedMultibyte,
 )
-from repro.dync.runtime.xalloc import XallocError, XmemAllocator, XmemPointer
+from repro.dync.runtime.xalloc import (
+    XallocError,
+    XmemAllocator,
+    XmemBufferPool,
+    XmemPointer,
+)
 
 __all__ = [
     "BatteryBackedRam",
@@ -50,6 +55,7 @@ __all__ = [
     "UnsharedMultibyte",
     "XallocError",
     "XmemAllocator",
+    "XmemBufferPool",
     "XmemPointer",
     "ignore_most_errors",
     "wait_delay",

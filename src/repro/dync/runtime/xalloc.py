@@ -112,3 +112,69 @@ class XmemAllocator:
             f"XmemAllocator(used={self.used}/{self.capacity}, "
             f"allocations={self.allocations})"
         )
+
+
+class XmemBufferPool:
+    """Fixed-size buffer recycling over the allocate-only allocator.
+
+    The port's answer to "there is no free": allocate each slot from
+    xmem at most once, then recycle the handles forever.  ``acquire``
+    raises :class:`XallocError` when every slot is in use, which is the
+    graceful-degradation signal a service needs to refuse a connection
+    instead of growing the no-free pool unboundedly (paper Section 5.2).
+    """
+
+    def __init__(self, allocator: XmemAllocator, slots: int,
+                 slot_bytes: int, obs=None):
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.allocator = allocator
+        self.max_slots = slots
+        self.slot_bytes = slot_bytes
+        self._idle: list[XmemPointer] = []
+        self._allocated = 0
+        self.acquired_total = 0
+        self.refusals = 0
+        if obs is None:
+            from repro.obs import NULL_OBS
+            obs = NULL_OBS
+        self._gauge_in_use = obs.metrics.gauge("xalloc.pool.in_use")
+        self._ctr_refusals = obs.metrics.counter("xalloc.pool.refusals")
+
+    def acquire(self) -> XmemPointer:
+        """A slot's buffer; raises :class:`XallocError` when none idle
+        and every slot has already been carved out of xmem."""
+        if self._idle:
+            pointer = self._idle.pop()
+        else:
+            if self._allocated >= self.max_slots:
+                self.refusals += 1
+                self._ctr_refusals.inc()
+                raise XallocError(
+                    f"buffer pool exhausted ({self.max_slots} slots in use)"
+                )
+            try:
+                pointer = self.allocator.xalloc(self.slot_bytes)
+            except XallocError:
+                self.refusals += 1
+                self._ctr_refusals.inc()
+                raise
+            self._allocated += 1
+        self.acquired_total += 1
+        self._gauge_in_use.set(self.in_use)
+        return pointer
+
+    def release(self, pointer: XmemPointer) -> None:
+        """Return a slot for reuse (the memory itself is never freed)."""
+        self._idle.append(pointer)
+        self._gauge_in_use.set(self.in_use)
+
+    @property
+    def in_use(self) -> int:
+        return self._allocated - len(self._idle)
+
+    def __repr__(self) -> str:
+        return (
+            f"XmemBufferPool(in_use={self.in_use}/{self.max_slots}, "
+            f"slot_bytes={self.slot_bytes})"
+        )

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.faults``."""
+
+import sys
+
+from repro.faults.cli import main
+
+sys.exit(main())

@@ -23,8 +23,19 @@ from repro.issl.costmodel import (
     CryptoCostModel,
 )
 from repro.issl.log import CircularLogger, FileLogger, Logger, NullLogger
-from repro.issl.session import IsslContext, IsslError, IsslSession
-from repro.issl.transport import BsdTransport, DyncTransport, TransportError
+from repro.issl.session import (
+    IsslContext,
+    IsslError,
+    IsslSession,
+    IsslSessionLimitError,
+    IsslTimeout,
+)
+from repro.issl.transport import (
+    BsdTransport,
+    DyncTransport,
+    TransportError,
+    TransportTimeout,
+)
 
 __all__ = [
     "BsdTransport",
@@ -39,12 +50,15 @@ __all__ = [
     "IsslContext",
     "IsslError",
     "IsslSession",
+    "IsslSessionLimitError",
+    "IsslTimeout",
     "Logger",
     "NullLogger",
     "RMC2000_ASM",
     "RMC2000_C_PORT",
     "RMC2000_PORT",
     "TransportError",
+    "TransportTimeout",
     "UNIX_FULL",
     "WORKSTATION",
     "issl_accept",

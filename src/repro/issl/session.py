@@ -33,7 +33,9 @@ from repro.issl.log import Logger, NullLogger
 from repro.obs import NULL_OBS
 from repro.obs.trace import CAT_ISSL
 from repro.issl.record import (
+    ALERT_BAD_RECORD_MAC,
     ALERT_CLOSE_NOTIFY,
+    ALERT_UNEXPECTED_MESSAGE,
     CT_ALERT,
     CT_APPLICATION_DATA,
     CT_CHANGE_CIPHER_SPEC,
@@ -46,11 +48,23 @@ from repro.issl.record import (
     encode_alert,
     encode_record,
 )
-from repro.issl.transport import TransportError
+from repro.issl.transport import TransportError, TransportTimeout
 
 
 class IsslError(ConnectionError):
     """Protocol failure visible to the application."""
+
+
+class IsslTimeout(IsslError):
+    """A deadline-bounded operation expired with the peer still silent."""
+
+
+class IsslSessionLimitError(IsslError):
+    """All statically-allocated session slots are in use.
+
+    Separate from generic protocol failure so a service can degrade
+    gracefully -- refuse the connection and count it -- instead of
+    treating the static ceiling (paper Section 5.3) as a crash."""
 
 
 class IsslContext:
@@ -59,13 +73,16 @@ class IsslContext:
     def __init__(self, profile: BuildProfile, rng, logger: Logger | None = None,
                  rsa_key: "rsa_mod.RsaPrivateKey | None" = None,
                  psk: bytes | None = None, psk_identity: bytes = b"rmc2000",
-                 obs=None):
+                 obs=None, handshake_timeout_s: float | None = None):
         self.profile = profile
         self.rng = rng
         self.logger = logger if logger is not None else NullLogger()
         self.rsa_key = rsa_key
         self.psk = psk
         self.psk_identity = psk_identity
+        #: Default handshake deadline for sessions on this context; None
+        #: keeps the historical wait-forever behaviour.
+        self.handshake_timeout_s = handshake_timeout_s
         self.sessions_active = 0
         self.sessions_total = 0
         self.sessions_peak = 0
@@ -77,13 +94,16 @@ class IsslContext:
         self._ctr_bytes_decrypted = metrics.counter("issl.bytes.decrypted")
         self._ctr_hs_completed = metrics.counter("issl.handshakes.completed")
         self._ctr_hs_failed = metrics.counter("issl.handshakes.failed")
+        self._ctr_hs_timeouts = metrics.counter("issl.handshakes.timeouts")
+        self._ctr_hs_retries = metrics.counter("issl.handshakes.retries")
+        self._ctr_mac_failures = metrics.counter("issl.records.mac_failures")
         self._gauge_sessions = metrics.gauge("issl.sessions.active")
         if any(s.uses_rsa for s in profile.suites) and profile.name == "RMC2000_PORT":
             raise IsslConfigError("RMC2000 port cannot carry RSA suites")
 
     def acquire_session_slot(self) -> None:
         if self.sessions_active >= self.profile.max_sessions:
-            raise IsslError(
+            raise IsslSessionLimitError(
                 f"session limit reached ({self.profile.max_sessions}); "
                 f"{self.profile.name} allocates session state statically"
             )
@@ -119,6 +139,9 @@ class IsslSession:
         self.established = False
         self.closed = False
         self._slot_released = False
+        #: Absolute sim-time deadline bounding the current blocking read
+        #: (handshake attempts and ``read(timeout=...)`` set it).
+        self._deadline: float | None = None
         # Statistics (EXPERIMENTS.md E4 reads these).
         self.app_bytes_sent = 0
         self.app_bytes_received = 0
@@ -145,21 +168,55 @@ class IsslSession:
         self.records_sent += 1
         self.context._ctr_records_sent.inc()
 
+    def _remaining(self) -> float | None:
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._now())
+
     def _read_record(self):
-        header = yield from self.transport.recv_exactly(HEADER_LEN)
+        header = yield from self.transport.recv_exactly(
+            HEADER_LEN, self._remaining()
+        )
         content_type, length = decode_header(header)
-        body = yield from self.transport.recv_exactly(length)
+        body = yield from self.transport.recv_exactly(
+            length, self._remaining()
+        )
         if self._recv_state is not None:
             cost = self.context.profile.cost_model
             yield from self._charge(cost.record_seconds(len(body)))
             try:
                 body = self._recv_state.open(content_type, body)
             except RecordError as exc:
+                # MAC/padding failure is unrecoverable: the record
+                # stream is out of step or under attack.  Tear the
+                # session down cleanly rather than limping on.
+                self.context._ctr_mac_failures.inc()
+                self.context.logger.log(
+                    f"issl: {self.role} record protection failure: {exc}"
+                )
+                yield from self._fatal(ALERT_BAD_RECORD_MAC)
                 raise IsslError(f"record protection failure: {exc}") from exc
             self.context._ctr_bytes_decrypted.inc(len(body))
         self.records_received += 1
         self.context._ctr_records_received.inc()
         return content_type, body
+
+    def _fatal(self, description: int):
+        """Generator: best-effort fatal alert, then tear the session down."""
+        if not self.closed:
+            self.closed = True
+            if self._send_state is not None:
+                try:
+                    yield from self._send_record(
+                        CT_ALERT, encode_alert(2, description)
+                    )
+                except (TransportError, RecordError):
+                    pass
+        self._release_slot_once()
+        try:
+            self.transport.close()
+        except Exception:
+            pass
 
     def _read_handshake(self, expected_type: int):
         content_type, body = yield from self._read_record()
@@ -178,27 +235,67 @@ class IsslSession:
         yield from self._send_record(CT_HANDSHAKE, encoded)
 
     # -- handshake ---------------------------------------------------------
-    def handshake(self, suites: tuple[CipherSuite, ...] | None = None):
-        """Generator: run the full handshake for this session's role."""
+    def handshake(self, suites: tuple[CipherSuite, ...] | None = None,
+                  timeout: float | None = None, retries: int = 0,
+                  retry_backoff_s: float = 0.05):
+        """Generator: run the full handshake for this session's role.
+
+        ``timeout`` bounds each attempt in simulated seconds (default:
+        the context's ``handshake_timeout_s``; ``None`` waits forever).
+        On a timeout with the transport still alive and *no handshake
+        bytes exchanged yet* -- a silent peer, not a desynchronized one
+        -- up to ``retries`` further attempts are made, backing off
+        exponentially from ``retry_backoff_s``.
+        """
+        if timeout is None:
+            timeout = self.context.handshake_timeout_s
         start = self._now()
         span = self._tracer.begin(
             "issl.handshake", cat=CAT_ISSL, tid=self._span_tid, role=self.role
         )
-        try:
-            if self.role == "client":
-                yield from self._client_handshake(suites)
-            else:
-                yield from self._server_handshake()
-        except (TransportError, HandshakeError) as exc:
-            self._abandon()
-            self.context._ctr_hs_failed.inc()
-            self._tracer.end(span, error=type(exc).__name__)
-            raise IsslError(f"handshake failed: {exc}") from exc
-        except IsslError as exc:
-            self._abandon()
-            self.context._ctr_hs_failed.inc()
-            self._tracer.end(span, error=type(exc).__name__)
-            raise
+        attempts = max(0, int(retries)) + 1
+        for attempt in range(attempts):
+            self._deadline = (
+                None if timeout is None else self._now() + timeout
+            )
+            try:
+                if self.role == "client":
+                    yield from self._client_handshake(suites)
+                else:
+                    yield from self._server_handshake()
+            except TransportTimeout as exc:
+                self.context._ctr_hs_timeouts.inc()
+                alive = not getattr(self.transport, "at_eof", True)
+                if attempt + 1 < attempts and alive and not self._transcript:
+                    self.context._ctr_hs_retries.inc()
+                    self.context.logger.log(
+                        f"issl: {self.role} handshake timeout "
+                        f"(attempt {attempt + 1}/{attempts}); retrying"
+                    )
+                    yield retry_backoff_s * (2 ** attempt)
+                    continue
+                self._deadline = None
+                self._abandon()
+                self.context._ctr_hs_failed.inc()
+                self._tracer.end(span, error=type(exc).__name__)
+                raise IsslTimeout(
+                    f"handshake timed out after {attempt + 1} attempt(s): "
+                    f"{exc}"
+                ) from exc
+            except (TransportError, HandshakeError) as exc:
+                self._deadline = None
+                self._abandon()
+                self.context._ctr_hs_failed.inc()
+                self._tracer.end(span, error=type(exc).__name__)
+                raise IsslError(f"handshake failed: {exc}") from exc
+            except IsslError as exc:
+                self._deadline = None
+                self._abandon()
+                self.context._ctr_hs_failed.inc()
+                self._tracer.end(span, error=type(exc).__name__)
+                raise
+            break
+        self._deadline = None
         self.established = True
         self.handshake_seconds = self._now() - start
         self.context._ctr_hs_completed.inc()
@@ -385,36 +482,65 @@ class IsslSession:
         if not self.established or self.closed:
             raise IsslError("write on unestablished or closed session")
         max_payload = self.context.profile.max_record
-        for offset in range(0, len(data), max_payload):
-            chunk = data[offset: offset + max_payload]
-            yield from self._send_record(CT_APPLICATION_DATA, chunk)
-            self.app_bytes_sent += len(chunk)
+        try:
+            for offset in range(0, len(data), max_payload):
+                chunk = data[offset: offset + max_payload]
+                yield from self._send_record(CT_APPLICATION_DATA, chunk)
+                self.app_bytes_sent += len(chunk)
+        except TransportError as exc:
+            self.closed = True
+            self._release_slot_once()
+            raise IsslError(f"write failed: {exc}") from exc
         return len(data)
 
-    def read(self):
-        """Generator: one record's plaintext, or b"" on orderly close."""
+    def read(self, timeout: float | None = None):
+        """Generator: one record's plaintext, or b"" on orderly close.
+
+        ``timeout`` (simulated seconds) bounds the wait; expiry raises
+        :class:`IsslTimeout` with the session still usable, so services
+        can enforce per-connection deadlines on stalled peers.
+        """
         if not self.established:
             raise IsslError("read before handshake")
         if self.closed:
             return b""
-        while True:
-            try:
-                content_type, body = yield from self._read_record()
-            except TransportError:
-                self.closed = True
-                self._release_slot_once()
-                return b""
-            if content_type == CT_APPLICATION_DATA:
-                self.app_bytes_received += len(body)
-                return body
-            if content_type == CT_ALERT:
-                level, description = decode_alert(body)
-                if description == ALERT_CLOSE_NOTIFY:
+        self._deadline = (
+            None if timeout is None else self._now() + timeout
+        )
+        try:
+            while True:
+                try:
+                    content_type, body = yield from self._read_record()
+                except TransportTimeout as exc:
+                    raise IsslTimeout(f"read timed out: {exc}") from exc
+                except TransportError:
                     self.closed = True
                     self._release_slot_once()
                     return b""
-                raise IsslError(f"alert received: level={level} desc={description}")
-            raise IsslError(f"unexpected record type {content_type}")
+                if content_type == CT_APPLICATION_DATA:
+                    self.app_bytes_received += len(body)
+                    return body
+                if content_type == CT_ALERT:
+                    level, description = decode_alert(body)
+                    if description == ALERT_CLOSE_NOTIFY:
+                        self.closed = True
+                        self._release_slot_once()
+                        return b""
+                    # Any other alert is fatal: release resources before
+                    # surfacing it, instead of leaving a zombie slot.
+                    self.closed = True
+                    self._release_slot_once()
+                    try:
+                        self.transport.close()
+                    except Exception:
+                        pass
+                    raise IsslError(
+                        f"alert received: level={level} desc={description}"
+                    )
+                yield from self._fatal(ALERT_UNEXPECTED_MESSAGE)
+                raise IsslError(f"unexpected record type {content_type}")
+        finally:
+            self._deadline = None
 
     def read_exactly(self, nbytes: int):
         """Generator: accumulate records until ``nbytes`` of plaintext."""

@@ -24,21 +24,44 @@ class TransportError(ConnectionError):
     """Raised on EOF mid-message or I/O on a dead connection."""
 
 
+class TransportTimeout(TransportError):
+    """A bounded read expired with the connection still alive.
+
+    Distinct from plain :class:`TransportError` so the session layer can
+    retry a silent peer (timeout) without retrying a dead one (EOF).
+    """
+
+
 class BsdTransport:
     """issl over a connected :class:`~repro.net.bsd.BsdSocket`."""
 
     def __init__(self, sock: BsdSocket):
         self._sock = sock
+        self._buffer = b""
 
     def send(self, data: bytes) -> None:
         conn = self._sock._require_conn()
         conn.send(data)
 
     def recv_exactly(self, nbytes: int, timeout: float | None = None):
-        try:
-            data = yield from self._sock.recv_exactly(nbytes, timeout)
-        except SocketError as exc:
-            raise TransportError(str(exc)) from exc
+        # Buffer partial reads across calls: a timed-out read must not
+        # lose the bytes that did arrive, or a handshake retry would
+        # desynchronize the record stream.
+        while len(self._buffer) < nbytes:
+            try:
+                chunk = yield from self._sock.recv(
+                    nbytes - len(self._buffer), timeout
+                )
+            except SocketError as exc:
+                if "timed out" in str(exc):
+                    raise TransportTimeout(str(exc)) from exc
+                raise TransportError(str(exc)) from exc
+            if not chunk:
+                raise TransportError(
+                    f"EOF after {len(self._buffer)} of {nbytes} bytes"
+                )
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
         return data
 
     def close(self) -> None:
@@ -46,6 +69,8 @@ class BsdTransport:
 
     @property
     def at_eof(self) -> bool:
+        if self._buffer:
+            return False
         conn = self._sock._conn
         return conn is None or conn.at_eof
 
@@ -79,7 +104,7 @@ class DyncTransport:
             if conn is not None and conn.state.value == "CLOSED":
                 raise TransportError("connection closed")
             if deadline is not None and sim.now >= deadline:
-                raise TransportError("recv timed out")
+                raise TransportTimeout("recv timed out")
             yield  # one pass of the big loop
         data, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
         return data

@@ -4,7 +4,13 @@ The RMC2000 kit speaks 10Base-T, so the default segment models a 10 Mb/s
 half-duplex hub: every frame is serialized onto the wire (seizing it for
 ``wire_size * 8 / bandwidth`` seconds), propagates with a small fixed
 latency, and is then delivered to every other interface on the segment.
-A deterministic drop pattern can be injected for loss-recovery tests.
+
+Deterministic faults are injected through a *frame-hook chain*: each
+hook maps one in-flight frame to zero or more (frame, extra_delay)
+deliveries, so drop, duplicate, delay/reorder, and corruption injectors
+compose (see :mod:`repro.faults.injectors`).  The original one-off
+``set_drop_filter`` survives as a hook that participates in the same
+chain instead of replacing delivery.
 """
 
 from __future__ import annotations
@@ -18,6 +24,14 @@ from repro.net.sim import Simulator
 #: 10Base-T, as on the RMC2000 development kit.
 DEFAULT_BANDWIDTH_BPS = 10_000_000
 DEFAULT_LATENCY_S = 50e-6
+
+#: A frame hook maps one candidate delivery to zero or more deliveries:
+#: ``hook(frame, index, extra_delay) -> [(frame, extra_delay), ...]``.
+#: Returning ``[]`` drops the frame; two tuples duplicate it; a larger
+#: ``extra_delay`` holds it back past later traffic (reordering).
+FrameHook = Callable[
+    [EthernetFrame, int, float], "list[tuple[EthernetFrame, float]]"
+]
 
 
 class NetworkInterface:
@@ -79,13 +93,28 @@ class EthernetSegment:
         self.bytes_carried = 0
         self.frames_dropped = 0
         self._medium_free_at = 0.0
-        self._drop_filter: Callable[[EthernetFrame, int], bool] | None = None
+        self._frame_hooks: list[FrameHook] = []
+        self._drop_filter_hook: FrameHook | None = None
 
     def attach(self, interface: NetworkInterface) -> None:
         if interface.segment is not None:
             raise RuntimeError(f"{interface!r} already attached")
         interface.segment = self
         self.interfaces.append(interface)
+
+    # -- fault-injection chain ------------------------------------------------
+    def add_frame_hook(self, hook: FrameHook) -> FrameHook:
+        """Append an injector to the chain; returns it for removal."""
+        self._frame_hooks.append(hook)
+        return hook
+
+    def remove_frame_hook(self, hook: FrameHook) -> None:
+        if hook in self._frame_hooks:
+            self._frame_hooks.remove(hook)
+
+    def clear_frame_hooks(self) -> None:
+        self._frame_hooks.clear()
+        self._drop_filter_hook = None
 
     def set_drop_filter(
         self, fn: Callable[[EthernetFrame, int], bool] | None
@@ -94,23 +123,52 @@ class EthernetSegment:
 
         ``fn(frame, index)`` returns True to drop; ``index`` counts frames
         carried so far, letting tests drop, say, exactly the third segment.
+        Implemented as a frame hook at the head of the chain, so it
+        composes with other injectors instead of replacing delivery;
+        ``None`` uninstalls it and leaves the rest of the chain alone.
         """
-        self._drop_filter = fn
+        if self._drop_filter_hook is not None:
+            self.remove_frame_hook(self._drop_filter_hook)
+            self._drop_filter_hook = None
+        if fn is None:
+            return
+
+        def drop_filter_hook(frame, index, extra_delay):
+            if fn(frame, index):
+                return []
+            return [(frame, extra_delay)]
+
+        self._drop_filter_hook = drop_filter_hook
+        self._frame_hooks.insert(0, drop_filter_hook)
 
     def broadcast(self, frame: EthernetFrame, sender: NetworkInterface) -> None:
         index = self.frames_carried
         self.frames_carried += 1
         self.bytes_carried += frame.wire_size()
-        if self._drop_filter is not None and self._drop_filter(frame, index):
+        deliveries: list[tuple[EthernetFrame, float]] = [(frame, 0.0)]
+        for hook in list(self._frame_hooks):
+            staged: list[tuple[EthernetFrame, float]] = []
+            for staged_frame, extra_delay in deliveries:
+                staged.extend(hook(staged_frame, index, extra_delay))
+            deliveries = staged
+            if not deliveries:
+                break
+        if not deliveries:
+            # Fully dropped frames never seize the medium: collisions on
+            # a real hub destroy the frame without a successful carry.
             self.frames_dropped += 1
             return
         serialization = frame.wire_size() * 8 / self.bandwidth_bps
         start = max(self.sim.now, self._medium_free_at)
         self._medium_free_at = start + serialization
         arrival = self._medium_free_at + self.latency_s
-        for interface in self.interfaces:
-            if interface is not sender:
-                self.sim.call_at(arrival, interface.deliver, frame)
+        for delivered_frame, extra_delay in deliveries:
+            for interface in self.interfaces:
+                if interface is not sender:
+                    self.sim.call_at(
+                        arrival + extra_delay, interface.deliver,
+                        delivered_frame,
+                    )
 
     @property
     def utilization_bytes(self) -> int:

@@ -24,9 +24,15 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.dync.runtime.costate import CostateScheduler, waitfor
+from repro.dync.runtime.xalloc import XallocError
 from repro.issl.api import issl_bind
-from repro.issl.session import IsslContext, IsslError
-from repro.issl.transport import TransportError
+from repro.issl.session import (
+    IsslContext,
+    IsslError,
+    IsslSessionLimitError,
+    IsslTimeout,
+)
+from repro.issl.transport import TransportError, TransportTimeout
 from repro.net.addresses import Ipv4Address
 from repro.net.bsd import LISTENQ, SocketError, socket
 from repro.net.dynctcp import DyncTcpStack, make_socket
@@ -87,11 +93,18 @@ def backend_line_server(host: Host, port: int = BACKEND_PORT,
 # Line helpers shared by the redirector variants
 # ---------------------------------------------------------------------------
 
-def _read_secure_line(session):
-    """Generator: accumulate issl records until a full line."""
+def _read_secure_line(session, sim=None, deadline=None):
+    """Generator: accumulate issl records until a full line.
+
+    With ``sim`` and ``deadline`` each read is bounded by the remaining
+    budget; a stalled peer surfaces as :class:`IsslTimeout`.
+    """
     buffer = b""
     while b"\n" not in buffer:
-        chunk = yield from session.read()
+        timeout = None
+        if deadline is not None and sim is not None:
+            timeout = max(0.0, deadline - sim.now)
+        chunk = yield from session.read(timeout=timeout)
         if not chunk:
             return None if not buffer else buffer
         buffer += chunk
@@ -146,10 +159,19 @@ def _unix_child(host, context, conn, backend_ip, backend_port, stats,
     tracer = obs.tracer
     ctr_redirected = obs.metrics.counter("redirector.redirected")
     span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
-    session = issl_bind(context, conn, role="server")
+    try:
+        session = issl_bind(context, conn, role="server")
+    except IsslSessionLimitError as exc:
+        # The static session budget is a refusal, not a crash.
+        obs.metrics.counter("redirector.refused.sessions").inc()
+        context.logger.log(f"redirector: {tid}: refused: {exc}")
+        conn.close()
+        tracer.end(span, error="sessions")
+        exit_process(1)
     try:
         yield from session.handshake()
-    except IsslError:
+    except IsslError as exc:
+        context.logger.log(f"redirector: {tid}: handshake failed: {exc}")
         conn.close()
         tracer.end(span, error="handshake")
         exit_process(1)
@@ -224,12 +246,39 @@ def unix_plain_redirector(host: Host, backend_ip: Ipv4Address | str,
 # The RMC2000 port (Figure 3: costatements + tick driver)
 # ---------------------------------------------------------------------------
 
+def _sock_dead(sock) -> bool:
+    """True once an attached connection can never serve a request."""
+    conn = sock.conn
+    return conn is not None and (
+        conn.at_eof or conn.state.value == "CLOSED"
+    )
+
+
 def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
                  backend_ip, backend_port, listen_port,
-                 stats: dict | None, secure: bool, label: str = "handler"):
-    """One handler costatement: serve one connection at a time, forever."""
+                 stats: dict | None, secure: bool, label: str = "handler",
+                 *, handshake_timeout_s: float | None = None,
+                 handshake_retries: int = 0,
+                 conn_deadline_s: float | None = None,
+                 backend_timeout_s: float | None = None,
+                 buffer_pool=None):
+    """One handler costatement: serve one connection at a time, forever.
+
+    Every failure path -- dead embryonic connection, refused session
+    slot, exhausted buffer pool, handshake timeout, backend outage,
+    stalled peer -- recovers back to ``tcp_listen``; the handler never
+    wedges and never lets an exception escape into the big loop.
+    """
     sim = stack.host.sim
-    tracer = sim.obs.tracer
+    obs = sim.obs
+    tracer = obs.tracer
+    metrics = obs.metrics
+    ctr_refused_sessions = metrics.counter("redirector.refused.sessions")
+    ctr_refused_memory = metrics.counter("redirector.refused.memory")
+    ctr_hs_errors = metrics.counter("redirector.errors.handshake")
+    ctr_backend_errors = metrics.counter("redirector.errors.backend")
+    ctr_recovered = metrics.counter("redirector.recovered")
+    log = context.logger.log
     tid = f"svc:{label}"
     sock = make_socket(stack)
     while True:
@@ -237,22 +286,91 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
         # tearing down; keep trying, one big-loop pass at a time.
         while not stack.tcp_listen(sock, listen_port):
             yield
-        yield from waitfor(lambda: stack.sock_established(sock))
+        # Wait for establishment -- or for the embryonic connection to
+        # die under us (lost handshake, immediate RST).  Without the
+        # second arm this handler would wedge forever on a connection
+        # that will never establish.
+        yield from waitfor(
+            lambda: stack.sock_established(sock) or _sock_dead(sock)
+        )
+        if not stack.sock_established(sock):
+            log(f"redirector: {label}: connection died before established")
+            stack.sock_abort(sock)
+            ctr_recovered.inc()
+            yield
+            continue
         span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
-        if secure:
-            session = issl_bind(context, sock, stack=stack, role="server")
+        buffer = None
+        if buffer_pool is not None:
             try:
-                yield from session.handshake()
-            except IsslError:
+                buffer = buffer_pool.acquire()
+            except XallocError as exc:
+                # Graceful degradation: no record buffer, no service.
+                ctr_refused_memory.inc()
+                log(f"redirector: {label}: out of xmem, refusing: {exc}")
                 stack.sock_abort(sock)
+                tracer.end(span, error="memory")
+                ctr_recovered.inc()
+                yield
+                continue
+        session = None
+        if secure:
+            try:
+                session = issl_bind(context, sock, stack=stack,
+                                    role="server")
+            except IsslSessionLimitError as exc:
+                # Figure 3's static ceiling: refuse, count, re-listen.
+                ctr_refused_sessions.inc()
+                log(f"redirector: {label}: refused: {exc}")
+                stack.sock_abort(sock)
+                if buffer is not None:
+                    buffer_pool.release(buffer)
+                tracer.end(span, error="sessions")
+                ctr_recovered.inc()
+                yield
+                continue
+            try:
+                yield from session.handshake(
+                    timeout=handshake_timeout_s,
+                    retries=handshake_retries,
+                )
+            except IsslError as exc:
+                ctr_hs_errors.inc()
+                log(f"redirector: {label}: handshake failed: {exc}")
+                stack.sock_abort(sock)
+                if buffer is not None:
+                    buffer_pool.release(buffer)
                 tracer.end(span, error="handshake")
+                ctr_recovered.inc()
                 yield
                 continue
         backend = make_socket(stack)
         stack.tcp_open(backend, 0, backend_ip, backend_port)
-        yield from waitfor(lambda: stack.sock_established(backend))
+        backend_deadline = (
+            None if backend_timeout_s is None
+            else sim.now + backend_timeout_s
+        )
+        yield from waitfor(
+            lambda: stack.sock_established(backend) or _sock_dead(backend)
+            or (backend_deadline is not None and sim.now >= backend_deadline)
+        )
+        if not stack.sock_established(backend):
+            ctr_backend_errors.inc()
+            log(f"redirector: {label}: backend unreachable")
+            stack.sock_abort(backend)
+            if secure:
+                yield from session.close()
+            else:
+                stack.sock_close(sock)
+            if buffer is not None:
+                buffer_pool.release(buffer)
+            tracer.end(span, error="backend-connect")
+            ctr_recovered.inc()
+            yield
+            continue
         requests = yield from _rmc_serve(
-            stack, sock, backend, session if secure else None, stats, tid
+            stack, sock, backend, session, stats, tid,
+            deadline_s=conn_deadline_s, logger=context.logger,
         )
         stack.sock_close(backend)
         if secure:
@@ -260,29 +378,59 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
         # Close our TCP side regardless of who spoke last; sock_close is
         # idempotent and tcp_listen above waits for the teardown.
         stack.sock_close(sock)
+        if buffer is not None:
+            buffer_pool.release(buffer)
         tracer.end(span, requests=requests)
         yield
 
 
-def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler"):
-    """Relay request/response lines until the client is done."""
-    obs = stack.host.sim.obs
+def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler",
+               deadline_s=None, logger=None):
+    """Relay request/response lines until the client is done.
+
+    ``deadline_s`` is a per-connection progress deadline: the budget for
+    each request/response exchange, renewed after every completed
+    request.  A peer that stalls past it is aborted (counted under
+    ``redirector.deadline.expired``) instead of pinning the handler.
+    """
+    sim = stack.host.sim
+    obs = sim.obs
     tracer = obs.tracer
     ctr_redirected = obs.metrics.counter("redirector.redirected")
+    ctr_deadline = obs.metrics.counter("redirector.deadline.expired")
+    deadline = None if deadline_s is None else sim.now + deadline_s
     requests = 0
     while True:
-        if session is not None:
-            try:
-                line = yield from _read_secure_line(session)
-            except IsslError:
-                return requests
-        else:
-            line = yield from _dync_read_line(stack, sock)
+        try:
+            if session is not None:
+                line = yield from _read_secure_line(session, sim, deadline)
+            else:
+                line = yield from _dync_read_line(stack, sock, deadline)
+        except (IsslTimeout, TransportTimeout):
+            ctr_deadline.inc()
+            if logger is not None:
+                logger.log(
+                    f"redirector: {tid}: connection deadline expired "
+                    f"after {requests} request(s)"
+                )
+            stack.sock_abort(sock)
+            return requests
+        except IsslError:
+            return requests
         if line is None:
             return requests
-        request_start = stack.host.sim.now
+        request_start = sim.now
         stack.sock_write(backend, line + b"\n")
-        response = yield from _dync_read_line(stack, backend)
+        try:
+            response = yield from _dync_read_line(stack, backend, deadline)
+        except TransportTimeout:
+            ctr_deadline.inc()
+            if logger is not None:
+                logger.log(
+                    f"redirector: {tid}: backend response deadline expired"
+                )
+            stack.sock_abort(sock)
+            return requests
         if response is None:
             return requests
         if session is not None:
@@ -294,15 +442,18 @@ def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler"):
             stack.sock_write(sock, response + b"\n")
         requests += 1
         ctr_redirected.inc()
+        if deadline is not None:
+            deadline = sim.now + deadline_s
         tracer.add_complete(
-            "service.request", request_start, stack.host.sim.now,
+            "service.request", request_start, sim.now,
             cat=CAT_SERVICE, tid=tid, bytes=len(line),
         )
         if stats is not None:
             stats["redirected"] = stats.get("redirected", 0) + 1
 
 
-def _dync_read_line(stack, sock):
+def _dync_read_line(stack, sock, deadline=None):
+    sim = stack.host.sim
     buffer = b""
     while b"\n" not in buffer:
         chunk = stack.sock_read(sock, _LINE_MAX)
@@ -312,6 +463,8 @@ def _dync_read_line(stack, sock):
         if sock.conn is None or sock.conn.at_eof \
                 or sock.conn.state.value == "CLOSED":
             return None
+        if deadline is not None and sim.now >= deadline:
+            raise TransportTimeout("line read deadline expired")
         yield
     line, _rest = buffer.split(b"\n", 1)
     return line
@@ -325,7 +478,12 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
                          secure: bool = True,
                          stats: dict | None = None,
                          pass_overhead_s: float | None = None,
-                         obs=None) -> CostateScheduler:
+                         obs=None,
+                         handshake_timeout_s: float | None = None,
+                         handshake_retries: int = 0,
+                         conn_deadline_s: float | None = None,
+                         backend_timeout_s: float | None = None,
+                         buffer_pool=None) -> CostateScheduler:
     """Assemble Figure 3's main loop and return its (unstarted) scheduler.
 
     ``handlers`` defaults to 3: "three processes to handle requests
@@ -333,6 +491,13 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
     stack".  Increasing it is the paper's "add more costatements and
     recompile".  ``obs`` overrides the simulator's observability handle
     for the scheduler (slice spans, jitter histogram).
+
+    The hardening knobs all default to off (historical behaviour):
+    ``handshake_timeout_s``/``handshake_retries`` bound the issl
+    handshake, ``conn_deadline_s`` is the per-request progress deadline,
+    ``backend_timeout_s`` bounds the backend connect, and
+    ``buffer_pool`` (an :class:`~repro.dync.runtime.xalloc.XmemBufferPool`)
+    makes record buffers a refusable resource instead of an assumed one.
     """
     if isinstance(backend_ip, str):
         backend_ip = Ipv4Address.parse(backend_ip)
@@ -346,7 +511,12 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
         scheduler.add(
             _rmc_handler(stack, context, backend_ip, backend_port,
                          listen_port, stats, secure,
-                         label=f"handler{index + 1}"),
+                         label=f"handler{index + 1}",
+                         handshake_timeout_s=handshake_timeout_s,
+                         handshake_retries=handshake_retries,
+                         conn_deadline_s=conn_deadline_s,
+                         backend_timeout_s=backend_timeout_s,
+                         buffer_pool=buffer_pool),
             name=f"handler{index + 1}",
         )
 

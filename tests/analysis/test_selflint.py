@@ -26,6 +26,7 @@ LINTED_TREES = [
     REPO / "src" / "repro" / "dync",
     REPO / "src" / "repro" / "obs",
     REPO / "src" / "repro" / "bench",
+    REPO / "src" / "repro" / "faults",
 ]
 
 

@@ -1,0 +1,116 @@
+"""Campaign-level tests: scenarios recover, verdicts are deterministic.
+
+These run real scenarios end to end (simulated time, so still seconds
+of wall clock) and pin the acceptance contract: every named scenario
+passes, recovery counters are present and non-zero where the fault
+demands recovery, and the same seed produces the same report.
+"""
+
+import pytest
+
+from repro.faults.campaign import (
+    DEFAULT_SEED,
+    REPORT_SCHEMA_VERSION,
+    run_matrix,
+    run_scenario,
+    scenario_names,
+)
+from repro.faults import scenarios as scenario_mod
+
+pytestmark = pytest.mark.faults
+
+
+class TestRegistry:
+    def test_at_least_ten_named_scenarios(self):
+        assert len(scenario_names()) >= 10
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            run_scenario("no-such-scenario")
+        with pytest.raises(KeyError, match="bogus"):
+            run_matrix(["baseline", "bogus"])
+
+
+class TestVerdicts:
+    def test_syn_loss_recovers_via_retransmit(self):
+        verdict = run_scenario("syn-loss")
+        assert verdict["ok"], verdict["checks"]
+        counters = verdict["counters"]
+        assert counters["faults.injected.drop"] == 1
+        assert counters["faults.recovered.tcp_retransmit"] >= 1
+
+    def test_silent_peer_times_out_and_retries(self):
+        verdict = run_scenario("silent-peer")
+        assert verdict["ok"], verdict["checks"]
+        counters = verdict["counters"]
+        assert counters["issl.handshakes.timeouts"] == 2
+        assert counters["issl.handshakes.retries"] == 1
+        assert counters["faults.recovered.handshake_timeout"] == 2
+
+    def test_corrupt_record_tears_down_via_mac(self):
+        verdict = run_scenario("corrupt-app-record")
+        assert verdict["ok"], verdict["checks"]
+        counters = verdict["counters"]
+        assert counters["faults.injected.corrupt"] == 1
+        assert counters["issl.records.mac_failures"] >= 1
+        assert counters["faults.recovered.mac_teardown"] >= 1
+
+    def test_slot_exhaustion_refuses_and_recycles(self):
+        verdict = run_scenario("slot-exhaustion")
+        assert verdict["ok"], verdict["checks"]
+        counters = verdict["counters"]
+        assert counters["redirector.refused.sessions"] >= 1
+        assert counters["faults.recovered.session_refusal"] >= 1
+
+    def test_xalloc_exhaustion_refuses_with_counter(self):
+        verdict = run_scenario("xalloc-exhaustion")
+        assert verdict["ok"], verdict["checks"]
+        counters = verdict["counters"]
+        assert counters["redirector.refused.memory"] >= 1
+        assert counters["faults.recovered.memory_refusal"] >= 1
+        assert counters["xalloc.pool.refusals"] >= 1
+
+    def test_stalled_peer_hits_connection_deadline(self):
+        verdict = run_scenario("stalled-peer")
+        assert verdict["ok"], verdict["checks"]
+        assert verdict["counters"][
+            "redirector.deadline.expired"] >= 1
+
+    def test_backend_outage_fails_closed(self):
+        verdict = run_scenario("backend-outage")
+        assert verdict["ok"], verdict["checks"]
+        assert verdict["counters"][
+            "redirector.errors.backend"] >= 1
+
+
+class TestCrashContainment:
+    def test_escaped_exception_becomes_failed_verdict(self, monkeypatch):
+        def exploding(seed):
+            raise RuntimeError("handler blew up")
+
+        monkeypatch.setitem(
+            scenario_mod.SCENARIOS, "exploding",
+            (exploding, "a scenario that crashes"),
+        )
+        verdict = run_scenario("exploding")
+        assert verdict["ok"] is False
+        [check] = verdict["checks"]
+        assert check["name"] == "no_unhandled_exception"
+        assert "handler blew up" in check["detail"]
+
+
+class TestMatrix:
+    def test_subset_report_shape_and_verdict(self):
+        report = run_matrix(["baseline", "rst-midhandshake"])
+        assert report["schema"] == REPORT_SCHEMA_VERSION
+        assert report["seed"] == DEFAULT_SEED
+        assert report["total"] == 2
+        assert report["passed"] == 2
+        assert report["verdict"] == "PASS"
+        assert [v["name"] for v in report["scenarios"]] == [
+            "baseline", "rst-midhandshake",
+        ]
+
+    def test_same_seed_same_report(self):
+        names = ["baseline", "hello-loss", "fin-midhandshake"]
+        assert run_matrix(names, seed=5) == run_matrix(names, seed=5)

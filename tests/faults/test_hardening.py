@@ -1,0 +1,162 @@
+"""Unit tests for the hardening primitives the fault campaign leans on.
+
+The campaign tests prove the layers recover end to end; these pin the
+individual contracts -- timeout vs EOF distinction, buffered partial
+reads, the session ceiling's typed error, and the allocate-once
+buffer pool over the no-free allocator.
+"""
+
+import pytest
+
+from repro.crypto.demokeys import DEMO_PSK
+from repro.crypto.prng import CipherRng
+from repro.dync.runtime.xalloc import (
+    XallocError,
+    XmemAllocator,
+    XmemBufferPool,
+)
+from repro.issl import (
+    IsslContext,
+    IsslSessionLimitError,
+    RMC2000_PORT,
+    TransportTimeout,
+)
+from repro.issl.transport import BsdTransport, TransportError
+from repro.net.bsd import SocketError
+from repro.obs import Obs
+
+
+def _drain(generator):
+    try:
+        while True:
+            next(generator)
+    except StopIteration as stop:
+        return stop.value
+
+
+class _ScriptedSock:
+    """Stands in for a BsdSocket: recv() plays back a script of chunks
+    and exceptions."""
+
+    def __init__(self, script):
+        self._script = list(script)
+
+    def recv(self, nbytes, timeout=None):
+        item = self._script.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item[:nbytes]
+        yield  # pragma: no cover -- generator protocol
+
+
+class TestBsdTransportTimeouts:
+    def test_timeout_maps_to_transport_timeout(self):
+        transport = BsdTransport.__new__(BsdTransport)
+        transport._sock = _ScriptedSock([SocketError("recv timed out")])
+        transport._buffer = b""
+        with pytest.raises(TransportTimeout):
+            _drain(transport.recv_exactly(4, timeout=0.1))
+
+    def test_other_socket_errors_stay_transport_errors(self):
+        transport = BsdTransport.__new__(BsdTransport)
+        transport._sock = _ScriptedSock([SocketError("connection reset")])
+        transport._buffer = b""
+        with pytest.raises(TransportError) as excinfo:
+            _drain(transport.recv_exactly(4))
+        assert not isinstance(excinfo.value, TransportTimeout)
+
+    def test_partial_bytes_survive_a_timeout(self):
+        """The property handshake retry safety rests on: a timed-out
+        read must not lose the bytes that did arrive."""
+        transport = BsdTransport.__new__(BsdTransport)
+        transport._sock = _ScriptedSock(
+            [b"ab", SocketError("recv timed out"), b"cd"]
+        )
+        transport._buffer = b""
+        with pytest.raises(TransportTimeout):
+            _drain(transport.recv_exactly(4, timeout=0.1))
+        assert transport._buffer == b"ab"
+        assert _drain(transport.recv_exactly(4)) == b"abcd"
+
+    def test_eof_mid_message_is_not_a_timeout(self):
+        transport = BsdTransport.__new__(BsdTransport)
+        transport._sock = _ScriptedSock([b"ab", b""])
+        transport._buffer = b""
+        with pytest.raises(TransportError, match="EOF after 2 of 4"):
+            _drain(transport.recv_exactly(4))
+
+
+class TestSessionCeiling:
+    def _context(self) -> IsslContext:
+        return IsslContext(RMC2000_PORT, CipherRng(b"test"),
+                           psk=DEMO_PSK)
+
+    def test_limit_error_is_typed_and_catchable_as_issl_error(self):
+        from repro.issl import IsslError
+
+        context = self._context()
+        for _ in range(RMC2000_PORT.max_sessions):
+            context.acquire_session_slot()
+        with pytest.raises(IsslSessionLimitError) as excinfo:
+            context.acquire_session_slot()
+        assert isinstance(excinfo.value, IsslError)
+        assert "session limit reached" in str(excinfo.value)
+
+    def test_release_reopens_the_slot(self):
+        context = self._context()
+        for _ in range(RMC2000_PORT.max_sessions):
+            context.acquire_session_slot()
+        context.release_session_slot()
+        context.acquire_session_slot()  # must not raise
+        assert context.sessions_active == RMC2000_PORT.max_sessions
+
+
+class TestXmemBufferPool:
+    def test_allocates_lazily_and_recycles(self):
+        obs = Obs()
+        allocator = XmemAllocator(capacity=4096, obs=obs)
+        pool = XmemBufferPool(allocator, slots=2, slot_bytes=256, obs=obs)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first != second
+        assert allocator.allocations == 2
+        assert pool.in_use == 2
+        pool.release(first)
+        assert pool.in_use == 1
+        # Recycled, not re-allocated: the no-free allocator stays flat.
+        assert pool.acquire() == first
+        assert allocator.allocations == 2
+
+    def test_exhaustion_refuses_with_counter(self):
+        obs = Obs()
+        allocator = XmemAllocator(capacity=4096, obs=obs)
+        pool = XmemBufferPool(allocator, slots=1, slot_bytes=64, obs=obs)
+        pool.acquire()
+        with pytest.raises(XallocError, match="buffer pool exhausted"):
+            pool.acquire()
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["xalloc.pool.refusals"] == 1
+        assert pool.refusals == 1
+
+    def test_underlying_allocator_failure_counts_as_refusal(self):
+        allocator = XmemAllocator(capacity=100)
+        pool = XmemBufferPool(allocator, slots=4, slot_bytes=80)
+        pool.acquire()
+        with pytest.raises(XallocError):
+            pool.acquire()  # second carve exceeds xmem capacity
+        assert pool.refusals == 1
+        assert pool.in_use == 1
+
+    def test_rejects_nonpositive_slots(self):
+        with pytest.raises(ValueError, match="slots"):
+            XmemBufferPool(XmemAllocator(capacity=64), slots=0,
+                           slot_bytes=16)
+
+
+class TestIsslExceptionHierarchy:
+    def test_timeouts_are_issl_errors(self):
+        from repro.issl import IsslError, IsslTimeout
+
+        assert issubclass(IsslTimeout, IsslError)
+        assert issubclass(IsslSessionLimitError, IsslError)
+        assert issubclass(TransportTimeout, TransportError)

@@ -1,0 +1,44 @@
+"""The soak satellite: the redirector under sustained mixed faults.
+
+Marked ``slow``: excluded from the default tier-1 run (see
+``pyproject.toml``), run explicitly in CI with ``-m slow``.  The checks
+are the exhaustion properties the paper's static design makes scary --
+no wedged handler, every session slot and xmem buffer returned, the
+no-free allocator flat, request accounting exact.
+"""
+
+import pytest
+
+from repro.faults.campaign import run_soak
+
+pytestmark = [pytest.mark.faults, pytest.mark.slow]
+
+
+class TestSoak:
+    def test_minutes_of_mixed_faults_no_leaks_no_deadlock(self):
+        report = run_soak(sim_minutes=1.0)
+        failing = [c for c in report["checks"] if not c["ok"]]
+        assert report["verdict"] == "PASS", failing
+        assert report["waves"] >= 4
+        # Every kind of mischief got its turn.
+        assert set(report["mischief"]) == {"silent", "rst", "stall",
+                                           "fin"}
+        checks = {c["name"]: c for c in report["checks"]}
+        assert checks["sessions_released"]["ok"]
+        assert checks["buffers_released"]["ok"]
+        assert checks["xalloc_flat"]["ok"]
+        assert checks["request_accounting_exact"]["ok"]
+        # Counters prove both sides: faults fired, layers recovered.
+        counters = report["counters"]
+        assert counters["faults.injected.drop"] >= 1
+        assert counters["faults.recovered.tcp_retransmit"] >= 1
+        assert counters["faults.recovered.handler"] >= 1
+
+    def test_same_seed_same_soak_report(self):
+        assert run_soak(sim_minutes=0.2, seed=3) == run_soak(
+            sim_minutes=0.2, seed=3
+        )
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError, match="positive"):
+            run_soak(sim_minutes=0)
