@@ -48,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the instrumented obs scenarios")
         p.add_argument("--no-faults", action="store_true",
                        help="skip the fault-injection matrix")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan experiments and fault scenarios out over "
+                            "N worker processes; deterministic content is "
+                            "byte-identical to --jobs 1 (default: 1)")
 
     run = sub.add_parser("run", help="run the battery, write a snapshot")
     run.add_argument("--tag", default="current",
@@ -98,7 +102,7 @@ def _snapshot_from_run_options(args, tag: str, workload: str) -> dict:
     return build_snapshot(
         tag, workload=workload, experiments=only,
         include_obs=not args.no_obs, include_faults=not args.no_faults,
-        progress=_progress,
+        jobs=args.jobs, progress=_progress,
     )
 
 

@@ -117,6 +117,14 @@ CLAIMS: tuple[Claim, ...] = (
           "...still unshippable even granting the full assembly speedup"),
 )
 
+#: Wall clock of the last full snapshot taken before the predecoded
+#: block-dispatch emulator core landed -- the slow path's recorded
+#: total.  A full fast-path run should land well under this; creeping
+#: back above it means the fast core stopped engaging.  Warn-only:
+#: wall clock is a property of the host, not of the reproduction, so
+#: it never fails the gate.
+SLOW_PATH_WALL_SECONDS = 89.32
+
 
 @dataclass
 class GateReport:
@@ -126,6 +134,8 @@ class GateReport:
     claim_results: list[ClaimResult] = field(default_factory=list)
     not_reproduced: list[str] = field(default_factory=list)
     faults_failed: list[str] = field(default_factory=list)
+    #: Warn-only harness-speed observations; never affect :attr:`ok`.
+    speed_warnings: list[str] = field(default_factory=list)
     compare: CompareReport | None = None
 
     @property
@@ -164,6 +174,8 @@ class GateReport:
                 "  fault scenarios no longer recovering: "
                 + ", ".join(self.faults_failed)
             )
+        for warning in self.speed_warnings:
+            lines.append(f"  warning (speed, non-fatal): {warning}")
         if self.compare is not None:
             lines.append(self.compare.format(verbose=verbose))
         lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
@@ -188,6 +200,15 @@ def evaluate_gate(current: dict,
         )
         if not scenario.get("ok")
     ]
+    if current.get("workload") == "full":
+        total = current.get("wall_seconds", {}).get("total")
+        if total is not None and total >= SLOW_PATH_WALL_SECONDS:
+            report.speed_warnings.append(
+                f"full run took {total:.1f}s wall, at or above the "
+                f"recorded slow-path total of "
+                f"{SLOW_PATH_WALL_SECONDS:.1f}s -- is the fast "
+                f"emulator core engaged?"
+            )
     if baseline is not None:
         report.compare = compare_snapshots(baseline, current)
     return report

@@ -114,7 +114,7 @@ def _counters_by_prefix(counters: dict, prefix: str) -> dict:
     }
 
 
-def _collect_faults_detail(workload: str) -> tuple[dict, float]:
+def _collect_faults_detail(workload: str, jobs: int = 1) -> tuple[dict, float]:
     """Run the fault matrix; returns ``(faults_section, wall_seconds)``.
 
     The section keeps what the gate needs per scenario: the verdict and
@@ -128,7 +128,7 @@ def _collect_faults_detail(workload: str) -> tuple[dict, float]:
         _QUICK_FAULTS_SCENARIOS if workload == QUICK_WORKLOAD else None
     )
     start = time.time()
-    report = run_matrix(names, seed=DEFAULT_SEED)
+    report = run_matrix(names, seed=DEFAULT_SEED, jobs=jobs)
     wall = round(time.time() - start, 3)
     scenarios = {}
     for verdict in report["scenarios"]:
@@ -149,16 +149,33 @@ def _collect_faults_detail(workload: str) -> tuple[dict, float]:
     return section, wall
 
 
+def _experiment_worker(task: tuple[str, dict]) -> tuple[str, dict, float]:
+    """Run one experiment; module-level so multiprocessing can pickle it.
+
+    The wall clock is measured inside the worker so per-experiment
+    timings stay meaningful under fan-out.
+    """
+    experiment_id, kwargs = task
+    start = time.time()
+    result = RUNNERS[experiment_id](**kwargs)
+    return experiment_id, result.to_dict(), round(time.time() - start, 3)
+
+
 def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
                    experiments: list[str] | None = None,
                    include_obs: bool = True,
                    include_faults: bool = True,
+                   jobs: int = 1,
                    progress=None) -> dict:
     """Run the battery and return a schema-versioned snapshot document.
 
     ``experiments`` restricts the run to a subset of ids (for tests and
     targeted comparisons); ``include_obs=False`` skips the instrumented
     scenarios and ``include_faults=False`` the fault-injection matrix.
+    ``jobs > 1`` fans the experiments (and the fault matrix) out over
+    worker processes; every record is already seeded and deterministic,
+    and results are merged in experiment order, so the snapshot's
+    non-wall-clock content is byte-identical to a sequential run.
     ``progress`` is an optional ``callable(str)`` used by the CLI to
     narrate long runs.
     """
@@ -174,14 +191,21 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     total_start = time.time()
     experiment_records: dict = {}
     experiment_wall: dict = {}
-    for experiment_id in wanted:
-        say(f"running {experiment_id} ...")
-        start = time.time()
-        result = RUNNERS[experiment_id](
-            **_runner_kwargs(experiment_id, workload)
-        )
-        experiment_wall[experiment_id] = round(time.time() - start, 3)
-        experiment_records[experiment_id] = result.to_dict()
+    tasks = [(eid, _runner_kwargs(eid, workload)) for eid in wanted]
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        say(f"running {', '.join(wanted)} over {jobs} workers ...")
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            results = pool.map(_experiment_worker, tasks)
+    else:
+        results = []
+        for task in tasks:
+            say(f"running {task[0]} ...")
+            results.append(_experiment_worker(task))
+    for experiment_id, record, wall in results:
+        experiment_wall[experiment_id] = wall
+        experiment_records[experiment_id] = record
     obs_section: dict = {}
     obs_wall: dict = {}
     if include_obs:
@@ -191,7 +215,9 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     faults_wall = 0.0
     if include_faults:
         say("running fault-injection matrix ...")
-        faults_section, faults_wall = _collect_faults_detail(workload)
+        faults_section, faults_wall = _collect_faults_detail(
+            workload, jobs=jobs
+        )
     created = time.time()
     wall_seconds = {
         "experiments": experiment_wall,

@@ -80,6 +80,17 @@ def _inv_mix_word(word: int) -> int:
     )
 
 
+#: Expanded-schedule cache.  issl constructs a fresh cipher object per
+#: record-layer direction while the underlying keys repeat for the life
+#: of a session, so the key expansion (and the lazily derived decryption
+#: schedule) is shared across instances.  Entries are
+#: ``[rk, nr, drk-or-None]``; the lists are never mutated after being
+#: derived.  Bounded crudely: a full cache is cleared, which only costs
+#: re-expansion.
+_SCHEDULE_CACHE: dict[bytes, list] = {}
+_SCHEDULE_CACHE_MAX = 256
+
+
 class AesTTable:
     """AES with precomputed encryption/decryption tables.
 
@@ -93,18 +104,36 @@ class AesTTable:
     def __init__(self, key: bytes):
         if len(key) not in (16, 24, 32):
             raise RijndaelError(f"key must be 16/24/32 bytes, got {len(key)}")
-        words = expand_key(key, block_bits=128)
-        self._rk = [
-            (w[0] << 24 | w[1] << 16 | w[2] << 8 | w[3]) & _MASK for w in words
-        ]
-        self._nr = len(words) // 4 - 1
-        self._drk = self._derive_dec_keys()
-        self.key = bytes(key)
+        key = bytes(key)
+        entry = _SCHEDULE_CACHE.get(key)
+        if entry is None:
+            words = expand_key(key, block_bits=128)
+            rk = [
+                (w[0] << 24 | w[1] << 16 | w[2] << 8 | w[3]) & _MASK
+                for w in words
+            ]
+            entry = [rk, len(words) // 4 - 1, None]
+            if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+                _SCHEDULE_CACHE.clear()
+            _SCHEDULE_CACHE[key] = entry
+        self._entry = entry
+        self._rk = entry[0]
+        self._nr = entry[1]
+        self.key = key
 
     @property
     def rounds(self) -> int:
         """Number of rounds (Nr)."""
         return self._nr
+
+    @property
+    def _drk(self) -> list[int]:
+        """Decryption round keys, derived on first decrypt and cached
+        on the shared schedule entry (encrypt-only users never pay)."""
+        drk = self._entry[2]
+        if drk is None:
+            drk = self._entry[2] = self._derive_dec_keys()
+        return drk
 
     def _derive_dec_keys(self) -> list[int]:
         nr = self._nr

@@ -13,7 +13,13 @@ column-major, input byte ``i`` landing at row ``i % 4``, column ``i // 4``.
 
 from __future__ import annotations
 
-from repro.crypto.gf import gmul, INV_SBOX, RCON, SBOX
+from repro.crypto.gf import GMUL_TABLES, INV_SBOX, RCON, SBOX
+
+# MixColumns coefficient tables (see gf.GMUL_TABLES): the per-byte
+# shift-and-add multiply dominated whole-experiment profiles.
+_G2, _G3 = GMUL_TABLES[2], GMUL_TABLES[3]
+_G9, _G11 = GMUL_TABLES[9], GMUL_TABLES[11]
+_G13, _G14 = GMUL_TABLES[13], GMUL_TABLES[14]
 
 #: Block/key sizes supported by issl, in bits.
 SUPPORTED_BITS = (128, 192, 256)
@@ -112,12 +118,13 @@ class Rijndael:
             state[row] = state[row][shift:] + state[row][:shift]
 
     def _mix_columns(self, state: list[list[int]]) -> None:
+        row0, row1, row2, row3 = state
         for col in range(self._nb):
-            a = [state[row][col] for row in range(4)]
-            state[0][col] = gmul(a[0], 2) ^ gmul(a[1], 3) ^ a[2] ^ a[3]
-            state[1][col] = a[0] ^ gmul(a[1], 2) ^ gmul(a[2], 3) ^ a[3]
-            state[2][col] = a[0] ^ a[1] ^ gmul(a[2], 2) ^ gmul(a[3], 3)
-            state[3][col] = gmul(a[0], 3) ^ a[1] ^ a[2] ^ gmul(a[3], 2)
+            a0, a1, a2, a3 = row0[col], row1[col], row2[col], row3[col]
+            row0[col] = _G2[a0] ^ _G3[a1] ^ a2 ^ a3
+            row1[col] = a0 ^ _G2[a1] ^ _G3[a2] ^ a3
+            row2[col] = a0 ^ a1 ^ _G2[a2] ^ _G3[a3]
+            row3[col] = _G3[a0] ^ a1 ^ a2 ^ _G2[a3]
 
     # -- inverse rounds -----------------------------------------------
     def _inv_sub_bytes(self, state: list[list[int]]) -> None:
@@ -131,20 +138,13 @@ class Rijndael:
             state[row] = state[row][-shift:] + state[row][:-shift]
 
     def _inv_mix_columns(self, state: list[list[int]]) -> None:
+        row0, row1, row2, row3 = state
         for col in range(self._nb):
-            a = [state[row][col] for row in range(4)]
-            state[0][col] = (
-                gmul(a[0], 14) ^ gmul(a[1], 11) ^ gmul(a[2], 13) ^ gmul(a[3], 9)
-            )
-            state[1][col] = (
-                gmul(a[0], 9) ^ gmul(a[1], 14) ^ gmul(a[2], 11) ^ gmul(a[3], 13)
-            )
-            state[2][col] = (
-                gmul(a[0], 13) ^ gmul(a[1], 9) ^ gmul(a[2], 14) ^ gmul(a[3], 11)
-            )
-            state[3][col] = (
-                gmul(a[0], 11) ^ gmul(a[1], 13) ^ gmul(a[2], 9) ^ gmul(a[3], 14)
-            )
+            a0, a1, a2, a3 = row0[col], row1[col], row2[col], row3[col]
+            row0[col] = _G14[a0] ^ _G11[a1] ^ _G13[a2] ^ _G9[a3]
+            row1[col] = _G9[a0] ^ _G14[a1] ^ _G11[a2] ^ _G13[a3]
+            row2[col] = _G13[a0] ^ _G9[a1] ^ _G14[a2] ^ _G11[a3]
+            row3[col] = _G11[a0] ^ _G13[a1] ^ _G9[a2] ^ _G14[a3]
 
     # -- public API ----------------------------------------------------
     def encrypt_block(self, block: bytes) -> bytes:

@@ -129,11 +129,16 @@ class CostateScheduler:
         self._gap_histogram = self.obs.metrics.histogram(
             "costate.gap_s", GAP_BUCKETS
         )
+        #: Iteration snapshot of ``_costates``; rebuilt after add().
+        #: Replaces the per-pass ``list(...)`` copy -- additions only
+        #: take effect on the next pass either way.
+        self._snapshot: tuple[Costate, ...] | None = None
 
     def add(self, gen: Generator, name: str = "") -> Costate:
         """Register a one-shot costatement (runs to completion once)."""
         costate = Costate(gen, name)
         self._costates.append(costate)
+        self._snapshot = None
         return costate
 
     def add_restarting(self, factory: Callable[[], Generator],
@@ -142,6 +147,7 @@ class CostateScheduler:
         costate = Costate(factory(), name or factory.__name__)
         self._costates.append(costate)
         self._factories[costate] = factory
+        self._snapshot = None
         return costate
 
     def start(self):
@@ -156,14 +162,28 @@ class CostateScheduler:
         self.running = False
 
     def _big_loop(self):
+        # The hottest loop in the network experiments (every idle
+        # costatement is polled every pass), so Costate.step is inlined
+        # and the per-pass invariants (sim.now, the overhead, the gap
+        # histogram's bound method) are hoisted out of the costate loop.
         tracer = self.obs.tracer
+        sim = self.sim
+        queue = sim._queue
+        factories = self._factories
+        observe_gap = self._gap_histogram.observe
+        inc_passes = self._ctr_passes.inc
+        overhead = self.pass_overhead_s
         while self.running:
             self.passes += 1
-            self._ctr_passes.inc()
+            inc_passes()
             busy = 0.0
-            for costate in list(self._costates):
+            snapshot = self._snapshot
+            if snapshot is None:
+                snapshot = self._snapshot = tuple(self._costates)
+            base = sim.now + overhead
+            for costate in snapshot:
                 if costate.done:
-                    factory = self._factories.get(costate)
+                    factory = factories.get(costate)
                     if factory is not None:
                         costate.gen = factory()
                         costate.done = False
@@ -173,26 +193,48 @@ class CostateScheduler:
                 # timeline: the simulator charges the whole pass in one
                 # lump at the trailing yield, but on hardware the slices
                 # run back to back after the loop overhead.
-                slice_start = self.sim.now + self.pass_overhead_s + busy
+                slice_start = base + busy
                 if costate.last_ran_at is not None:
-                    self._gap_histogram.observe(
-                        slice_start - costate.last_ran_at
-                    )
+                    observe_gap(slice_start - costate.last_ran_at)
                 costate.last_ran_at = slice_start
-                step_busy = costate.step()
-                costate.total_busy_s += step_busy
-                busy += step_busy
-                if step_busy > 0:
-                    # Idle polling slices are counted, not traced; busy
-                    # slices are what starves the other costatements.
-                    tracer.add_complete(
-                        f"costate.{costate.name}", slice_start,
-                        slice_start + step_busy, cat=CAT_COSTATE,
-                        tid=self.name, run=costate.passes,
-                    )
+                # Inline of Costate.step() (the done case is handled
+                # above): advance to the next yield, one pass.
+                costate.passes += 1
+                try:
+                    yielded = next(costate.gen)
+                except StopIteration:
+                    costate.done = True
+                    continue
+                if isinstance(yielded, (int, float)):
+                    step_busy = float(yielded)
+                    if step_busy != 0.0:
+                        costate.total_busy_s += step_busy
+                        busy += step_busy
+                    if step_busy > 0:
+                        # Idle polling slices are counted, not traced;
+                        # busy slices are what starves the others.
+                        tracer.add_complete(
+                            f"costate.{costate.name}", slice_start,
+                            slice_start + step_busy, cat=CAT_COSTATE,
+                            tid=self.name, run=costate.passes,
+                        )
             # One trip around the for(;;) loop costs real time, plus
             # whatever blocking computation the costatements performed.
-            yield self.pass_overhead_s + busy
+            # Fast-forward: yielding here schedules a wake-up at
+            # ``wake``; if no queued event precedes it (strict -- an
+            # equal-time event was enqueued first and must run first)
+            # and it stays inside the driver's run bound, the simulator
+            # round trip would pop exactly the event we are about to
+            # push.  Advance the clock in place and run the next pass.
+            # An empty queue still yields so deadlock detection in the
+            # drive loops keeps working.
+            wake = sim.now + overhead + busy
+            bound = sim._run_until
+            if queue and wake < queue[0][0] and (
+                    bound is None or wake <= bound):
+                sim.now = wake
+                continue
+            yield overhead + busy
 
     @property
     def costate_names(self) -> list[str]:

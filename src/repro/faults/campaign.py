@@ -92,9 +92,36 @@ def run_scenario(name: str, seed: int = DEFAULT_SEED) -> dict:
     return verdict
 
 
+def _scenario_worker(task: tuple[str, int]) -> dict:
+    """Module-level so multiprocessing can pickle it."""
+    name, seed = task
+    return run_scenario(name, seed)
+
+
+def _map_tasks(worker, tasks: list, jobs: int) -> list:
+    """``map(worker, tasks)``, fanned out over ``jobs`` processes.
+
+    Each task is already seeded and deterministic, and ``Pool.map``
+    returns results in submission order, so the merged output is
+    byte-identical to the sequential run.  ``jobs <= 1`` (or a single
+    task) stays in-process -- no pool, no pickling.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    import multiprocessing
+
+    with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+        return pool.map(worker, tasks)
+
+
 def run_matrix(names: list[str] | None = None,
-               seed: int = DEFAULT_SEED) -> dict:
-    """Run the full matrix (or ``names``) and wrap it in a report."""
+               seed: int = DEFAULT_SEED, jobs: int = 1) -> dict:
+    """Run the full matrix (or ``names``) and wrap it in a report.
+
+    ``jobs > 1`` fans the scenarios out over worker processes; the
+    report is merged in scenario order and is byte-identical to the
+    sequential run.
+    """
     chosen = list(names) if names is not None else scenario_names()
     unknown = [n for n in chosen if n not in SCENARIOS]
     if unknown:
@@ -102,7 +129,7 @@ def run_matrix(names: list[str] | None = None,
             f"unknown scenario(s) {', '.join(unknown)}; "
             f"known: {', '.join(SCENARIOS)}"
         )
-    verdicts = [run_scenario(name, seed) for name in chosen]
+    verdicts = _map_tasks(_scenario_worker, [(n, seed) for n in chosen], jobs)
     passed = sum(1 for v in verdicts if v["ok"])
     return {
         "schema": REPORT_SCHEMA_VERSION,
@@ -150,6 +177,24 @@ def _spawn_mischief(world, wave: int):
             report, teardown=kind,
         )
     return host.spawn(gen, name=f"soak:{kind}:{wave}"), report, kind
+
+
+def _soak_worker(task: tuple[float, int]) -> dict:
+    """Module-level so multiprocessing can pickle it."""
+    sim_minutes, seed = task
+    return run_soak(sim_minutes, seed)
+
+
+def run_soak_jobs(sim_minutes: float = 1.0, seed: int = DEFAULT_SEED,
+                  jobs: int = 1) -> dict:
+    """:func:`run_soak`, optionally isolated in a worker process.
+
+    A soak is one world evolving sequentially -- unlike the matrix
+    there is nothing independent to shard without changing the report
+    bytes -- so ``jobs > 1`` buys process isolation, not speed.  The
+    report is byte-identical either way.
+    """
+    return _map_tasks(_soak_worker, [(sim_minutes, seed)], jobs)[0]
 
 
 def run_soak(sim_minutes: float = 1.0, seed: int = DEFAULT_SEED) -> dict:

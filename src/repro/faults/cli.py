@@ -21,7 +21,7 @@ from repro.faults.campaign import (
     DEFAULT_SEED,
     render_report,
     run_matrix,
-    run_soak,
+    run_soak_jobs,
     scenario_descriptions,
     scenario_names,
 )
@@ -43,6 +43,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the JSON report here")
         p.add_argument("--summary", action="store_true",
                        help="print one line per scenario instead of JSON")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan scenarios out over N worker processes; "
+                            "the merged report is byte-identical to "
+                            "--jobs 1 (default: 1)")
 
     sub.add_parser("list", help="named scenarios and descriptions")
 
@@ -100,16 +104,18 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    return _emit(run_matrix(args.names, seed=args.seed), args)
+    return _emit(run_matrix(args.names, seed=args.seed, jobs=args.jobs), args)
 
 
 def _cmd_matrix(args) -> int:
     only = args.only.split(",") if args.only else None
-    return _emit(run_matrix(only, seed=args.seed), args)
+    return _emit(run_matrix(only, seed=args.seed, jobs=args.jobs), args)
 
 
 def _cmd_soak(args) -> int:
-    return _emit(run_soak(args.sim_minutes, seed=args.seed), args)
+    return _emit(
+        run_soak_jobs(args.sim_minutes, seed=args.seed, jobs=args.jobs), args
+    )
 
 
 _COMMANDS = {

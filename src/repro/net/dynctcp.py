@@ -68,6 +68,11 @@ class DyncTcpStack:
         self._rx_queue: deque[IpPacket] = deque()
         self._listeners: dict[int, object] = {}
         self._waiting_sockets: dict[int, deque[DyncSocket]] = {}
+        #: Attach-loop dirty flag: accept queues only grow while the rx
+        #: queue drains (all inbound segments come through _enqueue) and
+        #: waiting sockets only appear in tcp_listen, so idle ticks can
+        #: skip polling every listener.
+        self._attach_dirty = False
         self.initialized = False
         self.ticks = 0
         self.syns_deferred = 0
@@ -104,6 +109,7 @@ class DyncTcpStack:
         if port not in self._listeners:
             self._listeners[port] = self.tcp.listen(port, backlog=_LISTEN_BACKLOG)
         self._waiting_sockets.setdefault(port, deque()).append(sock)
+        self._attach_dirty = True
         return 1
 
     def tcp_open(self, sock: DyncSocket, local_port: int,
@@ -132,21 +138,28 @@ class DyncTcpStack:
         # only *served* when some socket calls tcp_listen again, which
         # is where Figure 3's three-connection ceiling bites.
         pending = len(self._rx_queue)
-        for _ in range(pending):
-            packet = self._rx_queue.popleft()
-            segment = packet.payload
-            is_syn = segment.flags & TCP_SYN and not segment.flags & TCP_ACK
-            if is_syn and segment.dst_port in self._listeners \
-                    and not self._waiting_sockets.get(segment.dst_port):
-                self.syns_deferred += 1
-            self.tcp._handle(packet)
+        if pending:
+            for _ in range(pending):
+                packet = self._rx_queue.popleft()
+                segment = packet.payload
+                is_syn = (segment.flags & TCP_SYN
+                          and not segment.flags & TCP_ACK)
+                if is_syn and segment.dst_port in self._listeners \
+                        and not self._waiting_sockets.get(segment.dst_port):
+                    self.syns_deferred += 1
+                self.tcp._handle(packet)
+            self._attach_dirty = True
         # Attach established connections to their waiting sockets.
-        for port, listener in self._listeners.items():
-            waiting = self._waiting_sockets.get(port)
-            while waiting and listener.pending():
-                socket_ = waiting.popleft()
-                socket_.conn = listener.pop()
-                socket_.waiting = False
+        # Skipped on idle ticks: the accept queues can only have grown
+        # during a drain, and the waiting lists only in tcp_listen.
+        if self._attach_dirty:
+            self._attach_dirty = False
+            for port, listener in self._listeners.items():
+                waiting = self._waiting_sockets.get(port)
+                while waiting and listener.pending():
+                    socket_ = waiting.popleft()
+                    socket_.conn = listener.pop()
+                    socket_.waiting = False
         if sock is None:
             return 1
         if sock.waiting:

@@ -82,15 +82,35 @@ class Process:
             self.result = stop.value
             self.done_event.trigger(stop.value)
             return
-        if yielded is None:
-            self._sim.call_soon(self.step, None)
+        # This dispatch runs once per simulated tick of every process,
+        # so the two dominant yields (a sleep, a bare yield) take exact
+        # class checks and push onto the heap directly -- the scheduled
+        # tuple has the same (when, seq, fn, args) shape call_at builds,
+        # and a non-negative sleep can never land in the past, which is
+        # all call_at would have verified.  Numeric subclasses (bool,
+        # IntEnum, ...) fall through to the original isinstance branch.
+        cls = yielded.__class__
+        sim = self._sim
+        if cls is float or cls is int:
+            if yielded < 0:
+                self.kill(SimulationError(f"negative sleep: {yielded}"))
+                return
+            sim._seq += 1
+            heapq.heappush(
+                sim._queue, (sim.now + yielded, sim._seq, self.step, (None,))
+            )
+        elif yielded is None:
+            sim._seq += 1
+            heapq.heappush(
+                sim._queue, (sim.now, sim._seq, self.step, (None,))
+            )
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(self)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 self.kill(SimulationError(f"negative sleep: {yielded}"))
                 return
-            self._sim.call_after(yielded, self.step, None)
-        elif isinstance(yielded, Event):
-            yielded._add_waiter(self)
+            sim.call_after(yielded, self.step, None)
         else:
             self.kill(
                 SimulationError(f"process yielded unsupported value {yielded!r}")
@@ -130,6 +150,11 @@ class Simulator:
         self._queue: list[tuple[float, int, Callable, tuple]] = []
         self._seq = 0
         self._processes: list[Process] = []
+        #: Upper bound of the drive loop currently executing (run's
+        #: ``until``, run_until_complete's deadline), or None.  Lets a
+        #: process that fast-forwards the clock in place (see
+        #: CostateScheduler._big_loop) respect the driver's horizon.
+        self._run_until: float | None = None
         if obs is None:
             from repro.obs import NULL_OBS
             obs = NULL_OBS
@@ -168,20 +193,25 @@ class Simulator:
         run); ``max_events`` guards against runaway loops.
         """
         executed = 0
-        while self._queue:
-            when, _seq, fn, args = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            self.now = when
-            fn(*args)
-            executed += 1
-            if executed >= max_events:
-                raise SimulationError(f"exceeded {max_events} events")
-        else:
-            if until is not None:
-                self.now = max(self.now, until)
+        previous_bound = self._run_until
+        self._run_until = until
+        try:
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                self.now = when
+                fn(*args)
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(f"exceeded {max_events} events")
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._run_until = previous_bound
         return executed
 
     def run_until_complete(self, process: Process,
@@ -192,17 +222,22 @@ class Simulator:
         timeout passes with the process still alive.
         """
         deadline = None if timeout is None else self.now + timeout
-        while process.alive:
-            if not self._queue:
-                raise SimulationError(
-                    f"deadlock: {process!r} alive but no pending events"
-                )
-            when = self._queue[0][0]
-            if deadline is not None and when > deadline:
-                raise SimulationError(f"timeout waiting for {process!r}")
-            when, _seq, fn, args = heapq.heappop(self._queue)
-            self.now = when
-            fn(*args)
+        previous_bound = self._run_until
+        self._run_until = deadline
+        try:
+            while process.alive:
+                if not self._queue:
+                    raise SimulationError(
+                        f"deadlock: {process!r} alive but no pending events"
+                    )
+                when = self._queue[0][0]
+                if deadline is not None and when > deadline:
+                    raise SimulationError(f"timeout waiting for {process!r}")
+                when, _seq, fn, args = heapq.heappop(self._queue)
+                self.now = when
+                fn(*args)
+        finally:
+            self._run_until = previous_bound
         return process.result
 
     @property

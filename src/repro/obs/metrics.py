@@ -13,6 +13,7 @@ do-nothing instrument, the metrics half of the <5 %-overhead contract.
 from __future__ import annotations
 
 import json
+from bisect import bisect_left
 
 
 class Counter:
@@ -52,7 +53,8 @@ class Histogram:
     or in the overflow bucket past the last bound.
     """
 
-    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total")
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total",
+                 "_memo_value", "_memo_index")
 
     def __init__(self, name: str, bounds: tuple[float, ...]):
         if not bounds or list(bounds) != sorted(bounds):
@@ -63,15 +65,31 @@ class Histogram:
         self.overflow = 0
         self.count = 0
         self.total = 0.0
+        # One-element bucket memo: schedulers observe the same gap value
+        # millions of times in a row.  NaN never equals itself, so it is
+        # both the initial sentinel and naturally un-memoizable.
+        self._memo_value = float("nan")
+        self._memo_index = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.overflow += 1
+        if value == self._memo_value:
+            self.counts[self._memo_index] += 1
+            return
+        # bisect_left finds the first bound >= value, same bucket the
+        # linear scan chose; NaN compares false against every bound, so
+        # it must land in overflow explicitly.
+        if value != value:
+            self.overflow += 1
+            return
+        index = bisect_left(self.bounds, value)
+        if index < len(self.counts):
+            self.counts[index] += 1
+            self._memo_value = value
+            self._memo_index = index
+        else:
+            self.overflow += 1
 
     @property
     def mean(self) -> float:

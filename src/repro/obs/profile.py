@@ -117,6 +117,13 @@ class CycleProfiler:
         #: executing routine is always derived from PC, not the stack.
         self._stack: list[str] = []
         self._frame_starts: list[int] = []
+        #: ``";".join(_stack) + ";"`` maintained incrementally (top of
+        #: this list), so the per-instruction collapsed key is one
+        #: concatenation instead of a join over the whole stack.
+        self._prefix_stack: list[str] = [""]
+        #: PC -> routine memo (symbols are fixed for the profiler's
+        #: lifetime, and PCs repeat heavily in loops).
+        self._routine_memo: dict[int, str] = {}
         self._original_step = None
 
     # -- attachment -----------------------------------------------------
@@ -149,34 +156,43 @@ class CycleProfiler:
 
     def _profiled_step(self) -> int:
         cpu = self.cpu
+        memory = cpu.memory
         pc = cpu.pc
         sp = cpu.sp
-        opcode = cpu.memory.read8(pc)
+        # peek8 is counter-free (unlike read8): profiler inspection must
+        # not perturb memory.reads/wait_cycles.  An unpopulated PC
+        # returns None, matches no opcode set, and the real fetch below
+        # raises the same strict-mode error the old path did.
+        opcode = memory.peek8(pc)
         transfer = None
         if opcode in _CALL_OPCODES:
             transfer = "call"
         elif opcode in _RET_OPCODES or (
-            opcode == 0xED and cpu.memory.read8((pc + 1) & 0xFFFF)
+            opcode == 0xED and memory.peek8((pc + 1) & 0xFFFF)
             in _ED_RET_SECOND
         ):
             transfer = "ret"
         cycles = self._original_step()
-        routine = self.routine_at(pc)
+        routine = self._routine_memo.get(pc)
+        if routine is None:
+            routine = self._routine_memo[pc] = self.routine_at(pc)
         self.self_cycles[routine] = self.self_cycles.get(routine, 0) + cycles
         self.instruction_counts[routine] = (
             self.instruction_counts.get(routine, 0) + 1
         )
-        stack_key = ";".join(self._stack + [routine])
+        stack_key = self._prefix_stack[-1] + routine
         self.collapsed[stack_key] = self.collapsed.get(stack_key, 0) + cycles
         self.total_cycles += cycles
         if transfer == "call" and cpu.sp == (sp - 2) & 0xFFFF:
             callee = self.routine_at(cpu.pc)
             self.call_counts[callee] = self.call_counts.get(callee, 0) + 1
             self._stack.append(routine)
+            self._prefix_stack.append(self._prefix_stack[-1] + routine + ";")
             self._frame_starts.append(cpu.cycles)
         elif transfer == "ret" and cpu.sp == (sp + 2) & 0xFFFF \
                 and self._stack:
             self._stack.pop()
+            self._prefix_stack.pop()
             started = self._frame_starts.pop()
             if self.tracer is not None and self.tracer.enabled:
                 from repro.rabbit.board import CLOCK_HZ

@@ -83,14 +83,7 @@ class Board:
         HALT wakes on interrupts, so only an *unwakeable* halt stops
         the loop early.
         """
-        start = self.cpu.cycles
-        while self.cpu.cycles - start < budget:
-            if self.cpu.halted and not (
-                self.cpu._int_pending and self.cpu.iff1
-            ):
-                break
-            self.cpu.step()
-        return self.cpu.cycles - start
+        return self.cpu.run_cycles(budget)
 
     def call(self, address: int) -> int:
         """Call a routine in the image; returns cycles consumed."""

@@ -42,9 +42,17 @@ class CpuError(RuntimeError):
 class Cpu:
     """One Z80/Rabbit core attached to a memory and an I/O bus."""
 
+    #: Class-level switch for the predecoded basic-block fast path
+    #: (:mod:`repro.rabbit.fastcore`).  Set to False (per instance or
+    #: subclass) to force the single-step core everywhere; installing a
+    #: ``step`` override (e.g. the obs ``CycleProfiler``) disables it
+    #: automatically.
+    use_fast_core = True
+
     def __init__(self, memory, io=None):
         self.memory = memory
         self.io = io
+        self._cache = None
         self.reset()
 
     # -- state ---------------------------------------------------------
@@ -211,49 +219,66 @@ class Cpu:
             self.sp = value
 
     # -- flag computation ---------------------------------------------------
+    # These run once per emulated ALU instruction, so they compute F in a
+    # local and store once instead of chaining _set_flag calls.  Bits 3
+    # and 5 (the undocumented F copies) are preserved or cleared exactly
+    # as the original read-modify-write chains did.
     def _sz_flags(self, value: int) -> None:
-        self._set_flag(FLAG_S, bool(value & 0x80))
-        self._set_flag(FLAG_Z, value == 0)
+        f = self.f & ~(FLAG_S | FLAG_Z) & 0xFF
+        f |= value & 0x80
+        if value == 0:
+            f |= FLAG_Z
+        self.f = f
 
     def _logic_flags(self, value: int, half: bool) -> None:
-        self.f = 0
-        self._sz_flags(value)
-        self._set_flag(FLAG_H, half)
-        self._set_flag(FLAG_PV, bool(_PARITY[value]))
+        f = value & 0x80
+        if value == 0:
+            f |= FLAG_Z
+        if half:
+            f |= FLAG_H
+        if _PARITY[value]:
+            f |= FLAG_PV
+        self.f = f
 
     def _add8(self, lhs: int, rhs: int, carry_in: int) -> int:
         result = lhs + rhs + carry_in
         value = result & 0xFF
-        self.f = 0
-        self._sz_flags(value)
-        self._set_flag(FLAG_H, ((lhs & 0xF) + (rhs & 0xF) + carry_in) > 0xF)
-        self._set_flag(FLAG_C, result > 0xFF)
-        overflow = (~(lhs ^ rhs) & (lhs ^ value)) & 0x80
-        self._set_flag(FLAG_PV, bool(overflow))
+        f = value & 0x80
+        if value == 0:
+            f |= FLAG_Z
+        if ((lhs & 0xF) + (rhs & 0xF) + carry_in) > 0xF:
+            f |= FLAG_H
+        if result > 0xFF:
+            f |= FLAG_C
+        if (~(lhs ^ rhs) & (lhs ^ value)) & 0x80:
+            f |= FLAG_PV
+        self.f = f
         return value
 
     def _sub8(self, lhs: int, rhs: int, carry_in: int, store_carry: bool = True) -> int:
         result = lhs - rhs - carry_in
         value = result & 0xFF
-        carry = result < 0
-        self.f = FLAG_N
-        self._sz_flags(value)
-        self._set_flag(FLAG_H, ((lhs & 0xF) - (rhs & 0xF) - carry_in) < 0)
-        if store_carry:
-            self._set_flag(FLAG_C, carry)
-        overflow = ((lhs ^ rhs) & (lhs ^ value)) & 0x80
-        self._set_flag(FLAG_PV, bool(overflow))
+        f = FLAG_N | (value & 0x80)
+        if value == 0:
+            f |= FLAG_Z
+        if ((lhs & 0xF) - (rhs & 0xF) - carry_in) < 0:
+            f |= FLAG_H
+        if store_carry and result < 0:
+            f |= FLAG_C
+        if ((lhs ^ rhs) & (lhs ^ value)) & 0x80:
+            f |= FLAG_PV
+        self.f = f
         return value
 
     def _alu(self, operation: int, operand: int) -> None:
         if operation == 0:      # ADD
             self.a = self._add8(self.a, operand, 0)
         elif operation == 1:    # ADC
-            self.a = self._add8(self.a, operand, 1 if self.flag(FLAG_C) else 0)
+            self.a = self._add8(self.a, operand, self.f & FLAG_C)
         elif operation == 2:    # SUB
             self.a = self._sub8(self.a, operand, 0)
         elif operation == 3:    # SBC
-            self.a = self._sub8(self.a, operand, 1 if self.flag(FLAG_C) else 0)
+            self.a = self._sub8(self.a, operand, self.f & FLAG_C)
         elif operation == 4:    # AND
             self.a &= operand
             self._logic_flags(self.a, half=True)
@@ -268,25 +293,38 @@ class Cpu:
 
     def _inc8(self, value: int) -> int:
         result = (value + 1) & 0xFF
-        self._set_flag(FLAG_N, False)
-        self._sz_flags(result)
-        self._set_flag(FLAG_H, (value & 0xF) == 0xF)
-        self._set_flag(FLAG_PV, value == 0x7F)
+        f = self.f & ~(FLAG_N | FLAG_S | FLAG_Z | FLAG_H | FLAG_PV) & 0xFF
+        f |= result & 0x80
+        if result == 0:
+            f |= FLAG_Z
+        if (value & 0xF) == 0xF:
+            f |= FLAG_H
+        if value == 0x7F:
+            f |= FLAG_PV
+        self.f = f
         return result
 
     def _dec8(self, value: int) -> int:
         result = (value - 1) & 0xFF
-        self._set_flag(FLAG_N, True)
-        self._sz_flags(result)
-        self._set_flag(FLAG_H, (value & 0xF) == 0)
-        self._set_flag(FLAG_PV, value == 0x80)
+        f = (self.f & ~(FLAG_S | FLAG_Z | FLAG_H | FLAG_PV) & 0xFF) | FLAG_N
+        f |= result & 0x80
+        if result == 0:
+            f |= FLAG_Z
+        if (value & 0xF) == 0:
+            f |= FLAG_H
+        if value == 0x80:
+            f |= FLAG_PV
+        self.f = f
         return result
 
     def _add16(self, lhs: int, rhs: int) -> int:
         result = lhs + rhs
-        self._set_flag(FLAG_N, False)
-        self._set_flag(FLAG_C, result > 0xFFFF)
-        self._set_flag(FLAG_H, ((lhs & 0xFFF) + (rhs & 0xFFF)) > 0xFFF)
+        f = self.f & ~(FLAG_N | FLAG_C | FLAG_H) & 0xFF
+        if result > 0xFFFF:
+            f |= FLAG_C
+        if ((lhs & 0xFFF) + (rhs & 0xFFF)) > 0xFFF:
+            f |= FLAG_H
+        self.f = f
         return result & 0xFFFF
 
     def _adc16(self, lhs: int, rhs: int) -> int:
@@ -382,6 +420,12 @@ class Cpu:
         if self.halted:
             self.cycles += 4
             return 4
+        return self._step_instruction()
+
+    def _step_instruction(self) -> int:
+        """Fetch/decode/execute one instruction, no interrupt or halt
+        handling.  Shared by :meth:`step` and the block executor's
+        generic fallback closures."""
         cycles = 0
         waits_before = self.memory.wait_cycles
         opcode = self._fetch()
@@ -399,17 +443,70 @@ class Cpu:
         self.instructions += 1
         return cycles
 
+    # -- block-cache fast path --------------------------------------------
+    def _fast_eligible(self) -> bool:
+        """True when whole-block execution is observably identical to
+        single-stepping: nothing overrides ``step`` (the profiler and
+        debuggers hook it per-instance), and the switch is on."""
+        return (self.use_fast_core and "step" not in self.__dict__
+                and type(self).step is Cpu.step)
+
+    def _fast_cache(self):
+        cache = self._cache
+        if cache is None:
+            from repro.rabbit.fastcore import BlockCache
+            cache = self._cache = BlockCache(self)
+        cache.check_wait_states()
+        return cache
+
     def run(self, max_instructions: int = 100_000_000,
             until_halt: bool = True) -> int:
         """Run until HALT (or the instruction budget); returns cycles run."""
         start = self.cycles
-        for _ in range(max_instructions):
-            if self.halted and not self._int_pending:
-                break
-            self.step()
-        else:
-            raise CpuError(f"exceeded {max_instructions} instructions")
-        return self.cycles - start
+        if not self._fast_eligible():
+            for _ in range(max_instructions):
+                if self.halted and not self._int_pending:
+                    break
+                self.step()
+            else:
+                raise CpuError(f"exceeded {max_instructions} instructions")
+            return self.cycles - start
+        cache = self._fast_cache()
+        memory = self.memory
+        blocks = cache.blocks
+        remaining = max_instructions
+        while remaining > 0:
+            if self.halted:
+                if not self._int_pending:
+                    return self.cycles - start
+                self.step()
+                remaining -= 1
+                continue
+            if self._int_pending and self.iff1:
+                self.step()
+                remaining -= 1
+                continue
+            pc = self.pc
+            key = pc if pc < 0xE000 else pc | (memory.xpc << 16)
+            block = blocks.get(key)
+            if block is None:
+                block = cache.build_block(pc, key)
+            ops = block[0]
+            if len(ops) > remaining:
+                self.step()
+                remaining -= 1
+                continue
+            cache.executed_blocks += 1
+            cache.bail = False
+            before = self.instructions
+            for op in ops:
+                op(self, memory)
+                if cache.bail:
+                    break
+            remaining -= self.instructions - before
+        # The slow loop's budget check runs before its halt check, so a
+        # HALT on the very last budgeted instruction still raises.
+        raise CpuError(f"exceeded {max_instructions} instructions")
 
     def call_subroutine(self, address: int, stop_address: int = 0xFFFF,
                         max_instructions: int = 100_000_000) -> int:
@@ -421,13 +518,93 @@ class Cpu:
         self._push(stop_address)
         self.pc = address
         start = self.cycles
-        for _ in range(max_instructions):
+        if not self._fast_eligible():
+            for _ in range(max_instructions):
+                if self.pc == stop_address:
+                    return self.cycles - start
+                if self.halted:
+                    raise CpuError("HALT inside subroutine call")
+                self.step()
+            raise CpuError(f"subroutine at {address:#06x} did not return")
+        cache = self._fast_cache()
+        memory = self.memory
+        blocks = cache.blocks
+        remaining = max_instructions
+        while remaining > 0:
             if self.pc == stop_address:
                 return self.cycles - start
             if self.halted:
                 raise CpuError("HALT inside subroutine call")
-            self.step()
+            if self._int_pending and self.iff1:
+                self.step()
+                remaining -= 1
+                continue
+            pc = self.pc
+            key = pc if pc < 0xE000 else pc | (memory.xpc << 16)
+            block = blocks.get(key)
+            if block is None:
+                block = cache.build_block(pc, key)
+            ops = block[0]
+            # Degrade to single steps near the budget and when the stop
+            # address sits *inside* the block (straight-line fall-through
+            # would run past it without the slow path's per-step check).
+            if len(ops) > remaining or pc < stop_address < block[1]:
+                self.step()
+                remaining -= 1
+                continue
+            cache.executed_blocks += 1
+            cache.bail = False
+            before = self.instructions
+            for op in ops:
+                op(self, memory)
+                if cache.bail:
+                    break
+            remaining -= self.instructions - before
+        # Like the slow loop: budget exhaustion wins even if the last
+        # budgeted step landed on the stop address.
         raise CpuError(f"subroutine at {address:#06x} did not return")
+
+    def run_cycles(self, budget: int) -> int:
+        """Run approximately ``budget`` cycles; returns cycles executed.
+
+        A halted CPU with a deliverable interrupt pending still runs:
+        HALT wakes on interrupts, so only an *unwakeable* halt stops
+        the loop early.  Like the historical board loop, the budget is
+        checked at instruction boundaries, so the last instruction may
+        overshoot it.
+        """
+        start = self.cycles
+        target = start + budget
+        if not self._fast_eligible():
+            while self.cycles < target:
+                if self.halted and not (self._int_pending and self.iff1):
+                    break
+                self.step()
+            return self.cycles - start
+        cache = self._fast_cache()
+        memory = self.memory
+        blocks = cache.blocks
+        while self.cycles < target:
+            if self.halted:
+                if not (self._int_pending and self.iff1):
+                    break
+                self.step()
+                continue
+            if self._int_pending and self.iff1:
+                self.step()
+                continue
+            pc = self.pc
+            key = pc if pc < 0xE000 else pc | (memory.xpc << 16)
+            block = blocks.get(key)
+            if block is None:
+                block = cache.build_block(pc, key)
+            cache.executed_blocks += 1
+            cache.bail = False
+            for op in block[0]:
+                op(self, memory)
+                if cache.bail or self.cycles >= target:
+                    break
+        return self.cycles - start
 
     # -- main table -----------------------------------------------------------
     def _exec_main(self, opcode: int, prefix: int, displacement: int) -> int:

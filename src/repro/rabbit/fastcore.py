@@ -1,0 +1,1105 @@
+"""Predecoded basic-block execution for the Rabbit core.
+
+The slow path (:meth:`repro.rabbit.cpu.Cpu.step`) re-fetches and
+re-decodes every instruction through the octal-field dispatch chain.
+This module decodes each straight-line run of instructions *once* into a
+list of bound handler closures -- a basic block -- keyed by
+``(logical PC, XPC)`` when the block sits in the bank window and by the
+logical PC alone below it (those mappings are fixed).  Executors in
+:mod:`repro.rabbit.cpu` then run whole blocks per dispatch.
+
+Exactness contract (the entire point -- E1/E2/E5 cycle counts must be
+byte-identical to the single-step core):
+
+* every closure self-accounts: ``cpu.cycles`` (base T-states + the
+  instruction's fetch wait states precomputed at decode + data wait
+  states measured dynamically), ``cpu.pc``, ``cpu.r``,
+  ``cpu.instructions``, ``memory.reads``/``memory.wait_cycles`` for the
+  fetch bytes it no longer reads;
+* anything that can change control flow, interrupt state, bank mapping
+  or talk to I/O ends its block (branches, CALL/RET/RST, HALT, EI/DI,
+  IN/OUT, ``LD XPC, A``, the repeating block ops);
+* anything not specialized falls back to a *generic* closure that calls
+  ``cpu._step_instruction()`` -- it re-fetches at run time, so it is
+  always correct, merely not faster;
+* writes to pages holding decoded code invalidate the affected blocks
+  and raise :attr:`BlockCache.bail`, which the executors check after
+  every instruction, so self-modifying code re-decodes mid-block exactly
+  where the slow path would observe the new bytes;
+* ``load_flash``/``load_sram`` (reprogramming) and wait-state changes
+  drop the whole cache.
+
+The repeating block ops (LDIR/LDDR/CPIR/CPDR) execute one iteration per
+dispatch, rewinding PC like the slow path does, so cycle-budget
+boundaries (``run_cycles``) land on identical instruction boundaries.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro.rabbit.cpu import _PARITY, FLAG_C, FLAG_H, FLAG_N, FLAG_PV, FLAG_Z
+from repro.rabbit.memory import FLASH_SIZE, SRAM_BASE, SRAM_SIZE
+
+#: Longest straight-line run decoded into one block.
+MAX_BLOCK_INSTRUCTIONS = 128
+
+#: 8-bit register attribute names by octal index (6 is (HL)).
+_R8 = ("b", "c", "d", "e", "h", "l", None, "a")
+#: 16-bit pair attribute halves by index (3 = SP, handled specially).
+_RP = (("b", "c"), ("d", "e"), ("h", "l"), None)
+#: Condition-code flag masks by index (NZ Z NC C PO PE P M).
+_CC_MASK = (FLAG_Z, FLAG_Z, FLAG_C, FLAG_C, FLAG_PV, FLAG_PV, 0x80, 0x80)
+
+
+def _step_op(cpu, memory):
+    """Generic fallback: re-fetch and execute through the slow decoder."""
+    cpu._step_instruction()
+
+
+# ---------------------------------------------------------------------------
+# Closure factories.  Each returned closure performs ONE instruction and
+# fully self-accounts (see the module docstring's contract).
+# ---------------------------------------------------------------------------
+
+def _op_simple(body, length, base, np, fw):
+    """Instruction with no data-memory traffic; ``body(cpu)`` mutates
+    registers/flags only."""
+    total = base + fw
+
+    def op(cpu, memory):
+        memory.reads += length
+        memory.wait_cycles += fw
+        body(cpu)
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_mem(body, length, base, np, fw):
+    """Instruction whose ``body(cpu, memory)`` reads/writes data memory;
+    data wait states are measured around the body, like the slow path."""
+    def op(cpu, memory):
+        memory.reads += length
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        body(cpu, memory)
+        cpu.pc = np
+        cpu.cycles += base + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+#: AND / XOR / OR as C-level callables, by ALU operation index.
+_LOGIC_OPS = {4: operator.and_, 5: operator.xor, 6: operator.or_}
+
+
+def _op_ld_rr_fused(dst, src, np, fw):
+    """LD r, r' -- fully fused (the single hottest op class)."""
+    total = 4 + fw
+
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        setattr(cpu, dst, getattr(cpu, src))
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_ld_rn_fused(dst, value, np, fw):
+    total = 7 + fw
+
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        setattr(cpu, dst, value)
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_ld_r_mhl_fused(dst, np, fw):
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        setattr(cpu, dst, memory.read8((cpu.h << 8) | cpu.l))
+        cpu.pc = np
+        cpu.cycles += 7 + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_ld_mhl_r_fused(src, np, fw):
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        memory.write8((cpu.h << 8) | cpu.l, getattr(cpu, src))
+        cpu.pc = np
+        cpu.cycles += 7 + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_incdec_r_fused(name, is_inc, np, fw):
+    total = 4 + fw
+    if is_inc:
+        def op(cpu, memory):
+            memory.reads += 1
+            memory.wait_cycles += fw
+            setattr(cpu, name, cpu._inc8(getattr(cpu, name)))
+            cpu.pc = np
+            cpu.cycles += total
+            cpu.r = (cpu.r + 1) & 0x7F
+            cpu.instructions += 1
+        return op
+
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        setattr(cpu, name, cpu._dec8(getattr(cpu, name)))
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_logic_r_fused(operation, src, np, fw):
+    """AND/XOR/OR r with inline flag math (crypto kernels live here)."""
+    fn = _LOGIC_OPS[operation]
+    half = FLAG_H if operation == 4 else 0
+    total = 4 + fw
+
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        a = fn(cpu.a, getattr(cpu, src))
+        cpu.a = a
+        f = (a & 0x80) | half
+        if a == 0:
+            f |= FLAG_Z
+        if _PARITY[a]:
+            f |= FLAG_PV
+        cpu.f = f
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_logic_n_fused(operation, value, np, fw):
+    fn = _LOGIC_OPS[operation]
+    half = FLAG_H if operation == 4 else 0
+    total = 7 + fw
+
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        a = fn(cpu.a, value)
+        cpu.a = a
+        f = (a & 0x80) | half
+        if a == 0:
+            f |= FLAG_Z
+        if _PARITY[a]:
+            f |= FLAG_PV
+        cpu.f = f
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_logic_mhl_fused(operation, np, fw):
+    fn = _LOGIC_OPS[operation]
+    half = FLAG_H if operation == 4 else 0
+
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        a = fn(cpu.a, memory.read8((cpu.h << 8) | cpu.l))
+        cpu.a = a
+        f = (a & 0x80) | half
+        if a == 0:
+            f |= FLAG_Z
+        if _PARITY[a]:
+            f |= FLAG_PV
+        cpu.f = f
+        cpu.pc = np
+        cpu.cycles += 7 + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_arith_r_fused(operation, src, np, fw):
+    """ADD/ADC/SUB/SBC/CP r via the (already flattened) ALU helpers."""
+    total = 4 + fw
+
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        cpu._alu(operation, getattr(cpu, src))
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_arith_n_fused(operation, value, np, fw):
+    total = 7 + fw
+
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        cpu._alu(operation, value)
+        cpu.pc = np
+        cpu.cycles += total
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_jr(target, fw, np=None, mask=0, want=False, taken=12, skipped=7):
+    """JR d / JR cc, d (``np is None`` means unconditional)."""
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        if np is None or ((cpu.f & mask) != 0) == want:
+            cpu.pc = target
+            cpu.cycles += taken + fw
+        else:
+            cpu.pc = np
+            cpu.cycles += skipped + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_djnz(target, np, fw):
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        b = (cpu.b - 1) & 0xFF
+        cpu.b = b
+        if b:
+            cpu.pc = target
+            cpu.cycles += 13 + fw
+        else:
+            cpu.pc = np
+            cpu.cycles += 8 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_jp(addr, length, fw):
+    def op(cpu, memory):
+        memory.reads += length
+        memory.wait_cycles += fw
+        cpu.pc = addr
+        cpu.cycles += 10 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_jp_cc(addr, np, mask, want, fw):
+    def op(cpu, memory):
+        memory.reads += 3
+        memory.wait_cycles += fw
+        cpu.pc = addr if ((cpu.f & mask) != 0) == want else np
+        cpu.cycles += 10 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_jp_hl(fw):
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        cpu.pc = (cpu.h << 8) | cpu.l
+        cpu.cycles += 4 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_call(addr, np, fw, mask=0, want=None):
+    """CALL nn / CALL cc, nn (``want is None`` means unconditional)."""
+    def op(cpu, memory):
+        memory.reads += 3
+        memory.wait_cycles += fw
+        if want is None or ((cpu.f & mask) != 0) == want:
+            before = memory.wait_cycles
+            sp = (cpu.sp - 2) & 0xFFFF
+            cpu.sp = sp
+            memory.write8(sp, np & 0xFF)
+            memory.write8((sp + 1) & 0xFFFF, np >> 8)
+            cpu.pc = addr
+            cpu.cycles += 17 + fw + (memory.wait_cycles - before)
+        else:
+            cpu.pc = np
+            cpu.cycles += 10 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_rst(vector, np, fw):
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        sp = (cpu.sp - 2) & 0xFFFF
+        cpu.sp = sp
+        memory.write8(sp, np & 0xFF)
+        memory.write8((sp + 1) & 0xFFFF, np >> 8)
+        cpu.pc = vector
+        cpu.cycles += 11 + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_ret(fw, np=None, mask=0, want=False):
+    """RET / RET cc (``np is None`` means unconditional)."""
+    def op(cpu, memory):
+        memory.reads += 1
+        memory.wait_cycles += fw
+        if np is None or ((cpu.f & mask) != 0) == want:
+            before = memory.wait_cycles
+            sp = cpu.sp
+            lo = memory.read8(sp)
+            hi = memory.read8((sp + 1) & 0xFFFF)
+            cpu.sp = (sp + 2) & 0xFFFF
+            cpu.pc = lo | (hi << 8)
+            cpu.cycles += ((10 if np is None else 11) + fw
+                           + (memory.wait_cycles - before))
+        else:
+            cpu.pc = np
+            cpu.cycles += 5 + fw
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+def _op_ed_block(y, z, np, fw, start):
+    """LDI/LDD/LDIR/LDDR (z=0) and CPI/CPD/CPIR/CPDR (z=1).
+
+    Repeating forms rewind PC to the instruction start and run one
+    iteration per dispatch, exactly like the slow path.
+    """
+    repeat = y >= 6
+    inc = 1 if y in (4, 6) else -1
+    if z == 0:
+        def op(cpu, memory):
+            memory.reads += 2
+            memory.wait_cycles += fw
+            before = memory.wait_cycles
+            hl = (cpu.h << 8) | cpu.l
+            de = (cpu.d << 8) | cpu.e
+            memory.write8(de, memory.read8(hl))
+            hl = (hl + inc) & 0xFFFF
+            de = (de + inc) & 0xFFFF
+            cpu.h = hl >> 8
+            cpu.l = hl & 0xFF
+            cpu.d = de >> 8
+            cpu.e = de & 0xFF
+            bc = (((cpu.b << 8) | cpu.c) - 1) & 0xFFFF
+            cpu.b = bc >> 8
+            cpu.c = bc & 0xFF
+            f = cpu.f & ~(FLAG_N | FLAG_H | FLAG_PV) & 0xFF
+            if bc:
+                f |= FLAG_PV
+            cpu.f = f
+            if repeat and bc:
+                cpu.pc = start
+                cpu.cycles += 21 + fw + (memory.wait_cycles - before)
+            else:
+                cpu.pc = np
+                cpu.cycles += 16 + fw + (memory.wait_cycles - before)
+            cpu.r = (cpu.r + 1) & 0x7F
+            cpu.instructions += 1
+        return op
+
+    def op(cpu, memory):
+        memory.reads += 2
+        memory.wait_cycles += fw
+        before = memory.wait_cycles
+        hl = (cpu.h << 8) | cpu.l
+        value = memory.read8(hl)
+        carry = cpu.f & FLAG_C
+        cpu._sub8(cpu.a, value, 0, store_carry=False)
+        if carry:
+            cpu.f |= FLAG_C
+        else:
+            cpu.f &= ~FLAG_C & 0xFF
+        hl = (hl + inc) & 0xFFFF
+        cpu.h = hl >> 8
+        cpu.l = hl & 0xFF
+        bc = (((cpu.b << 8) | cpu.c) - 1) & 0xFFFF
+        cpu.b = bc >> 8
+        cpu.c = bc & 0xFF
+        if bc:
+            cpu.f |= FLAG_PV
+        else:
+            cpu.f &= ~FLAG_PV & 0xFF
+        if repeat and bc and not (cpu.f & FLAG_Z):
+            cpu.pc = start
+            cpu.cycles += 21 + fw + (memory.wait_cycles - before)
+        else:
+            cpu.pc = np
+            cpu.cycles += 16 + fw + (memory.wait_cycles - before)
+        cpu.r = (cpu.r + 1) & 0x7F
+        cpu.instructions += 1
+    return op
+
+
+# ---------------------------------------------------------------------------
+# Register-op bodies (pure register/flag mutations for _op_simple).
+# ---------------------------------------------------------------------------
+
+def _body_ld_rp_nn(pair, value):
+    if pair == 3:
+        def body(cpu):
+            cpu.sp = value
+        return body
+    hi, lo = _RP[pair]
+    hi_v, lo_v = value >> 8, value & 0xFF
+
+    def body(cpu):
+        setattr(cpu, hi, hi_v)
+        setattr(cpu, lo, lo_v)
+    return body
+
+
+def _body_incdec_rp(pair, delta):
+    if pair == 3:
+        def body(cpu):
+            cpu.sp = (cpu.sp + delta) & 0xFFFF
+        return body
+    hi, lo = _RP[pair]
+
+    def body(cpu):
+        value = (((getattr(cpu, hi) << 8) | getattr(cpu, lo)) + delta) \
+            & 0xFFFF
+        setattr(cpu, hi, value >> 8)
+        setattr(cpu, lo, value & 0xFF)
+    return body
+
+
+def _body_add_hl(pair):
+    if pair == 3:
+        def body(cpu):
+            result = cpu._add16((cpu.h << 8) | cpu.l, cpu.sp)
+            cpu.h = result >> 8
+            cpu.l = result & 0xFF
+        return body
+    hi, lo = _RP[pair]
+
+    def body(cpu):
+        result = cpu._add16(
+            (cpu.h << 8) | cpu.l,
+            (getattr(cpu, hi) << 8) | getattr(cpu, lo),
+        )
+        cpu.h = result >> 8
+        cpu.l = result & 0xFF
+    return body
+
+
+def _body_ex_af(cpu):
+    cpu.a, cpu.a2 = cpu.a2, cpu.a
+    cpu.f, cpu.f2 = cpu.f2, cpu.f
+
+
+def _body_exx(cpu):
+    cpu.b, cpu.b2 = cpu.b2, cpu.b
+    cpu.c, cpu.c2 = cpu.c2, cpu.c
+    cpu.d, cpu.d2 = cpu.d2, cpu.d
+    cpu.e, cpu.e2 = cpu.e2, cpu.e
+    cpu.h, cpu.h2 = cpu.h2, cpu.h
+    cpu.l, cpu.l2 = cpu.l2, cpu.l
+
+
+def _body_ex_de_hl(cpu):
+    cpu.d, cpu.e, cpu.h, cpu.l = cpu.h, cpu.l, cpu.d, cpu.e
+
+
+def _body_ld_sp_hl(cpu):
+    cpu.sp = (cpu.h << 8) | cpu.l
+
+
+def _body_rlca(cpu):
+    a = cpu.a
+    carry = a >> 7
+    cpu.a = ((a << 1) | carry) & 0xFF
+    f = cpu.f & ~(FLAG_C | FLAG_N | FLAG_H) & 0xFF
+    cpu.f = (f | FLAG_C) if carry else f
+
+
+def _body_rrca(cpu):
+    a = cpu.a
+    carry = a & 1
+    cpu.a = (a >> 1) | (carry << 7)
+    f = cpu.f & ~(FLAG_C | FLAG_N | FLAG_H) & 0xFF
+    cpu.f = (f | FLAG_C) if carry else f
+
+
+def _body_rla(cpu):
+    a = cpu.a
+    carry_in = cpu.f & FLAG_C
+    carry = a >> 7
+    cpu.a = ((a << 1) | carry_in) & 0xFF
+    f = cpu.f & ~(FLAG_C | FLAG_N | FLAG_H) & 0xFF
+    cpu.f = (f | FLAG_C) if carry else f
+
+
+def _body_rra(cpu):
+    a = cpu.a
+    carry_in = cpu.f & FLAG_C
+    carry = a & 1
+    cpu.a = (a >> 1) | (carry_in << 7)
+    f = cpu.f & ~(FLAG_C | FLAG_N | FLAG_H) & 0xFF
+    cpu.f = (f | FLAG_C) if carry else f
+
+
+def _body_daa(cpu):
+    cpu._daa()
+
+
+def _body_cpl(cpu):
+    cpu.a ^= 0xFF
+    cpu.f = (cpu.f | FLAG_N | FLAG_H) & 0xFF
+
+
+def _body_scf(cpu):
+    cpu.f = (cpu.f | FLAG_C) & ~(FLAG_N | FLAG_H) & 0xFF
+
+
+def _body_ccf(cpu):
+    f = cpu.f
+    had_carry = f & FLAG_C
+    f &= ~(FLAG_C | FLAG_N | FLAG_H) & 0xFF
+    cpu.f = (f | FLAG_H) if had_carry else (f | FLAG_C)
+
+
+_X0_Z7_BODIES = (_body_rlca, _body_rrca, _body_rla, _body_rra,
+                 _body_daa, _body_cpl, _body_scf, _body_ccf)
+
+
+# ---------------------------------------------------------------------------
+# Memory-op bodies (for _op_mem).
+# ---------------------------------------------------------------------------
+
+def _body_alu_hl(operation):
+    def body(cpu, memory):
+        cpu._alu(operation, memory.read8((cpu.h << 8) | cpu.l))
+    return body
+
+
+def _body_ld_pair_a(hi, lo):
+    def body(cpu, memory):
+        memory.write8((getattr(cpu, hi) << 8) | getattr(cpu, lo), cpu.a)
+    return body
+
+
+def _body_ld_a_pair(hi, lo):
+    def body(cpu, memory):
+        cpu.a = memory.read8((getattr(cpu, hi) << 8) | getattr(cpu, lo))
+    return body
+
+
+def _body_ld_nn_hl(addr):
+    def body(cpu, memory):
+        memory.write8(addr, cpu.l)
+        memory.write8((addr + 1) & 0xFFFF, cpu.h)
+    return body
+
+
+def _body_ld_hl_nn(addr):
+    def body(cpu, memory):
+        cpu.l = memory.read8(addr)
+        cpu.h = memory.read8((addr + 1) & 0xFFFF)
+    return body
+
+
+def _body_ld_nn_a(addr):
+    def body(cpu, memory):
+        memory.write8(addr, cpu.a)
+    return body
+
+
+def _body_ld_a_nn(addr):
+    def body(cpu, memory):
+        cpu.a = memory.read8(addr)
+    return body
+
+
+def _body_incdec_mhl(is_inc):
+    if is_inc:
+        def body(cpu, memory):
+            addr = (cpu.h << 8) | cpu.l
+            memory.write8(addr, cpu._inc8(memory.read8(addr)))
+    else:
+        def body(cpu, memory):
+            addr = (cpu.h << 8) | cpu.l
+            memory.write8(addr, cpu._dec8(memory.read8(addr)))
+    return body
+
+
+def _body_ld_mhl_n(value):
+    def body(cpu, memory):
+        memory.write8((cpu.h << 8) | cpu.l, value)
+    return body
+
+
+def _body_push(pair):
+    if pair == 3:
+        def body(cpu, memory):
+            sp = (cpu.sp - 2) & 0xFFFF
+            cpu.sp = sp
+            memory.write8(sp, cpu.f)
+            memory.write8((sp + 1) & 0xFFFF, cpu.a)
+        return body
+    hi, lo = _RP[pair]
+
+    def body(cpu, memory):
+        sp = (cpu.sp - 2) & 0xFFFF
+        cpu.sp = sp
+        memory.write8(sp, getattr(cpu, lo))
+        memory.write8((sp + 1) & 0xFFFF, getattr(cpu, hi))
+    return body
+
+
+def _body_pop(pair):
+    if pair == 3:
+        def body(cpu, memory):
+            sp = cpu.sp
+            cpu.f = memory.read8(sp)
+            cpu.a = memory.read8((sp + 1) & 0xFFFF)
+            cpu.sp = (sp + 2) & 0xFFFF
+        return body
+    hi, lo = _RP[pair]
+
+    def body(cpu, memory):
+        sp = cpu.sp
+        setattr(cpu, lo, memory.read8(sp))
+        setattr(cpu, hi, memory.read8((sp + 1) & 0xFFFF))
+        cpu.sp = (sp + 2) & 0xFFFF
+    return body
+
+
+def _body_ex_sp_hl(cpu, memory):
+    sp = cpu.sp
+    lo = memory.read8(sp)
+    hi = memory.read8((sp + 1) & 0xFFFF)
+    memory.write8(sp, cpu.l)
+    memory.write8((sp + 1) & 0xFFFF, cpu.h)
+    cpu.l = lo
+    cpu.h = hi
+
+
+# ---------------------------------------------------------------------------
+# CB-prefixed bodies.
+# ---------------------------------------------------------------------------
+
+def _bit_flags(cpu, value, bit_index):
+    """Replicates the slow path's BIT flag updates exactly."""
+    f = cpu.f & ~(FLAG_Z | FLAG_PV | 0x80 | FLAG_N) & 0xFF
+    f |= FLAG_H
+    if not value & (1 << bit_index):
+        f |= FLAG_Z | FLAG_PV
+    elif bit_index == 7:
+        f |= 0x80
+    cpu.f = f
+
+
+def _cb_closure(b1, np, fw):
+    """Specialized CB op (rot/shift, BIT, RES, SET) or None."""
+    x = b1 >> 6
+    y = (b1 >> 3) & 7
+    z = b1 & 7
+    if z == 6:
+        if x == 0:
+            def body(cpu, memory):
+                addr = (cpu.h << 8) | cpu.l
+                memory.write8(addr, cpu._rot(y, memory.read8(addr)))
+            return _op_mem(body, 2, 15, np, fw)
+        if x == 1:
+            def body(cpu, memory):
+                _bit_flags(cpu, memory.read8((cpu.h << 8) | cpu.l), y)
+            return _op_mem(body, 2, 12, np, fw)
+        if x == 2:
+            mask = ~(1 << y) & 0xFF
+
+            def body(cpu, memory):
+                addr = (cpu.h << 8) | cpu.l
+                memory.write8(addr, memory.read8(addr) & mask)
+            return _op_mem(body, 2, 15, np, fw)
+        bit = 1 << y
+
+        def body(cpu, memory):
+            addr = (cpu.h << 8) | cpu.l
+            memory.write8(addr, memory.read8(addr) | bit)
+        return _op_mem(body, 2, 15, np, fw)
+    name = _R8[z]
+    if x == 0:
+        def body(cpu):
+            setattr(cpu, name, cpu._rot(y, getattr(cpu, name)))
+        return _op_simple(body, 2, 8, np, fw)
+    if x == 1:
+        def body(cpu):
+            _bit_flags(cpu, getattr(cpu, name), y)
+        return _op_simple(body, 2, 8, np, fw)
+    if x == 2:
+        mask = ~(1 << y) & 0xFF
+
+        def body(cpu):
+            setattr(cpu, name, getattr(cpu, name) & mask)
+        return _op_simple(body, 2, 8, np, fw)
+    bit = 1 << y
+
+    def body(cpu):
+        setattr(cpu, name, getattr(cpu, name) | bit)
+    return _op_simple(body, 2, 8, np, fw)
+
+
+# ---------------------------------------------------------------------------
+# The decoder.
+# ---------------------------------------------------------------------------
+
+class _StopBlock(Exception):
+    """Internal: the block cannot extend past this point."""
+
+
+def _fetch_bytes(memory, pc, length, limit, pages):
+    """Instruction bytes + their fetch wait states; registers pages."""
+    if pc + length > limit:
+        raise _StopBlock
+    data = []
+    fw = 0
+    for i in range(length):
+        logical = pc + i
+        physical = memory.translate(logical)
+        if physical < FLASH_SIZE:
+            fw += memory.flash_wait_states
+            data.append(memory.flash[physical])
+        elif SRAM_BASE <= physical < SRAM_BASE + SRAM_SIZE:
+            fw += memory.sram_wait_states
+            data.append(memory.sram[physical - SRAM_BASE])
+        else:
+            raise _StopBlock  # unpopulated: let the slow path raise
+        pages.add(physical >> 8)
+    return data, fw
+
+
+def _decode_one(memory, pc, limit, pages):
+    """Decode the instruction at ``pc``; returns ``(op, next_pc, ender)``.
+
+    Raises :class:`_StopBlock` when the instruction cannot be decoded in
+    place (unpopulated fetch, crosses a mapping boundary, prefixed form
+    we treat as opaque) -- the caller ends the block before it.
+    """
+    (b0,), _ = _fetch_bytes(memory, pc, 1, limit, pages)
+
+    # Prefixes and other opaque forms first.
+    if b0 == 0xCB:
+        data, fw = _fetch_bytes(memory, pc, 2, limit, pages)
+        return _cb_closure(data[1], pc + 2, fw), pc + 2, False
+    if b0 == 0xED:
+        data, fw = _fetch_bytes(memory, pc, 2, limit, pages)
+        b1 = data[1]
+        x = b1 >> 6
+        y = (b1 >> 3) & 7
+        z = b1 & 7
+        if b1 == 0x67:          # LD XPC, A: bank-window change, ender
+            return _step_op, pc + 2, True
+        if b1 == 0x77:          # LD A, XPC
+            return _step_op, pc + 2, False
+        if x == 2 and z in (0, 1) and y >= 4:
+            return _op_ed_block(y, z, pc + 2, fw, pc), pc + 2, True
+        if x == 1:
+            if z in (0, 1):     # IN r,(C) / OUT (C),r: I/O, ender
+                return _step_op, pc + 2, True
+            if z == 5:          # RETN/RETI: control flow, ender
+                return _step_op, pc + 2, True
+            if z == 3:          # LD rp,(nn) / LD (nn),rp
+                _fetch_bytes(memory, pc, 4, limit, pages)
+                return _step_op, pc + 4, False
+            return _step_op, pc + 2, False
+        return _step_op, pc + 2, False  # ED NOP space
+    if b0 in (0xDD, 0xFD):
+        # IX/IY forms are rare in this repo's firmware; treat as opaque
+        # single-step enders (re-fetched at run time, always correct).
+        return _step_op, pc + 1, True
+
+    x = b0 >> 6
+    y = (b0 >> 3) & 7
+    z = b0 & 7
+
+    if x == 1:
+        if b0 == 0x76:          # HALT
+            return _step_op, pc + 1, True
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        np = pc + 1
+        if y == 6:
+            return _op_ld_mhl_r_fused(_R8[z], np, fw), np, False
+        if z == 6:
+            return _op_ld_r_mhl_fused(_R8[y], np, fw), np, False
+        return _op_ld_rr_fused(_R8[y], _R8[z], np, fw), np, False
+
+    if x == 2:
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        np = pc + 1
+        if z == 6:
+            if y in _LOGIC_OPS:
+                return _op_logic_mhl_fused(y, np, fw), np, False
+            return _op_mem(_body_alu_hl(y), 1, 7, np, fw), np, False
+        if y in _LOGIC_OPS:
+            return _op_logic_r_fused(y, _R8[z], np, fw), np, False
+        return _op_arith_r_fused(y, _R8[z], np, fw), np, False
+
+    if x == 0:
+        return _decode_x0(memory, pc, y, z, limit, pages)
+    return _decode_x3(memory, pc, b0, y, z, limit, pages)
+
+
+def _decode_x0(memory, pc, y, z, limit, pages):
+    if z == 0:
+        if y <= 1:              # NOP / EX AF, AF'
+            _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+            body = _body_ex_af if y else (lambda cpu: None)
+            return _op_simple(body, 1, 4, pc + 1, fw), pc + 1, False
+        data, fw = _fetch_bytes(memory, pc, 2, limit, pages)
+        offset = data[1] - 256 if data[1] & 0x80 else data[1]
+        np = pc + 2
+        target = (np + offset) & 0xFFFF
+        if y == 2:
+            return _op_djnz(target, np, fw), np, True
+        if y == 3:
+            return _op_jr(target, fw), np, True
+        cc = y - 4
+        return (_op_jr(target, fw, np=np, mask=_CC_MASK[cc],
+                       want=bool(cc & 1)), np, True)
+    if z == 1:
+        pair = y >> 1
+        if y & 1:               # ADD HL, rp
+            _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+            return (_op_simple(_body_add_hl(pair), 1, 11, pc + 1, fw),
+                    pc + 1, False)
+        data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+        nn = data[1] | (data[2] << 8)
+        return (_op_simple(_body_ld_rp_nn(pair, nn), 3, 10, pc + 3, fw),
+                pc + 3, False)
+    if z == 2:
+        if y < 4:
+            _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+            hi, lo = ("b", "c") if y < 2 else ("d", "e")
+            body = (_body_ld_a_pair(hi, lo) if y & 1
+                    else _body_ld_pair_a(hi, lo))
+            return _op_mem(body, 1, 7, pc + 1, fw), pc + 1, False
+        data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+        addr = data[1] | (data[2] << 8)
+        np = pc + 3
+        if y == 4:
+            return _op_mem(_body_ld_nn_hl(addr), 3, 16, np, fw), np, False
+        if y == 5:
+            return _op_mem(_body_ld_hl_nn(addr), 3, 16, np, fw), np, False
+        if y == 6:
+            return _op_mem(_body_ld_nn_a(addr), 3, 13, np, fw), np, False
+        return _op_mem(_body_ld_a_nn(addr), 3, 13, np, fw), np, False
+    if z == 3:
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        delta = -1 if y & 1 else 1
+        return (_op_simple(_body_incdec_rp(y >> 1, delta), 1, 6, pc + 1, fw),
+                pc + 1, False)
+    if z == 4 or z == 5:
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        np = pc + 1
+        if y == 6:
+            return (_op_mem(_body_incdec_mhl(z == 4), 1, 11, np, fw),
+                    np, False)
+        return _op_incdec_r_fused(_R8[y], z == 4, np, fw), np, False
+    if z == 6:
+        data, fw = _fetch_bytes(memory, pc, 2, limit, pages)
+        value = data[1]
+        np = pc + 2
+        if y == 6:
+            return _op_mem(_body_ld_mhl_n(value), 2, 10, np, fw), np, False
+        return _op_ld_rn_fused(_R8[y], value, np, fw), np, False
+    # z == 7: rotates on A, DAA, CPL, SCF, CCF
+    _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+    return (_op_simple(_X0_Z7_BODIES[y], 1, 4, pc + 1, fw), pc + 1, False)
+
+
+def _decode_x3(memory, pc, b0, y, z, limit, pages):
+    if z == 0:                  # RET cc
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        np = pc + 1
+        return (_op_ret(fw, np=np, mask=_CC_MASK[y], want=bool(y & 1)),
+                np, True)
+    if z == 1:
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        np = pc + 1
+        if y & 1:
+            if y == 1:          # RET
+                return _op_ret(fw), np, True
+            if y == 3:          # EXX
+                return _op_simple(_body_exx, 1, 4, np, fw), np, False
+            if y == 5:          # JP (HL)
+                return _op_jp_hl(fw), np, True
+            return (_op_simple(_body_ld_sp_hl, 1, 6, np, fw), np, False)
+        return _op_mem(_body_pop(y >> 1), 1, 10, np, fw), np, False
+    if z == 2:                  # JP cc, nn
+        data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+        addr = data[1] | (data[2] << 8)
+        np = pc + 3
+        return (_op_jp_cc(addr, np, _CC_MASK[y], bool(y & 1), fw), np, True)
+    if z == 3:
+        if y == 0:              # JP nn
+            data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+            return _op_jp(data[1] | (data[2] << 8), 3, fw), pc + 3, True
+        if y in (2, 3):         # OUT (n),A / IN A,(n): I/O, ender
+            _fetch_bytes(memory, pc, 2, limit, pages)
+            return _step_op, pc + 2, True
+        if y == 4:              # EX (SP), HL
+            _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+            return (_op_mem(_body_ex_sp_hl, 1, 19, pc + 1, fw),
+                    pc + 1, False)
+        if y == 5:              # EX DE, HL
+            _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+            return (_op_simple(_body_ex_de_hl, 1, 4, pc + 1, fw),
+                    pc + 1, False)
+        # DI / EI: interrupt state, ender
+        return _step_op, pc + 1, True
+    if z == 4:                  # CALL cc, nn
+        data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+        addr = data[1] | (data[2] << 8)
+        np = pc + 3
+        return (_op_call(addr, np, fw, mask=_CC_MASK[y], want=bool(y & 1)),
+                np, True)
+    if z == 5:
+        if y == 1:              # CALL nn
+            data, fw = _fetch_bytes(memory, pc, 3, limit, pages)
+            addr = data[1] | (data[2] << 8)
+            return _op_call(addr, pc + 3, fw), pc + 3, True
+        _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+        return (_op_mem(_body_push(y >> 1), 1, 11, pc + 1, fw),
+                pc + 1, False)
+    if z == 6:                  # ALU A, n
+        data, fw = _fetch_bytes(memory, pc, 2, limit, pages)
+        if y in _LOGIC_OPS:
+            return (_op_logic_n_fused(y, data[1], pc + 2, fw),
+                    pc + 2, False)
+        return (_op_arith_n_fused(y, data[1], pc + 2, fw), pc + 2, False)
+    # z == 7: RST y*8
+    _, fw = _fetch_bytes(memory, pc, 1, limit, pages)
+    return _op_rst(y * 8, pc + 1, fw), pc + 1, True
+
+
+# ---------------------------------------------------------------------------
+# The cache.
+# ---------------------------------------------------------------------------
+
+class BlockCache:
+    """Decoded basic blocks plus the invalidation machinery.
+
+    Blocks are ``(ops, end)`` tuples: the closures, and the logical
+    address one past the last decoded byte (used by ``call_subroutine``
+    to detect a stop address interior to the block).
+    """
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.memory = cpu.memory
+        self.blocks: dict[int, tuple] = {}
+        self._page_blocks: dict[int, set] = {}
+        #: Raised by invalidation; executors re-dispatch when set.
+        self.bail = False
+        self.decoded_blocks = 0
+        self.executed_blocks = 0
+        self._wait_states = (self.memory.flash_wait_states,
+                             self.memory.sram_wait_states)
+        self.memory.block_cache = self
+
+    def check_wait_states(self) -> None:
+        """Drop everything if the wait-state model changed (fetch wait
+        states are baked into the closures at decode time)."""
+        wait_states = (self.memory.flash_wait_states,
+                       self.memory.sram_wait_states)
+        if wait_states != self._wait_states:
+            self._wait_states = wait_states
+            self.invalidate_all()
+
+    def invalidate_all(self) -> None:
+        self.blocks.clear()
+        pages = self.memory._code_pages
+        for page in self._page_blocks:
+            pages[page] = 0
+        self._page_blocks.clear()
+        self.bail = True
+
+    def code_written(self, physical: int) -> None:
+        """A write landed on a page holding decoded code."""
+        page = physical >> 8
+        keys = self._page_blocks.pop(page, None)
+        if keys:
+            blocks = self.blocks
+            for key in keys:
+                blocks.pop(key, None)
+        self.memory._code_pages[page] = 0
+        self.bail = True
+
+    def build_block(self, pc: int, key: int) -> tuple:
+        memory = self.memory
+        ops: list = []
+        pages: set = set()
+        limit = 0xE000 if pc < 0xE000 else 0x10000
+        cursor = pc
+        try:
+            while len(ops) < MAX_BLOCK_INSTRUCTIONS:
+                op, next_pc, ender = _decode_one(memory, cursor, limit,
+                                                 pages)
+                ops.append(op)
+                cursor = next_pc
+                if ender:
+                    break
+        except _StopBlock:
+            pass
+        if not ops:
+            # Undecodable in place (crosses a mapping boundary, or an
+            # unpopulated fetch): one generic step, re-fetched at run
+            # time -- content-independent, so no pages to watch.
+            block = ((_step_op,), pc + 1)
+            self.blocks[key] = block
+            self.decoded_blocks += 1
+            return block
+        block = (tuple(ops), cursor)
+        page_map = memory._code_pages
+        page_blocks = self._page_blocks
+        for page in pages:
+            page_map[page] = 1
+            keys = page_blocks.get(page)
+            if keys is None:
+                keys = page_blocks[page] = set()
+            keys.add(key)
+        self.blocks[key] = block
+        self.decoded_blocks += 1
+        return block

@@ -58,6 +58,11 @@ class RabbitMemory:
         self.wait_cycles = 0
         self.reads = 0
         self.writes = 0
+        #: Pages (256-byte physical granules) holding predecoded code.
+        #: Marked by the CPU's block cache; a write to a marked page
+        #: notifies the cache so stale blocks are dropped.
+        self._code_pages = bytearray(PHYS_SIZE >> 8)
+        self.block_cache = None
 
     # -- address translation --------------------------------------------
     def translate(self, logical: int) -> int:
@@ -95,22 +100,69 @@ class RabbitMemory:
                 )
             self.wait_cycles += self.flash_wait_states
             self.flash[physical - FLASH_BASE] = value & 0xFF
+            if self._code_pages[physical >> 8]:
+                self.block_cache.code_written(physical)
             return
         if SRAM_BASE <= physical < SRAM_BASE + SRAM_SIZE:
             self.wait_cycles += self.sram_wait_states
             self.sram[physical - SRAM_BASE] = value & 0xFF
+            if self._code_pages[physical >> 8]:
+                self.block_cache.code_written(physical)
             return
         if self.strict:
             raise MemoryError_(f"write to unpopulated {physical:#07x}")
 
     # -- CPU-facing logical access --------------------------------------------
+    # read8/write8 are the emulator's innermost loop, so the common
+    # segments (root -> flash, data -> SRAM) are inlined rather than
+    # funneled through translate()/read_physical(); counters and error
+    # behavior are identical.
     def read8(self, logical: int) -> int:
         self.reads += 1
-        return self.read_physical(self.translate(logical))
+        logical &= 0xFFFF
+        if logical < ROOT_TOP:
+            self.wait_cycles += self.flash_wait_states
+            return self.flash[logical]
+        if logical < DATA_TOP:
+            self.wait_cycles += self.sram_wait_states
+            return self.sram[logical - DATA_BASE]
+        physical = ((self.xpc << 12) + (logical - WINDOW_BASE)) % PHYS_SIZE
+        if physical < FLASH_SIZE:
+            self.wait_cycles += self.flash_wait_states
+            return self.flash[physical]
+        if SRAM_BASE <= physical < SRAM_BASE + SRAM_SIZE:
+            self.wait_cycles += self.sram_wait_states
+            return self.sram[physical - SRAM_BASE]
+        if self.strict:
+            raise MemoryError_(f"read from unpopulated {physical:#07x}")
+        return 0xFF
 
     def write8(self, logical: int, value: int) -> None:
         self.writes += 1
+        logical &= 0xFFFF
+        if ROOT_TOP <= logical < DATA_TOP:
+            self.wait_cycles += self.sram_wait_states
+            offset = logical - DATA_BASE
+            self.sram[offset] = value & 0xFF
+            physical = SRAM_BASE + offset
+            if self._code_pages[physical >> 8]:
+                self.block_cache.code_written(physical)
+            return
         self.write_physical(self.translate(logical), value)
+
+    def peek8(self, logical: int) -> int | None:
+        """Counter-free read for decoders and profilers.
+
+        Does not touch ``reads``/``wait_cycles`` and never raises:
+        unpopulated addresses return ``None`` (callers fall back to the
+        counting path, which reproduces the strict-mode error).
+        """
+        physical = self.translate(logical)
+        if physical < FLASH_SIZE:
+            return self.flash[physical]
+        if SRAM_BASE <= physical < SRAM_BASE + SRAM_SIZE:
+            return self.sram[physical - SRAM_BASE]
+        return None
 
     # -- loading / inspection ---------------------------------------------------
     def load_flash(self, data: bytes, offset: int = 0) -> None:
@@ -120,11 +172,15 @@ class RabbitMemory:
                 f"image of {len(data)} bytes at {offset:#x} exceeds flash"
             )
         self.flash[offset: offset + len(data)] = data
+        if self.block_cache is not None:
+            self.block_cache.invalidate_all()
 
     def load_sram(self, data: bytes, physical_offset: int = 0) -> None:
         if physical_offset + len(data) > SRAM_SIZE:
             raise MemoryError_("image exceeds SRAM")
         self.sram[physical_offset: physical_offset + len(data)] = data
+        if self.block_cache is not None:
+            self.block_cache.invalidate_all()
 
     def dump(self, logical: int, length: int) -> bytes:
         return bytes(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.dync.runtime.costate import CostateScheduler, waitfor
+from repro.dync.runtime.costate import CostateScheduler
 from repro.dync.runtime.xalloc import XallocError
 from repro.issl.api import issl_bind
 from repro.issl.session import (
@@ -289,10 +289,11 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
         # Wait for establishment -- or for the embryonic connection to
         # die under us (lost handshake, immediate RST).  Without the
         # second arm this handler would wedge forever on a connection
-        # that will never establish.
-        yield from waitfor(
-            lambda: stack.sock_established(sock) or _sock_dead(sock)
-        )
+        # that will never establish.  Inlined waitfor: this poll runs
+        # every big-loop pass for every idle handler, and the generator
+        # plus lambda indirection dominated fault-campaign profiles.
+        while not (stack.sock_established(sock) or _sock_dead(sock)):
+            yield
         if not stack.sock_established(sock):
             log(f"redirector: {label}: connection died before established")
             stack.sock_abort(sock)
@@ -350,10 +351,12 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
             None if backend_timeout_s is None
             else sim.now + backend_timeout_s
         )
-        yield from waitfor(
-            lambda: stack.sock_established(backend) or _sock_dead(backend)
-            or (backend_deadline is not None and sim.now >= backend_deadline)
-        )
+        while not (
+            stack.sock_established(backend) or _sock_dead(backend)
+            or (backend_deadline is not None
+                and sim.now >= backend_deadline)
+        ):
+            yield
         if not stack.sock_established(backend):
             ctr_backend_errors.inc()
             log(f"redirector: {label}: backend unreachable")

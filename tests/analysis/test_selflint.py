@@ -21,7 +21,8 @@ REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 LINTED_TREES = [
     REPO / "examples",
     REPO / "src" / "repro" / "services",
-    REPO / "src" / "repro" / "rabbit" / "programs",
+    REPO / "src" / "repro" / "rabbit",
+    REPO / "src" / "repro" / "crypto",
     REPO / "src" / "repro" / "experiments",
     REPO / "src" / "repro" / "dync",
     REPO / "src" / "repro" / "obs",

@@ -2,6 +2,7 @@
 
 from repro.bench.gate import (
     CLAIMS,
+    SLOW_PATH_WALL_SECONDS,
     Claim,
     evaluate_gate,
 )
@@ -107,3 +108,28 @@ class TestGateRendering:
     def test_format_verbose_lists_ok_claims(self, snapshot):
         text = evaluate_gate(snapshot).format(verbose=True)
         assert "order of magnitude" in text
+
+
+class TestSpeedWarning:
+    """The warn-only harness-speed claim: a full run at or above the
+    recorded slow-path wall clock warns but never fails the gate."""
+
+    def test_fast_full_run_has_no_warning(self, snapshot):
+        report = evaluate_gate(snapshot)
+        assert report.speed_warnings == []
+
+    def test_slow_full_run_warns_without_failing(self, snapshot):
+        snapshot["wall_seconds"]["total"] = SLOW_PATH_WALL_SECONDS + 1.0
+        report = evaluate_gate(snapshot)
+        assert len(report.speed_warnings) == 1
+        assert "fast" in report.speed_warnings[0]
+        assert report.ok  # warn-only: wall clock never fails the gate
+        text = report.format()
+        assert "warning (speed, non-fatal)" in text
+        assert "verdict: PASS" in text
+
+    def test_quick_workload_never_warns(self, snapshot):
+        snapshot["workload"] = "quick"
+        snapshot["wall_seconds"]["total"] = SLOW_PATH_WALL_SECONDS + 1.0
+        report = evaluate_gate(snapshot)
+        assert report.speed_warnings == []

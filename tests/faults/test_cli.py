@@ -66,6 +66,19 @@ class TestMatrixCli:
             assert completed.returncode == 0, completed.stderr
         assert first.read_bytes() == second.read_bytes()
 
+    def test_jobs_fanout_byte_identical_to_sequential(self, tmp_path):
+        """``--jobs 4`` merges child results in scenario order, so the
+        report bytes match a sequential run for the same seed."""
+        sequential = tmp_path / "sequential.json"
+        fanned = tmp_path / "fanned.json"
+        for out, jobs in ((sequential, "1"), (fanned, "4")):
+            completed = _run_module(
+                "matrix", "--only", SUBSET, "--seed", "11",
+                "--jobs", jobs, "--out", str(out), "--summary",
+            )
+            assert completed.returncode == 0, completed.stderr
+        assert sequential.read_bytes() == fanned.read_bytes()
+
     def test_stdout_json_is_the_canonical_encoding(self):
         completed = _run_module("run", "baseline")
         assert completed.returncode == 0, completed.stderr

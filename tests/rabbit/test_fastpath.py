@@ -1,0 +1,189 @@
+"""Fast-core equivalence: block-cached dispatch vs the single-step core.
+
+The predecoded basic-block cache (``repro.rabbit.fastcore``) must be
+observationally identical to the per-step fetch/decode path: same final
+registers, same memory image, same cycle/instruction/read/write/wait
+counters, on every workload.  These tests run the same firmware under
+both cores and diff the complete machine state, plus the cases that can
+only go wrong in a block cache: self-modifying code, reprogramming
+flash, and the profiler fallback.
+
+The paper's Figure 3 redirector exists in this repo as Dynamic C
+*source* (``repro.rabbit.programs.redirector_dc``, parsed by dclint,
+never lowered to machine code), so the interrupt-driven firmware that
+stands in for it on the emulated board is the Section 5.1 serial debug
+monitor -- the one real firmware with an ISR, I/O, and a main loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rabbit.asm import assemble
+from repro.rabbit.board import Board
+from repro.rabbit.cpu import Cpu, CpuError
+from repro.rabbit.programs.aes_asm import AesAsm
+from repro.rabbit.programs.serial_debug import SerialDebugMonitor
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+BLOCK = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def _machine_state(board: Board) -> dict:
+    """The complete observable machine state, for exact comparison."""
+    cpu, memory = board.cpu, board.memory
+    return {
+        "regs": (cpu.a, cpu.f, cpu.b, cpu.c, cpu.d, cpu.e, cpu.h, cpu.l,
+                 cpu.a2, cpu.f2, cpu.b2, cpu.c2, cpu.d2, cpu.e2,
+                 cpu.h2, cpu.l2, cpu.ix, cpu.iy, cpu.sp, cpu.pc,
+                 cpu.i, cpu.r, cpu.iff1, cpu.iff2, cpu.im, cpu.halted),
+        "cycles": cpu.cycles,
+        "instructions": cpu.instructions,
+        "reads": memory.reads,
+        "writes": memory.writes,
+        "wait_cycles": memory.wait_cycles,
+        "xpc": memory.xpc,
+        "flash": bytes(memory.flash),
+        "sram": bytes(memory.sram),
+    }
+
+
+def _aes_workload(board: Board) -> list:
+    """Key schedule + encrypt + decrypt on the emulated board."""
+    aes = AesAsm(board)
+    outputs = []
+    aes.set_key(KEY)
+    outputs.append(aes.encrypt_block(BLOCK))
+    outputs.append(aes.decrypt_block(outputs[0][0]))
+    return outputs
+
+
+def _serial_workload(board: Board) -> list:
+    """Boot the serial monitor and drive its ISR (Section 5.1)."""
+    monitor = SerialDebugMonitor(board)
+    monitor.boot()
+    outputs = []
+    for command in (b"s", b"r", b"s", b"R", b"s"):
+        outputs.append(monitor.send_command(command))
+    outputs.append((monitor.counter, monitor.saved_counter))
+    outputs.append(monitor.interrupt_latency())
+    return outputs
+
+
+@pytest.mark.parametrize("workload", [_aes_workload, _serial_workload],
+                         ids=["aes_asm", "serial_monitor"])
+def test_cores_observationally_identical(workload):
+    fast_board, slow_board = Board(), Board()
+    slow_board.cpu.use_fast_core = False
+    fast_outputs = workload(fast_board)
+    slow_outputs = workload(slow_board)
+    assert fast_outputs == slow_outputs
+    assert _machine_state(fast_board) == _machine_state(slow_board)
+    # The fast run must actually have taken the fast path.
+    cache = fast_board.cpu._cache
+    assert cache is not None and cache.executed_blocks > 0
+    assert slow_board.cpu._cache is None
+
+
+# Runs from SRAM (flash is write-protected): the store patches the
+# operand of an instruction *ahead* of it in the same straight-line
+# run, so a block cache that misses the write executes the stale
+# `ld b, 0x11` image.  The loop runs twice so the patched copy is also
+# re-dispatched from a rebuilt block.
+SELF_MODIFYING = """
+entry:  ld   c, 2           ; two passes
+        ld   a, 0x22        ; patch operand
+loop:   ld   (patch + 1), a ; self-modifying store, same 256-byte page
+patch:  ld   b, 0x11        ; operand is overwritten to 0x22
+        ld   a, b
+        dec  c
+        jp   nz, loop
+        ld   (0xC050), a    ; park the result for the harness
+        halt
+"""
+
+STUB_BASE = 0xC100  # logical; SRAM physical offset 0x100
+
+
+def _load_stub(board: Board):
+    assembly = assemble(SELF_MODIFYING, origin=STUB_BASE)
+    board.memory.load_sram(assembly.code, STUB_BASE - 0xC000)
+    return assembly
+
+
+def test_self_modifying_code_invalidates_blocks():
+    fast_board, slow_board = Board(), Board()
+    slow_board.cpu.use_fast_core = False
+    for board in (fast_board, slow_board):
+        assembly = _load_stub(board)
+        with pytest.raises(CpuError, match="HALT"):
+            board.cpu.call_subroutine(assembly.symbols["entry"],
+                                      max_instructions=200)
+    assert fast_board.memory.sram[0x50] == 0x22  # patched value won
+    assert _machine_state(fast_board) == _machine_state(slow_board)
+    cache = fast_board.cpu._cache
+    assert cache.executed_blocks > 0
+    # The store landed on a watched code page and dropped its blocks.
+    assert cache.decoded_blocks > len(cache.blocks)
+
+
+def test_reloading_memory_invalidates_everything():
+    board = Board()
+    aes = AesAsm(board)
+    aes.set_key(KEY)
+    aes.encrypt_block(BLOCK)
+    cache = board.cpu._cache
+    assert cache.blocks
+    assembly = _load_stub(board)  # load_sram flushes the block cache
+    assert not cache.blocks
+    with pytest.raises(CpuError, match="HALT"):
+        board.cpu.call_subroutine(assembly.symbols["entry"],
+                                  max_instructions=200)
+    assert board.memory.sram[0x50] == 0x22
+
+
+def test_run_cycles_budget_identical():
+    fast_board, slow_board = Board(), Board()
+    slow_board.cpu.use_fast_core = False
+    for board in (fast_board, slow_board):
+        monitor = SerialDebugMonitor(board)
+        monitor.boot(cycles=1234)
+    assert _machine_state(fast_board) == _machine_state(slow_board)
+
+
+def test_instruction_budget_exhaustion_identical():
+    errors = []
+    for fast in (True, False):
+        board = Board()
+        board.cpu.use_fast_core = fast
+        assembly = _load_stub(board)
+        with pytest.raises(CpuError) as excinfo:
+            board.cpu.call_subroutine(assembly.symbols["entry"],
+                                      max_instructions=5)
+        errors.append(str(excinfo.value))
+        assert board.cpu.instructions == 5
+    assert errors[0] == errors[1]
+
+
+def test_profiler_install_falls_back_to_step_path():
+    from repro.obs import Obs
+    from repro.obs.profile import CycleProfiler
+
+    board = Board()
+    aes = AesAsm(board)
+    aes.set_key(KEY)
+    baseline_blocks = board.cpu._cache.executed_blocks
+    profiler = CycleProfiler(
+        board.cpu, {"aes": 0x0000}, tracer=Obs().tracer
+    )
+    with profiler:
+        assert not board.cpu._fast_eligible()
+        aes.encrypt_block(BLOCK)
+        # Instrumented run: every instruction went through the profiled
+        # step, none through the block dispatcher.
+        assert board.cpu._cache.executed_blocks == baseline_blocks
+        assert profiler.total_cycles > 0
+    # Uninstall restores the fast path.
+    assert board.cpu._fast_eligible()
+    aes.encrypt_block(BLOCK)
+    assert board.cpu._cache.executed_blocks > baseline_blocks
