@@ -8,13 +8,20 @@ and everything must fit in 128 KB of SRAM.  Every one of those rules was
 discovered by hand, at runtime, on the board.  This package checks them
 statically:
 
-* Layer 1 (``rules``): AST rules DC001..DC006 over
+* Layer 1 (``rules``): syntactic AST rules DC001..DC007 over
   :mod:`repro.dync.compiler` parse trees.
-* Layer 2 (``pychecks``): Python-source checks PY101..PY104 over code
-  that uses :mod:`repro.dync.runtime`, plus extraction of embedded
-  Dynamic C sources from Python string literals.
+* Flow layer (``flow``): the dcflow engine -- per-function CFGs that
+  model costatement scheduling boundaries, a generic worklist solver,
+  and canned analyses (reaching definitions, liveness, the
+  interrupt-enable lattice) -- carrying the flow-sensitive rules
+  DC008..DC012.
+* Layer 2 (``pychecks``): Python-source checks PY101..PY106 over code
+  that uses :mod:`repro.dync.runtime` (including the PY105/PY106
+  determinism sanitizer), plus extraction of embedded Dynamic C
+  sources from Python string literals.
 
-CLI: ``python -m repro.analysis <paths...> [--format=text|json]``.
+CLI: ``python -m repro.analysis <paths...> [--format=text|json]
+[--jobs N]``.
 """
 
 from repro.analysis.config import LintConfig

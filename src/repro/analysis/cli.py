@@ -16,16 +16,30 @@ from repro.analysis.config import DEFAULT_CONFIG, LintConfig
 from repro.analysis.engine import analyze_paths, worst_severity
 from repro.diagnostics import Severity, format_text
 
+#: JSON envelope version.  2 added the ``rules`` inventory, renamed
+#: ``version`` to ``schema_version``, and guaranteed diagnostics sorted
+#: by (file, line, col, rule).
+SCHEMA_VERSION = 2
+
+#: Every rule the tool can emit, in stable report order.
+RULE_IDS = tuple(
+    [f"DC{n:03d}" for n in range(1, 13)]
+    + [f"PY{n}" for n in (101, 102, 103, 104, 105, 106)]
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="dclint: static porting-pitfall analysis for the "
-                    "Dynamic C subset (rules DC001..DC006, PY101..PY104)",
+                    "Dynamic C subset (rules DC001..DC012, PY101..PY106)",
     )
     parser.add_argument("paths", nargs="+",
                         help=".c/.dc/.py files or directories to lint")
     parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint N files in parallel (output is "
+                             "byte-identical at any job count)")
     parser.add_argument("--max-costates", type=int,
                         default=DEFAULT_CONFIG.max_costates,
                         help="DC003 request-costatement cap (default: "
@@ -48,8 +62,11 @@ def main(argv: list[str] | None = None) -> int:
         max_costates=args.max_costates,
         data_placement=args.data_placement,
     )
+    if args.jobs < 1:
+        print("dclint: --jobs must be at least 1", file=sys.stderr)
+        return 2
     try:
-        diagnostics = analyze_paths(args.paths, config)
+        diagnostics = analyze_paths(args.paths, config, jobs=args.jobs)
     except OSError as error:
         print(f"dclint: {error}", file=sys.stderr)
         return 2
@@ -59,7 +76,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.format == "json":
         print(json.dumps({
             "tool": "dclint",
-            "version": 1,
+            "schema_version": SCHEMA_VERSION,
+            "rules": list(RULE_IDS),
             "diagnostics": [d.to_dict() for d in diagnostics],
             "summary": {"errors": errors, "warnings": warnings,
                         "notes": notes},

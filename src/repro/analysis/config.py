@@ -27,6 +27,18 @@ DEFAULT_BLOCKING_CALLS = frozenset({
 #: Functions whose return value is an xmem (20-bit physical) pointer.
 DEFAULT_XMEM_ALLOCATORS = frozenset({"xalloc", "xavail_alloc"})
 
+#: Interrupt-mask intrinsics (paper, Figure 1): ``ipset(n)`` pushes a
+#: priority level onto the Rabbit IP register, ``ipres()`` rotates the
+#: previous one back.  DC009's interrupt-enable lattice tracks these.
+DEFAULT_IPSET_CALLS = frozenset({"ipset"})
+DEFAULT_IPRES_CALLS = frozenset({"ipres"})
+
+#: Functions returning a root pointer into the 8 KB XPC bank window
+#: (codegen's WINDOW_BASE at 0xE000).  The mapping is hardware state:
+#: the next costatement to run may remap it, so DC012 flags any such
+#: pointer still used after a yield point.
+DEFAULT_WINDOW_MAP_CALLS = frozenset({"xmem_window", "xpc_window"})
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -47,6 +59,13 @@ class LintConfig:
 
     #: DC006: calls returning xmem physical pointers.
     xmem_allocators: frozenset = DEFAULT_XMEM_ALLOCATORS
+
+    #: DC009: interrupt-mask intrinsics tracked by the flow lattice.
+    ipset_calls: frozenset = DEFAULT_IPSET_CALLS
+    ipres_calls: frozenset = DEFAULT_IPRES_CALLS
+
+    #: DC012: calls returning root pointers into the XPC bank window.
+    window_map_calls: frozenset = DEFAULT_WINDOW_MAP_CALLS
 
     #: DC007: constant-bound loops with at most this many iterations are
     #: routine compute, not big-loop starvation.

@@ -11,16 +11,26 @@ Entry points:
 A line containing ``dclint: allow(DC001)`` (in a comment; several rules
 comma-separated) suppresses those rules on that line and the next --
 the escape hatch for deliberate demonstrations of the bug classes.
+
+``analyze_paths(..., jobs=N)`` fans individual files out across a
+process pool and merges per-file results in input order (the same
+order-preserving pattern :mod:`repro.bench.snapshot` uses), so the
+diagnostic stream is byte-identical at any job count.
 """
 
 from __future__ import annotations
 
 import ast
 import dataclasses
+import multiprocessing
 import pathlib
 
 from repro.analysis.config import ALLOW_RE, DEFAULT_CONFIG, LintConfig
-from repro.analysis.pychecks import check_python_source, extract_embedded_sources
+from repro.analysis.pychecks import (
+    check_determinism,
+    check_python_source,
+    extract_embedded_sources,
+)
 from repro.analysis.rules import run_all
 from repro.diagnostics import Diagnostic, DiagnosticSink, Severity
 from repro.dync.compiler.lexer import LexError
@@ -87,6 +97,7 @@ def analyze_python_source(source: str, file: str = "<source>",
                    line=error.lineno or 0, col=error.offset or 0)
         return sink.diagnostics
     check_python_source(tree, sink)
+    check_determinism(tree, sink)
     diagnostics = _apply_suppressions(sink.diagnostics, source)
     for lineno, embedded in extract_embedded_sources(tree):
         diagnostics.extend(
@@ -96,31 +107,56 @@ def analyze_python_source(source: str, file: str = "<source>",
     return diagnostics
 
 
-def analyze_path(path: str | pathlib.Path,
-                 config: LintConfig = DEFAULT_CONFIG) -> list[Diagnostic]:
-    """Lint one file or every ``.py``/``.c``/``.dc`` file under a tree."""
-    path = pathlib.Path(path)
-    if path.is_dir():
-        files = sorted(
-            p for p in path.rglob("*")
-            if p.suffix in DYNC_SUFFIXES + (".py",)
-            and "__pycache__" not in p.parts
-        )
-        diagnostics = []
-        for file_ in files:
-            diagnostics.extend(analyze_path(file_, config))
-        return diagnostics
+def expand_paths(paths) -> list[pathlib.Path]:
+    """Flatten files-and-directories into the lintable file list."""
+    files: list[pathlib.Path] = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            files.extend(sorted(
+                p for p in path.rglob("*")
+                if p.suffix in DYNC_SUFFIXES + (".py",)
+                and "__pycache__" not in p.parts
+            ))
+        else:
+            files.append(path)
+    return files
+
+
+def _analyze_file(task: tuple[str, LintConfig]) -> list[Diagnostic]:
+    """One file's diagnostics (module-level so Pool.map can pickle it)."""
+    file_, config = task
+    path = pathlib.Path(file_)
     source = path.read_text()
     if path.suffix in DYNC_SUFFIXES:
         return analyze_dync_source(source, file=str(path), config=config)
     return analyze_python_source(source, file=str(path), config=config)
 
 
-def analyze_paths(paths, config: LintConfig = DEFAULT_CONFIG
-                  ) -> list[Diagnostic]:
+def analyze_path(path: str | pathlib.Path,
+                 config: LintConfig = DEFAULT_CONFIG) -> list[Diagnostic]:
+    """Lint one file or every ``.py``/``.c``/``.dc`` file under a tree."""
     diagnostics = []
-    for path in paths:
-        diagnostics.extend(analyze_path(path, config))
+    for file_ in expand_paths([path]):
+        diagnostics.extend(_analyze_file((str(file_), config)))
+    return diagnostics
+
+
+def analyze_paths(paths, config: LintConfig = DEFAULT_CONFIG,
+                  jobs: int = 1) -> list[Diagnostic]:
+    """Lint many paths; ``jobs > 1`` fans files across a process pool.
+
+    Pool.map preserves input order, so the merged stream -- and the
+    final sorted output -- is identical at any job count.
+    """
+    files = expand_paths(paths)
+    tasks = [(str(file_), config) for file_ in files]
+    if jobs > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            per_file = pool.map(_analyze_file, tasks)
+    else:
+        per_file = [_analyze_file(task) for task in tasks]
+    diagnostics = [d for file_diags in per_file for d in file_diags]
     return sorted(diagnostics, key=Diagnostic.sort_key)
 
 

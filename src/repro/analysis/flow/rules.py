@@ -1,0 +1,383 @@
+"""dclint flow-sensitive rules DC008..DC012, built on the dcflow engine.
+
+Where DC001..DC007 pattern-match the AST, these rules reason about
+*paths*: the CFG models costatement scheduling boundaries, and the
+worklist analyses answer "on some path" / "on every path" questions the
+paper's pitfalls actually pose:
+
+* DC008 -- a global read in ``main`` that is initialized on some paths
+  but not all of them (reaching definitions).
+* DC009 -- the flow-sensitive torn-access detector: when a program
+  manipulates the interrupt mask (``ipset``/``ipres``), an unshared
+  multibyte global touched in main context is safe exactly when every
+  access happens with interrupts provably masked (the Figure 1 bracket)
+  -- the interrupt-enable lattice proves or refutes that per path,
+  retiring DC004's syntactic false positives and catching escapes its
+  syntactic check cannot see.
+* DC010 -- statements no path can execute (after ``abort``, after a
+  ``waitfor (0)`` that can never become true, after ``return``).
+* DC011 -- a ``waitfor`` condition whose variables are never written by
+  any ISR, other costatement, or callee: nothing that runs while the
+  costatement waits can make it true.
+* DC012 -- a root pointer into the XPC bank window that is still used
+  after a yield point: another costatement may have remapped the window
+  while this one was parked (paper S5.2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.analyses import (
+    UNINIT,
+    InterruptMaskAnalysis,
+    ReachingDefinitions,
+    interrupts_disabled,
+    reads_of,
+    write_of,
+    _payload,
+)
+from repro.analysis.flow.cfg import REPORTABLE_KINDS, build_cfg
+from repro.analysis.flow.solver import DataflowAnalysis, solve
+from repro.analysis.walker import iter_nodes
+from repro.dync.compiler.ast_nodes import (
+    Assign,
+    Call,
+    Costate,
+    GlobalDecl,
+    Index,
+    LocalDecl,
+    Num,
+    Program,
+    Var,
+    Waitfor,
+)
+from repro.diagnostics import DiagnosticSink
+
+
+def run_flow_rules(program: Program, sink: DiagnosticSink, config) -> None:
+    for rule in (check_dc008, check_dc009, check_dc010, check_dc011,
+                 check_dc012):
+        rule(program, sink, config)
+
+
+# -- shared helpers -----------------------------------------------------------
+
+def _vars_read(expr) -> set[str]:
+    return {n.name for n in iter_nodes(expr, Var)}
+
+
+def _has_call(expr) -> bool:
+    return any(True for _ in iter_nodes(expr, Call))
+
+
+def _direct_writes(statements) -> set[str]:
+    """Variable names assigned anywhere under ``statements``."""
+    names = set()
+    for node in iter_nodes(statements, Assign):
+        target = node.target
+        if isinstance(target, Var):
+            names.add(target.name)
+        elif isinstance(target, Index):
+            names.add(target.base.name)
+    return names
+
+
+def uses_mask_ops(program: Program, config) -> bool:
+    """True when the program manipulates the interrupt mask at all.
+
+    This is the hand-off point between DC004 and DC009: a program with
+    no ``ipset``/``ipres`` has no flow to analyze (DC004's syntactic
+    verdict stands); one that brackets accesses moves the torn-write
+    question to the interrupt-enable lattice.
+    """
+    names = config.ipset_calls | config.ipres_calls
+    return any(call.name in names
+               for call in iter_nodes(program.functions, Call))
+
+
+def torn_write_candidates(program: Program, config):
+    """Unshared multibyte globals touched from both contexts.
+
+    Returns ``(decl, write_contexts, touch_contexts, site)`` tuples --
+    the shared collection step behind both DC004 (syntactic verdict)
+    and DC009 (flow verdict).
+    """
+    globals_by_name = {g.name: g for g in program.globals}
+    written: dict[str, dict[str, object]] = {}
+    read: dict[str, dict[str, object]] = {}
+    for function in program.functions:
+        context = "isr" if config.is_isr_name(function.name) else "main"
+        for node in iter_nodes(function.body):
+            if isinstance(node, Assign):
+                target = node.target
+                name = target.name if isinstance(target, Var) \
+                    else target.base.name
+                if name in globals_by_name:
+                    written.setdefault(name, {}).setdefault(context, node)
+                for var in iter_nodes(node.value, Var):
+                    if var.name in globals_by_name:
+                        read.setdefault(var.name, {}).setdefault(context, var)
+            elif isinstance(node, (Var, Index)):
+                name = node.name if isinstance(node, Var) else node.base.name
+                if name in globals_by_name:
+                    read.setdefault(name, {}).setdefault(context, node)
+    candidates = []
+    for name, decl in globals_by_name.items():
+        if not _is_multibyte(decl) or decl.storage == "shared":
+            continue
+        write_ctx = set(written.get(name, ()))
+        touch_ctx = write_ctx | set(read.get(name, ()))
+        if "isr" in write_ctx and "main" in touch_ctx or \
+                "main" in write_ctx and "isr" in touch_ctx:
+            site = written[name].get("isr") or written[name].get("main")
+            candidates.append((decl, write_ctx, touch_ctx, site))
+    return candidates
+
+
+def _is_multibyte(decl: GlobalDecl) -> bool:
+    element = decl.ctype.size if not decl.ctype.is_pointer else 2
+    return element >= 2
+
+
+def _node_touches(node, name: str) -> bool:
+    """Does this CFG node read or write global ``name``?"""
+    if any(var.name == name for var in reads_of(node)):
+        return True
+    written = write_of(node)
+    return written is not None and written[0] == name
+
+
+# -- DC008: read before initialization on some path ---------------------------
+
+def check_dc008(program: Program, sink: DiagnosticSink, config) -> None:
+    """A global initialized on some paths of ``main`` but read on all.
+
+    Globals without a static initializer that ``main`` assigns on one
+    branch and then reads unconditionally: the un-assigned path reads
+    whatever the last boot left in SRAM (paper S5.2: all state is
+    statically allocated, so nothing zeroes it between runs).  The
+    reaching-definitions solution flags a read that both the synthetic
+    "uninitialized" definition and a real one can reach.
+    """
+    uninitialized = {
+        g.name for g in program.globals
+        if g.initializer is None and g.storage != "protected"
+    }
+    if not uninitialized:
+        return
+    try:
+        function = program.function("main")
+    except KeyError:
+        return
+    cfg = build_cfg(function)
+    solution = solve(cfg, ReachingDefinitions(uninitialized=uninitialized))
+    reported: set[str] = set()
+    for node in cfg.nodes:
+        state = solution.before[node]
+        for var in reads_of(node):
+            name = var.name
+            if name not in uninitialized or name in reported:
+                continue
+            defs = {d for d in state if d.name == name}
+            some_uninit = any(d.node_index == UNINIT for d in defs)
+            some_real = any(d.node_index not in (UNINIT, node.index)
+                            for d in defs)
+            if some_uninit and some_real:
+                reported.add(name)
+                sink.error(
+                    "DC008",
+                    f"global '{name}' is read here but only initialized on "
+                    "some paths; the uninitialized path reads whatever the "
+                    "last run left in SRAM",
+                    hint="initialize it unconditionally before the big "
+                         "loop, or give the declaration a static "
+                         "initializer",
+                    line=var.line, col=var.col,
+                )
+
+
+# -- DC009: flow-sensitive torn-access verdict --------------------------------
+
+def check_dc009(program: Program, sink: DiagnosticSink, config) -> None:
+    """Prove or refute the Figure 1 bracket along every path.
+
+    Only runs when the program manipulates the interrupt mask (DC004
+    keeps the purely syntactic domain).  For each torn-write candidate
+    global, every main-context access must sit at a point where the
+    interrupt-enable lattice proves the mask raised; an access where
+    interrupts may be enabled on *some* path is exactly the window an
+    interrupt tears the multibyte value in.
+    """
+    if not uses_mask_ops(program, config):
+        return
+    candidates = torn_write_candidates(program, config)
+    if not candidates:
+        return
+    analysis = InterruptMaskAnalysis(config.ipset_calls, config.ipres_calls)
+    for decl, _write_ctx, _touch_ctx, _site in candidates:
+        flagged = False
+        for function in program.functions:
+            if flagged or config.is_isr_name(function.name):
+                continue
+            cfg = build_cfg(function)
+            solution = solve(cfg, analysis)
+            for node in cfg.nodes:
+                if not _node_touches(node, decl.name):
+                    continue
+                if interrupts_disabled(solution.before[node]):
+                    continue
+                sink.error(
+                    "DC009",
+                    f"multibyte global '{decl.name}' is accessed in "
+                    f"{function.name}() while interrupts may be enabled "
+                    "on some path; an interrupt between the byte "
+                    "accesses tears the value",
+                    hint="bracket the access with ipset(1)/ipres() on "
+                         "every path, or declare the global 'shared' "
+                         "(paper, Figure 1)",
+                    line=node.line, col=node.col,
+                )
+                flagged = True
+                break
+
+
+# -- DC010: unreachable statements --------------------------------------------
+
+def check_dc010(program: Program, sink: DiagnosticSink, config) -> None:
+    """Statements no path can execute.
+
+    An ``abort`` jumps to the costatement exit; a ``waitfor (0)`` can
+    never become true, so control only ever leaves through the
+    scheduler; a ``return`` leaves the function.  Whatever follows any
+    of them is dead weight in a 128 KB image.
+    """
+    for function in program.functions:
+        cfg = build_cfg(function)
+        reachable = cfg.reachable()
+        dead = [node for node in cfg.nodes
+                if node not in reachable and node.kind in REPORTABLE_KINDS]
+        dead_set = set(dead)
+        for node in dead:
+            # Report only the head of each dead region.
+            if any(pred in dead_set for pred in node.predecessors()):
+                continue
+            sink.warning(
+                "DC010",
+                f"statement in {function.name}() can never execute: every "
+                "path to it is cut by an abort, a waitfor that can never "
+                "become true, or a return",
+                hint="delete it, or fix the terminator above it",
+                line=node.line, col=node.col,
+            )
+
+
+# -- DC011: a waitfor that can never become true ------------------------------
+
+def check_dc011(program: Program, sink: DiagnosticSink, config) -> None:
+    """A wait on variables nothing concurrent ever writes.
+
+    While a costatement is parked at a ``waitfor``, only ISRs, other
+    costatements, and the functions they call can change memory.  A
+    condition over variables that *no* assignment in the whole program
+    ever targets (directly, or through any callee -- the union below is
+    deliberately conservative) can never become true: the costatement
+    waits forever, silently eating one of the Figure 3 slots.
+
+    Conditions containing calls are exempt (the external world answers
+    them); constant conditions belong to DC010.
+    """
+    assigned_anywhere: set[str] = set()
+    for function in program.functions:
+        assigned_anywhere |= _direct_writes(function.body)
+    for function in program.functions:
+        for costate in iter_nodes(function.body, Costate):
+            for waitfor in iter_nodes(costate.body, Waitfor):
+                condition = waitfor.condition
+                if condition is None or isinstance(condition, Num) \
+                        or _has_call(condition):
+                    continue
+                names = _vars_read(condition)
+                if not names or names & assigned_anywhere:
+                    continue
+                label = ", ".join(f"'{n}'" for n in sorted(names))
+                sink.error(
+                    "DC011",
+                    f"waitfor condition over {label} can never become "
+                    "true: no ISR, other costatement, or callee ever "
+                    "writes it, so this costatement waits forever",
+                    hint="signal the variable from the code that makes "
+                         "the event happen, or poll the event with a "
+                         "call in the condition",
+                    line=waitfor.line, col=waitfor.col,
+                )
+
+
+# -- DC012: window pointer escaping its mapping across a yield ----------------
+
+class _WindowPointerAnalysis(DataflowAnalysis):
+    """Tracks root pointers into the XPC window across yield points.
+
+    State: frozenset of ``(name, is_stale)``.  A variable becomes
+    *mapped* when assigned from a window-mapping call; crossing any
+    yield point marks every mapped variable stale (another costatement
+    may run -- and remap the window -- before control returns here);
+    reassignment clears the variable.
+    """
+
+    direction = "forward"
+
+    def __init__(self, mappers: frozenset):
+        self.mappers = mappers
+
+    def boundary_state(self):
+        return frozenset()
+
+    def initial_state(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left | right
+
+    def transfer(self, node, state):
+        if node.is_yield_point:
+            return frozenset((name, True) for name, _ in state)
+        stmt = _payload(node)
+        name = value = None
+        if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+            name, value = stmt.target.name, stmt.value
+        elif isinstance(stmt, LocalDecl):
+            name, value = stmt.name, stmt.initializer
+        if name is None:
+            return state
+        state = frozenset(entry for entry in state if entry[0] != name)
+        if isinstance(value, Call) and value.name in self.mappers:
+            state = state | {(name, False)}
+        return state
+
+
+def check_dc012(program: Program, sink: DiagnosticSink, config) -> None:
+    if not config.window_map_calls:
+        return
+    analysis = _WindowPointerAnalysis(config.window_map_calls)
+    for function in program.functions:
+        if not any(call.name in config.window_map_calls
+                   for call in iter_nodes(function.body, Call)):
+            continue
+        cfg = build_cfg(function)
+        solution = solve(cfg, analysis)
+        reported: set[str] = set()
+        for node in cfg.nodes:
+            state = solution.before[node]
+            for var in reads_of(node):
+                if (var.name, True) in state and var.name not in reported:
+                    reported.add(var.name)
+                    sink.error(
+                        "DC012",
+                        f"'{var.name}' points into the XPC bank window but "
+                        "a yield point sits between the mapping and this "
+                        "use; another costatement may have remapped the "
+                        "window while this one was parked",
+                        hint="remap after every waitfor/yield, or copy the "
+                             "data out with xmem2root() before yielding "
+                             "(paper S5.2)",
+                        line=var.line, col=var.col,
+                    )

@@ -1,0 +1,104 @@
+"""A generic forward/backward worklist solver over CFGs.
+
+An analysis supplies the lattice (via ``initial_state``/``join``) and
+the semantics (``transfer``); the solver iterates to a fixpoint.  State
+values must be immutable and comparable with ``==`` (frozensets,
+tuples, small sentinels); ``join`` must be monotone for termination.
+
+The solver records how many node visits the fixpoint took
+(:attr:`Solution.iterations`) so tests can pin convergence behavior on
+loops instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.flow.cfg import Cfg, CfgNode
+
+
+class DataflowAnalysis:
+    """Base class: subclass and override the four hooks."""
+
+    #: "forward" (states flow entry -> exit) or "backward".
+    direction = "forward"
+
+    def boundary_state(self):
+        """State at the entry node (exit node for backward analyses)."""
+        raise NotImplementedError
+
+    def initial_state(self):
+        """The optimistic starting state (the lattice bottom)."""
+        raise NotImplementedError
+
+    def join(self, left, right):
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, node: CfgNode, state):
+        """State after executing ``node`` given the state before it."""
+        raise NotImplementedError
+
+
+@dataclass
+class Solution:
+    """Fixpoint states per node, in flow direction.
+
+    ``before[node]`` is the joined state entering the node (in the
+    analysis direction), ``after[node]`` the state ``transfer`` leaves.
+    """
+
+    analysis: DataflowAnalysis
+    before: dict
+    after: dict
+    iterations: int
+
+    def state_before(self, node: CfgNode):
+        return self.before[node]
+
+    def state_after(self, node: CfgNode):
+        return self.after[node]
+
+
+def solve(cfg: Cfg, analysis: DataflowAnalysis) -> Solution:
+    """Run ``analysis`` over ``cfg`` to fixpoint and return the states."""
+    forward = analysis.direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+    if forward:
+        def flow_preds(node):
+            return node.predecessors()
+
+        def flow_succs(node):
+            return node.successors()
+    else:
+        def flow_preds(node):
+            return node.successors()
+
+        def flow_succs(node):
+            return node.predecessors()
+
+    before = {node: analysis.initial_state() for node in cfg.nodes}
+    before[start] = analysis.boundary_state()
+    after: dict = {}
+    worklist = deque(cfg.nodes if forward else reversed(cfg.nodes))
+    queued = set(worklist)
+    iterations = 0
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        iterations += 1
+        if node is not start:
+            state = analysis.initial_state()
+            for pred in flow_preds(node):
+                if pred in after:
+                    state = analysis.join(state, after[pred])
+            before[node] = state
+        out = analysis.transfer(node, before[node])
+        if node not in after or after[node] != out:
+            after[node] = out
+            for succ in flow_succs(node):
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return Solution(analysis, before, after, iterations)

@@ -16,6 +16,18 @@ over call sites:
   public accessors so the Figure 3 loop stays inspectable without
   coupling to internals.
 
+The determinism sanitizer (PY105/PY106) statically enforces the
+invariant the bench gate only checks dynamically: simulation output
+must be byte-identical for a given seed.  PY105 flags nondeterministic
+*sources* -- wall-clock reads (``time.time()``, ``perf_counter``,
+``datetime.now()``) and the process-global RNG (``random.random()``
+and friends; a seeded ``random.Random(seed)`` instance is the
+sanctioned pattern).  PY106 flags nondeterministic *orders*: iterating
+a set (or laundering one through ``list()``/``join()``) bakes hash
+order into the output.  The few legitimate wall-time call sites (bench
+harness timings, obs wall-clock spans) carry an explicit
+``dclint: allow(PY105)`` annotation.
+
 The module also extracts embedded Dynamic C sources (plain string
 literals that look like the subset language) so Layer 1 can lint
 firmware carried inside Python files.  Docstrings and literals that do
@@ -43,6 +55,22 @@ _DYNC_HINT_RE = re.compile(
 
 #: Private scheduler fields PY104 guards.
 _PRIVATE_SCHEDULER_ATTRS = {"_costates", "_factories"}
+
+#: PY105: wall-clock readers on the ``time`` module.
+_TIME_CLOCK_ATTRS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+
+#: PY105: wall-clock constructors on ``datetime`` / ``datetime.date``.
+_DATETIME_CLOCK_ATTRS = {"now", "utcnow", "today"}
+
+#: PY105: ``random``-module attributes that do NOT touch the global RNG.
+#: ``random.Random(seed)`` is the sanctioned seeded-instance pattern.
+_RANDOM_SAFE_ATTRS = {"Random"}
+
+#: PY106: wrappers that preserve a set's arbitrary iteration order.
+_ORDER_LAUNDERERS = {"list", "tuple", "iter", "enumerate", "reversed"}
 
 
 def _call_name(node: ast.Call) -> str:
@@ -117,6 +145,106 @@ def check_python_source(tree: ast.Module, sink: DiagnosticSink) -> None:
                      "instead",
                 line=node.lineno, col=node.col_offset + 1,
             )
+
+
+# -- PY105/PY106: the determinism sanitizer -----------------------------------
+
+def _nondeterministic_imports(tree: ast.Module) -> set[str]:
+    """Local names bound by ``from time/random import ...`` to flag.
+
+    ``from time import perf_counter`` hides the module owner, so calls
+    to the bare name need their origin tracked.
+    """
+    flagged = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        for alias in node.names or ():
+            local = alias.asname or alias.name
+            if node.module == "time" and alias.name in _TIME_CLOCK_ATTRS:
+                flagged.add(local)
+            elif node.module == "random" \
+                    and alias.name not in _RANDOM_SAFE_ATTRS:
+                flagged.add(local)
+    return flagged
+
+
+def _py105_reason(node: ast.Call, from_imports: set[str]) -> str | None:
+    """Why this call is a nondeterministic source, or None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in from_imports:
+            return f"'{func.id}' (imported from time/random)"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner = _owner_name(func.value)
+    if owner == "time" and func.attr in _TIME_CLOCK_ATTRS:
+        return f"time.{func.attr}()"
+    if owner == "datetime" and func.attr in _DATETIME_CLOCK_ATTRS:
+        return f"datetime...{func.attr}()"
+    if isinstance(func.value, ast.Name) and func.value.id == "random" \
+            and func.attr not in _RANDOM_SAFE_ATTRS:
+        return f"random.{func.attr}() (the process-global RNG)"
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) \
+        and isinstance(node.func, ast.Name) \
+        and node.func.id in ("set", "frozenset")
+
+
+def _set_iteration_sites(tree: ast.Module):
+    """``(node, how)`` pairs where a set's arbitrary order escapes."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield node.iter, "iterated by a for loop"
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                               ast.DictComp, ast.SetComp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    yield generator.iter, "iterated by a comprehension"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            wrapper = None
+            if isinstance(func, ast.Name) and func.id in _ORDER_LAUNDERERS:
+                wrapper = f"{func.id}()"
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                wrapper = "str.join()"
+            if wrapper:
+                for arg in node.args:
+                    if _is_set_expression(arg):
+                        yield arg, f"passed to {wrapper}"
+
+
+def check_determinism(tree: ast.Module, sink: DiagnosticSink) -> None:
+    """PY105/PY106 over one module (part of ``check_python_source``)."""
+    from_imports = _nondeterministic_imports(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            reason = _py105_reason(node, from_imports)
+            if reason:
+                sink.error(
+                    "PY105",
+                    f"nondeterministic source {reason} in simulation code: "
+                    "output stops being byte-identical for a given seed",
+                    hint="read simulated time from the Simulator, or thread "
+                         "a seeded random.Random through; annotate harness "
+                         "wall-clock timing with dclint: allow(PY105)",
+                    line=node.lineno, col=node.col_offset + 1,
+                )
+    for site, how in _set_iteration_sites(tree):
+        sink.error(
+            "PY106",
+            f"set {how}: iteration order depends on hashing, so any "
+            "output derived from it is nondeterministic",
+            hint="sort first (sorted(the_set)) or keep an ordered "
+                 "structure (dict keys preserve insertion order)",
+            line=site.lineno, col=site.col_offset + 1,
+        )
 
 
 def extract_embedded_sources(tree: ast.Module) -> list[tuple[int, str]]:

@@ -27,12 +27,23 @@ Each rule encodes one porting pitfall the paper's authors hit by hand:
   other costatement in the big loop is starved -- the jitter the
   scheduler's ``costate.gap_s`` histogram measures.  Warning, not
   error: sometimes a short compute loop is exactly what you want.
+
+The flow-sensitive rules DC008..DC012 live in
+:mod:`repro.analysis.flow.rules` and run after these; DC004 hands the
+torn-write question to DC009's interrupt-enable lattice whenever the
+program manipulates the mask itself, and DC003 counts pooled
+(indexed-cofunction) costatements by their configured slot capacity.
 """
 
 from __future__ import annotations
 
 from repro.diagnostics import DiagnosticSink
 from repro.analysis.config import LintConfig
+from repro.analysis.flow.rules import (
+    run_flow_rules,
+    torn_write_candidates,
+    uses_mask_ops,
+)
 from repro.analysis.walker import iter_nodes, walk
 from repro.dync.compiler.ast_nodes import (
     Abort,
@@ -63,6 +74,7 @@ def run_all(program: Program, sink: DiagnosticSink,
     for rule in (check_dc001, check_dc002, check_dc003, check_dc004,
                  check_dc005, check_dc006, check_dc007):
         rule(program, sink, config)
+    run_flow_rules(program, sink, config)
 
 
 # -- helpers -----------------------------------------------------------------
@@ -169,19 +181,84 @@ def check_dc002(program: Program, sink: DiagnosticSink,
 
 # -- DC003: the static concurrency cap (Figure 3) ----------------------------
 
+def _const_globals(program: Program) -> dict[str, int]:
+    """Scalar globals with a compile-time integer initializer."""
+    return {
+        g.name: g.initializer for g in program.globals
+        if not g.array_size and isinstance(g.initializer, int)
+    }
+
+
+def _pool_capacity(costate: Costate, const_globals: dict) -> int | None:
+    """Slots a pooled costatement represents, or None when not a pool.
+
+    The indexed-cofunction / slot-pool idiom (the ROADMAP's dynamically
+    scaling redirector): one costatement drives N connection slots from
+    a constant-bound loop whose index selects per-slot state --
+    ``for (slot = 0; slot < NSLOTS; slot++) { ...state[slot]... }``
+    with a scheduling point in the body.  Such a costatement is N
+    statically provisioned connections, not one, so DC003 counts it by
+    its configured capacity.
+    """
+    for node in iter_nodes(costate.body, For):
+        if not _body_yields(node.body):
+            continue
+        trip = _constant_trip_count(node, const_globals)
+        if not trip or trip <= 1:
+            continue
+        init = getattr(node.init, "expr", node.init)
+        if not (isinstance(init, Assign) and isinstance(init.target, Var)):
+            continue
+        slot = init.target.name
+        indexed = any(
+            isinstance(inner, Index) and _reads_var(inner.index, slot)
+            for inner in iter_nodes(node.body, Index)
+        ) or any(
+            any(_reads_var(arg, slot) for arg in call.args)
+            for call in iter_nodes(node.body, Call)
+        )
+        if indexed:
+            return trip
+    return None
+
+
+def _reads_var(expr, name: str) -> bool:
+    return any(var.name == name for var in iter_nodes(expr, Var))
+
+
 def check_dc003(program: Program, sink: DiagnosticSink,
                 config: LintConfig) -> None:
+    const_globals = _const_globals(program)
     for function in program.functions:
         costates = list(iter_nodes(function.body, Costate))
         requests = [c for c in costates if not config.is_driver_name(c.name)]
-        if len(requests) > config.max_costates:
-            worst = requests[config.max_costates]
+        slots = 0
+        pools = []
+        worst = None
+        for costate in requests:
+            capacity = _pool_capacity(costate, const_globals)
+            if capacity:
+                pools.append((costate, capacity))
+            slots += capacity or 1
+            if worst is None and slots > config.max_costates:
+                worst = costate
+        if slots > config.max_costates:
+            if pools:
+                detail = ", ".join(
+                    f"{c.name or '<anonymous>'} pools {n} slots"
+                    for c, n in pools
+                )
+                counted = (f"{slots} connection slots across "
+                           f"{len(requests)} costatements ({detail}) in "
+                           f"{function.name}()")
+            else:
+                counted = (f"{len(requests)} request costatements in "
+                           f"{function.name}()")
             sink.error(
                 "DC003",
-                f"{len(requests)} request costatements in {function.name}() "
-                f"exceed the static concurrency cap of {config.max_costates} "
-                "(Figure 3: each handler is one statically allocated "
-                "connection)",
+                f"{counted} exceed the static concurrency cap of "
+                f"{config.max_costates} (Figure 3: each handler is one "
+                "statically allocated connection)",
                 hint="raising the cap means recompiling with more memory "
                      "per connection; pass --max-costates to lint for a "
                      "different build",
@@ -191,50 +268,32 @@ def check_dc003(program: Program, sink: DiagnosticSink,
 
 # -- DC004: torn-write race detector -----------------------------------------
 
-def _is_multibyte(decl: GlobalDecl) -> bool:
-    element = decl.ctype.size if not decl.ctype.is_pointer else 2
-    return element >= 2
-
-
 def check_dc004(program: Program, sink: DiagnosticSink,
                 config: LintConfig) -> None:
-    globals_by_name = {g.name: g for g in program.globals}
-    written: dict[str, dict[str, object]] = {}   # name -> context -> site
-    read: dict[str, dict[str, object]] = {}
-    for function in program.functions:
-        context = "isr" if config.is_isr_name(function.name) else "main"
-        for node, _ in walk(function.body):
-            if isinstance(node, Assign):
-                target = node.target
-                name = target.name if isinstance(target, Var) \
-                    else target.base.name
-                if name in globals_by_name:
-                    written.setdefault(name, {}).setdefault(context, node)
-                for var in iter_nodes(node.value, Var):
-                    if var.name in globals_by_name:
-                        read.setdefault(var.name, {}).setdefault(context, var)
-            elif isinstance(node, (Var, Index)):
-                name = node.name if isinstance(node, Var) else node.base.name
-                if name in globals_by_name:
-                    read.setdefault(name, {}).setdefault(context, node)
-    for name, decl in globals_by_name.items():
-        if not _is_multibyte(decl) or decl.storage == "shared":
-            continue
-        write_ctx = set(written.get(name, ()))
-        touch_ctx = write_ctx | set(read.get(name, ()))
-        if "isr" in write_ctx and "main" in touch_ctx or \
-                "main" in write_ctx and "isr" in touch_ctx:
-            site = written[name].get("isr") or written[name].get("main")
-            sink.error(
-                "DC004",
-                f"multibyte global '{name}' is written in interrupt context "
-                "and accessed from the main loop without the atomic "
-                "bracket: an interrupt between byte stores tears the value",
-                hint=f"declare it 'shared {decl.ctype} {name};' so updates "
-                     "are bracketed with IPSET/IPRES (paper, Figure 1)",
-                line=getattr(site, "line", decl.line),
-                col=getattr(site, "col", decl.col),
-            )
+    """Syntactic torn-write verdict, for programs with no mask code.
+
+    When the program manipulates the interrupt mask (``ipset``/
+    ``ipres``), the question becomes path-dependent -- a hand-rolled
+    bracket is exactly as safe as the paths through it -- so DC009's
+    interrupt-enable lattice owns the verdict and this rule stays
+    silent (retiring the false positives the syntactic check used to
+    emit on correctly bracketed accesses).
+    """
+    if uses_mask_ops(program, config):
+        return
+    for decl, _write_ctx, _touch_ctx, site in \
+            torn_write_candidates(program, config):
+        sink.error(
+            "DC004",
+            f"multibyte global '{decl.name}' is written in interrupt "
+            "context and accessed from the main loop without the atomic "
+            "bracket: an interrupt between byte stores tears the value",
+            hint=f"declare it 'shared {decl.ctype} {decl.name};' so "
+                 "updates are bracketed with IPSET/IPRES (paper, "
+                 "Figure 1)",
+            line=getattr(site, "line", decl.line),
+            col=getattr(site, "col", decl.col),
+        )
 
 
 # -- DC005: static memory budget ---------------------------------------------
@@ -368,6 +427,7 @@ def check_dc007(program: Program, sink: DiagnosticSink,
     ever reaching the scheduler.  On a cooperative big loop that is a
     latency cliff for every other costatement.
     """
+    const_globals = _const_globals(program)
     for node, ancestors in walk(program.functions):
         if not isinstance(node, (While, For)):
             continue
@@ -385,7 +445,7 @@ def check_dc007(program: Program, sink: DiagnosticSink,
             assigned |= _assigned_names([node.step])
         if not (_vars_read(condition) & assigned):
             continue  # DC001: busy-wait that cannot terminate
-        trip = _constant_trip_count(node)
+        trip = _constant_trip_count(node, const_globals)
         if trip is not None and trip <= config.busy_loop_iterations:
             continue  # short constant-bound compute loop: routine work
         sink.warning(
@@ -399,14 +459,25 @@ def check_dc007(program: Program, sink: DiagnosticSink,
             )
 
 
-def _constant_trip_count(loop) -> int | None:
+def _constant_trip_count(loop, const_globals: dict | None = None
+                         ) -> int | None:
     """Trip count for ``for (v = C0; v cmp C1; v = v +/- C2)`` shapes.
 
-    Returns None when the bounds are not literal (trip count unknown at
-    compile time) or the loop is a ``while``.
+    ``const_globals`` lets the bound be a scalar global with a constant
+    initializer (the pool-capacity idiom: ``v < NSLOTS``).  Returns
+    None when the bounds are not compile-time constants or the loop is
+    a ``while``.
     """
     if not isinstance(loop, For):
         return None
+
+    def const_of(expr) -> int | None:
+        if isinstance(expr, Num):
+            return expr.value
+        if const_globals and isinstance(expr, Var):
+            return const_globals.get(expr.name)
+        return None
+
     init, condition, step = loop.init, loop.condition, loop.step
     init = getattr(init, "expr", init)      # unwrap ExprStmt
     step = getattr(step, "expr", step)
@@ -416,10 +487,14 @@ def _constant_trip_count(loop) -> int | None:
     if not (isinstance(condition, Binary)
             and condition.op in ("<", "<=", ">", ">=", "!=")):
         return None
-    if isinstance(condition.left, Var) and isinstance(condition.right, Num):
-        bound = condition.right.value
-    elif isinstance(condition.left, Num) and isinstance(condition.right, Var):
-        bound = condition.left.value
+    if isinstance(condition.left, Var) \
+            and const_of(condition.right) is not None \
+            and condition.left.name == init.target.name:
+        bound = const_of(condition.right)
+    elif isinstance(condition.right, Var) \
+            and const_of(condition.left) is not None \
+            and condition.right.name == init.target.name:
+        bound = const_of(condition.left)
     else:
         return None
     span = abs(bound - init.value.value)

@@ -40,9 +40,9 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     records = []
     for experiment_id in wanted:
-        start = time.time()
+        start = time.time()  # dclint: allow(PY105)
         result = RUNNERS[experiment_id]()
-        elapsed = time.time() - start
+        elapsed = time.time() - start  # dclint: allow(PY105)
         if args.as_json:
             record = result.to_dict()
             record["wall_seconds"] = round(elapsed, 3)

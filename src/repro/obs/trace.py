@@ -144,7 +144,7 @@ class Tracer:
         stack = self._stacks.setdefault(tid, [])
         parent_id = stack[-1].span_id if stack else None
         span = Span(name, cat, tid, self.now(), self._next_id, parent_id,
-                    args, time.perf_counter(), self._cycles())
+                    args, time.perf_counter(), self._cycles())  # dclint: allow(PY105)
         self._next_id += 1
         stack.append(span)
         return span
@@ -154,7 +154,7 @@ class Tracer:
         if span.end is not None:
             return span
         span.end = self.now()
-        span.wall_end = time.perf_counter()
+        span.wall_end = time.perf_counter()  # dclint: allow(PY105)
         span.cycles_end = self._cycles()
         if args:
             span.args.update(args)
@@ -175,7 +175,7 @@ class Tracer:
         the costatement scheduler knows where each slice *would* sit on
         the board even though the simulator charges time in one lump)."""
         span = Span(name, cat, tid, start, self._next_id, None, args,
-                    time.perf_counter(), None)
+                    time.perf_counter(), None)  # dclint: allow(PY105)
         self._next_id += 1
         span.end = end
         span.wall_end = span.wall_start

@@ -96,7 +96,9 @@ class TestJsonFormat:
         file = str(violating_file)
         assert payload == {
             "tool": "dclint",
-            "version": 1,
+            "schema_version": 2,
+            "rules": [f"DC{n:03d}" for n in range(1, 13)]
+            + [f"PY{n}" for n in range(101, 107)],
             "diagnostics": [
                 {
                     "rule": "DC004",
@@ -131,3 +133,27 @@ class TestJsonFormat:
         payload = json.loads(capsys.readouterr().out)
         assert payload["diagnostics"] == []
         assert payload["summary"] == {"errors": 0, "warnings": 0, "notes": 0}
+
+    def test_diagnostics_sorted_by_location(self, tmp_path, capsys):
+        """Schema v2 guarantees (file, line, col, rule) order."""
+        (tmp_path / "b.c").write_text(VIOLATING)
+        (tmp_path / "a.c").write_text(VIOLATING)
+        assert main([str(tmp_path), "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        keys = [(d["file"], d["line"], d["col"], d["rule"])
+                for d in payload["diagnostics"]]
+        assert keys == sorted(keys)
+
+
+class TestJobs:
+    def test_parallel_output_byte_identical(self, tmp_path, capsys):
+        for name in ("a.c", "b.c", "c.c"):
+            (tmp_path / name).write_text(VIOLATING)
+        (tmp_path / "clean.c").write_text(CLEAN)
+        assert main([str(tmp_path), "--format=json"]) == 1
+        serial = capsys.readouterr().out
+        assert main([str(tmp_path), "--format=json", "--jobs=3"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_invalid_jobs_is_a_usage_error(self, clean_file, capsys):
+        assert main([str(clean_file), "--jobs=0"]) == 2

@@ -1,0 +1,211 @@
+"""dcflow engine tests: CFG shape, solver convergence, mask lattice.
+
+These pin the *mechanics* the DC008..DC012 rules stand on -- the rules
+themselves are covered in test_flow_rules.py.
+"""
+
+from repro.analysis.flow import (
+    BOTTOM,
+    UNKNOWN,
+    InterruptMaskAnalysis,
+    ReachingDefinitions,
+    build_cfg,
+    interrupts_disabled,
+    solve,
+)
+from repro.analysis.flow.analyses import Def, UNINIT, write_of
+from repro.dync.compiler.parser import parse
+
+
+def cfg_of(source, name="main"):
+    return build_cfg(parse(source).function(name))
+
+
+def node_writing(cfg, name):
+    """The unique CFG node that (strongly) writes ``name``."""
+    nodes = [n for n in cfg.nodes if write_of(n) == (name, True)]
+    assert len(nodes) == 1, nodes
+    return nodes[0]
+
+
+def edge_kinds(node):
+    return sorted(edge.kind for edge in node.succs)
+
+
+# -- CFG shape on a full costatement ------------------------------------------
+
+COSTATE_SOURCE = """
+int ready;
+int bad;
+int step;
+void main(void) {
+    for (;;) {
+        costate {
+            waitfor (ready);
+            yield;
+            if (bad) { abort; }
+            step = step + 1;
+        }
+    }
+}
+"""
+
+
+class TestCostateCfg:
+    def test_scheduling_node_kinds_present(self):
+        cfg = cfg_of(COSTATE_SOURCE)
+        kinds = {node.kind for node in cfg.nodes}
+        assert {"costate", "costate_exit", "waitfor", "yield",
+                "abort", "branch"} <= kinds
+
+    def test_waitfor_has_wait_edge_to_scheduler_and_fall_through(self):
+        cfg = cfg_of(COSTATE_SOURCE)
+        waitfor, = (n for n in cfg.nodes if n.kind == "waitfor")
+        assert edge_kinds(waitfor) == ["fall", "wait"]
+        wait_edge, = (e for e in waitfor.succs if e.kind == "wait")
+        assert wait_edge.dst.kind == "costate_exit"
+
+    def test_abort_jumps_to_costate_exit(self):
+        cfg = cfg_of(COSTATE_SOURCE)
+        abort, = (n for n in cfg.nodes if n.kind == "abort")
+        assert edge_kinds(abort) == ["abort"]
+        assert abort.succs[0].dst.kind == "costate_exit"
+
+    def test_resume_edges_reach_every_yield_point(self):
+        """Saved-PC re-entry: the costatement entry resumes at each of
+        its yield points, not at the top."""
+        cfg = cfg_of(COSTATE_SOURCE)
+        enter, = (n for n in cfg.nodes if n.kind == "costate")
+        resumed = {e.dst.kind for e in enter.succs if e.kind == "resume"}
+        assert resumed == {"waitfor", "yield"}
+
+    def test_big_loop_has_back_edge(self):
+        cfg = cfg_of(COSTATE_SOURCE)
+        assert any(e.kind == "back" for e in cfg.edges())
+
+    def test_everything_reachable(self):
+        cfg = cfg_of(COSTATE_SOURCE)
+        assert cfg.reachable() >= set(cfg.nodes) - {cfg.exit}
+
+    def test_statement_after_waitfor_zero_is_disconnected(self):
+        cfg = cfg_of("""
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (0);
+                    blink();
+                }
+            }
+        }
+        """)
+        dead = [n for n in cfg.nodes
+                if n.kind == "stmt" and n not in cfg.reachable()]
+        assert len(dead) == 1
+
+
+# -- worklist solver on a loop ------------------------------------------------
+
+LOOP_SOURCE = """
+int total;
+void main(void) {
+    int i;
+    i = 0;
+    while (i < 8) {
+        total = total + i;
+        i = i + 1;
+    }
+    done(total);
+}
+"""
+
+
+class TestSolverConvergence:
+    def test_reaches_fixpoint_on_a_loop(self):
+        cfg = cfg_of(LOOP_SOURCE)
+        solution = solve(cfg, ReachingDefinitions())
+        # A worklist solver revisits loop nodes but terminates; the
+        # iteration count is bounded by nodes * lattice height, and for
+        # this one-loop function a couple of passes suffice.
+        assert solution.iterations >= len(cfg.nodes)
+        assert solution.iterations <= 4 * len(cfg.nodes)
+
+    def test_loop_body_definition_reaches_the_header(self):
+        cfg = cfg_of(LOOP_SOURCE)
+        solution = solve(cfg, ReachingDefinitions())
+        header, = (n for n in cfg.nodes if n.kind == "branch")
+        body_def = node_writing(cfg, "total")
+        assert Def("total", body_def.index) in solution.before[header]
+
+    def test_both_definitions_of_counter_join_at_the_header(self):
+        cfg = cfg_of(LOOP_SOURCE)
+        solution = solve(cfg, ReachingDefinitions())
+        writes = {n.index for n in cfg.nodes
+                  if write_of(n) == ("i", True)}   # i = 0 and i = i + 1
+        header, = (n for n in cfg.nodes if n.kind == "branch")
+        defs = {d.node_index for d in solution.before[header]
+                if d.name == "i"}
+        assert defs == writes and len(defs) == 2
+
+
+# -- the interrupt-mask lattice -----------------------------------------------
+
+class TestInterruptMaskLattice:
+    def test_join_identities(self):
+        analysis = InterruptMaskAnalysis()
+        assert analysis.join(BOTTOM, (0,)) == (0,)
+        assert analysis.join((0, 1), BOTTOM) == (0, 1)
+        assert analysis.join((0, 1), (0, 1)) == (0, 1)
+        assert analysis.join((0, 1), (0,)) is UNKNOWN
+
+    def test_bracket_proves_mask_inside_only(self):
+        cfg = cfg_of("""
+        int x;
+        void main(void) {
+            before();
+            ipset(1);
+            x = 1;
+            ipres();
+            after();
+        }
+        """)
+        solution = solve(cfg, InterruptMaskAnalysis())
+        inside = node_writing(cfg, "x")
+        assert interrupts_disabled(solution.before[inside])
+        assert solution.before[inside] == (0, 1)
+        after, = (n for n in cfg.nodes if n.kind == "stmt"
+                  and getattr(getattr(n.stmt, "expr", None), "name", "")
+                  == "after")
+        assert solution.before[after] == (0,)
+        assert not interrupts_disabled(solution.before[after])
+
+    def test_conditional_release_joins_to_unknown(self):
+        cfg = cfg_of("""
+        int flag;
+        int x;
+        void main(void) {
+            ipset(1);
+            if (flag) { ipres(); }
+            x = 1;
+        }
+        """)
+        solution = solve(cfg, InterruptMaskAnalysis())
+        merge = node_writing(cfg, "x")
+        assert solution.before[merge] is UNKNOWN
+        assert not interrupts_disabled(solution.before[merge])
+
+    def test_shift_register_depth_clamped(self):
+        analysis = InterruptMaskAnalysis()
+        state = (0,)
+
+        class _FakeCall:
+            def __init__(self, level):
+                self.name = "ipset"
+                self.args = [type("N", (), {"value": level})()]
+
+        for level in (1, 2, 3, 1, 2):
+            state = (state + (level,))[-4:]
+        assert len(state) == 4
+
+    def test_unreached_state_is_bottom(self):
+        assert not interrupts_disabled(BOTTOM)
+        assert not interrupts_disabled(UNKNOWN)

@@ -1,0 +1,378 @@
+"""Flow-sensitive rules DC008..DC012: violating and clean fixtures.
+
+The DC009 class pins the acceptance pair for the DC004 hand-off: the
+lattice must *prove safe* a bracketed access the syntactic check used
+to flag, and *catch* a bracket-escape the syntactic check cannot see.
+"""
+
+import dataclasses
+
+from repro.analysis import Severity, analyze_dync_source
+from repro.analysis.config import DEFAULT_CONFIG
+
+
+def rules_of(source, **config_overrides):
+    config = dataclasses.replace(DEFAULT_CONFIG, **config_overrides) \
+        if config_overrides else DEFAULT_CONFIG
+    return [d.rule for d in analyze_dync_source(source, config=config)]
+
+
+def diags_of(source):
+    return analyze_dync_source(source)
+
+
+# -- DC008: read before initialization on some path ---------------------------
+
+class TestDC008:
+    def test_conditionally_initialized_global_flagged(self):
+        source = """
+        int cold_boot;
+        int sequence;
+        void main(void) {
+            if (cold_boot) { sequence = 0; }
+            log_sequence(sequence);
+        }
+        """
+        assert "DC008" in rules_of(source)
+
+    def test_unconditional_initialization_clean(self):
+        source = """
+        int cold_boot;
+        int sequence;
+        void main(void) {
+            sequence = 0;
+            if (cold_boot) { sequence = 100; }
+            log_sequence(sequence);
+        }
+        """
+        assert "DC008" not in rules_of(source)
+
+    def test_static_initializer_clean(self):
+        source = """
+        int sequence = 0;
+        int cold_boot;
+        void main(void) {
+            if (cold_boot) { sequence = 100; }
+            log_sequence(sequence);
+        }
+        """
+        assert "DC008" not in rules_of(source)
+
+    def test_protected_global_exempt(self):
+        """battery-backed state is *supposed* to survive uninitialized
+        by this run (paper, Figure 1: protected variables)."""
+        source = """
+        int cold_boot;
+        protected int sequence;
+        void main(void) {
+            if (cold_boot) { sequence = 0; }
+            log_sequence(sequence);
+        }
+        """
+        assert "DC008" not in rules_of(source)
+
+    def test_error_severity(self):
+        source = """
+        int cold_boot;
+        int sequence;
+        void main(void) {
+            if (cold_boot) { sequence = 0; }
+            log_sequence(sequence);
+        }
+        """
+        diag, = (d for d in diags_of(source) if d.rule == "DC008")
+        assert diag.severity == Severity.ERROR
+
+
+# -- DC009: flow-sensitive torn-access verdict --------------------------------
+
+#: An unshared multibyte global, written by an ISR, read in main inside
+#: a correct Figure 1 bracket.  DC004's syntactic check used to flag
+#: this; the interrupt-enable lattice proves every access masked.
+BRACKETED_SOURCE = """
+int ticks;
+void timer_isr(void) {
+    ticks = ticks + 1;
+}
+void main(void) {
+    int snapshot;
+    for (;;) {
+        ipset(1);
+        snapshot = ticks;
+        ipres();
+        report(snapshot);
+    }
+}
+"""
+
+#: The same program with the bracket *escaping* on one path: the early
+#: release leaves the second read unprotected on the error path.  The
+#: brackets are all syntactically present, so DC004 stays silent --
+#: only the path-join to UNKNOWN sees the window.
+ESCAPED_SOURCE = """
+int ticks;
+int fault;
+void timer_isr(void) {
+    ticks = ticks + 1;
+}
+void main(void) {
+    int snapshot;
+    for (;;) {
+        ipset(1);
+        if (fault) { ipres(); }
+        snapshot = ticks;
+        ipres();
+        report(snapshot);
+    }
+}
+"""
+
+
+class TestDC009:
+    def test_correct_bracket_is_proven_safe(self):
+        """The DC004 false positive the lattice retires: no DC004, and
+        no DC009, because every access is interrupt-disable-dominated."""
+        assert rules_of(BRACKETED_SOURCE) == []
+
+    def test_unbracketed_program_stays_dc004(self):
+        """No mask ops anywhere: the syntactic verdict stands."""
+        source = """
+        int ticks;
+        void timer_isr(void) {
+            ticks = ticks + 1;
+        }
+        void main(void) {
+            for (;;) {
+                report(ticks);
+            }
+        }
+        """
+        assert rules_of(source) == ["DC004"]
+
+    def test_conditional_release_escape_caught(self):
+        """The torn window DC004 cannot see: brackets are present
+        syntactically, but one path releases the mask early."""
+        rules = rules_of(ESCAPED_SOURCE)
+        assert "DC009" in rules
+        assert "DC004" not in rules
+
+    def test_escape_reported_once_at_error_severity(self):
+        findings = [d for d in diags_of(ESCAPED_SOURCE)
+                    if d.rule == "DC009"]
+        assert len(findings) == 1
+        assert findings[0].severity == Severity.ERROR
+        assert "ticks" in findings[0].message
+
+    def test_shared_global_needs_no_bracket(self):
+        source = """
+        shared int ticks;
+        void timer_isr(void) {
+            ticks = ticks + 1;
+        }
+        void main(void) {
+            ipset(1);
+            ipres();
+            for (;;) {
+                report(ticks);
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+
+# -- DC010: unreachable statements --------------------------------------------
+
+class TestDC010:
+    def test_statement_after_abort_flagged(self):
+        source = """
+        int quit;
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (quit);
+                    abort;
+                    cleanup();
+                }
+            }
+        }
+        """
+        assert "DC010" in rules_of(source)
+
+    def test_statement_after_constant_false_waitfor_flagged(self):
+        source = """
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (0);
+                    blink();
+                }
+            }
+        }
+        """
+        assert "DC010" in rules_of(source)
+
+    def test_only_dead_region_head_reported(self):
+        source = """
+        int quit;
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (quit);
+                    abort;
+                    cleanup();
+                    cleanup2();
+                    cleanup3();
+                }
+            }
+        }
+        """
+        assert rules_of(source).count("DC010") == 1
+
+    def test_reachable_code_after_waitfor_clean(self):
+        source = """
+        int quit;
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (quit);
+                    cleanup();
+                }
+            }
+        }
+        """
+        assert "DC010" not in rules_of(source)
+
+
+# -- DC011: a waitfor that can never become true ------------------------------
+
+class TestDC011:
+    def test_wait_on_never_written_variable_flagged(self):
+        source = """
+        char go;
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (go);
+                    serve();
+                }
+            }
+        }
+        """
+        assert "DC011" in rules_of(source)
+
+    def test_isr_written_flag_clean(self):
+        source = """
+        char go;
+        void rx_isr(void) {
+            go = 1;
+        }
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (go);
+                    serve();
+                }
+            }
+        }
+        """
+        assert "DC011" not in rules_of(source)
+
+    def test_call_condition_exempt(self):
+        """The external world answers a polled condition."""
+        source = """
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (sock_established(0));
+                    serve();
+                }
+            }
+        }
+        """
+        assert "DC011" not in rules_of(source)
+
+    def test_other_costatement_write_clean(self):
+        source = """
+        char go;
+        void main(void) {
+            for (;;) {
+                costate {
+                    waitfor (go);
+                    serve();
+                }
+                costate {
+                    go = 1;
+                }
+            }
+        }
+        """
+        assert "DC011" not in rules_of(source)
+
+
+# -- DC012: window pointer escaping its mapping across a yield ----------------
+
+class TestDC012:
+    def test_pointer_used_after_yield_flagged(self):
+        source = """
+        int ready;
+        void main(void) {
+            int *buffer;
+            for (;;) {
+                costate {
+                    buffer = xmem_window(4096);
+                    waitfor (ready);
+                    consume(buffer[0]);
+                }
+            }
+        }
+        """
+        assert "DC012" in rules_of(source)
+
+    def test_remapped_after_yield_clean(self):
+        source = """
+        int ready;
+        void main(void) {
+            int *buffer;
+            for (;;) {
+                costate {
+                    buffer = xmem_window(4096);
+                    waitfor (ready);
+                    buffer = xmem_window(4096);
+                    consume(buffer[0]);
+                }
+            }
+        }
+        """
+        assert "DC012" not in rules_of(source)
+
+    def test_use_before_yield_clean(self):
+        source = """
+        int ready;
+        void main(void) {
+            int *buffer;
+            for (;;) {
+                costate {
+                    buffer = xmem_window(4096);
+                    consume(buffer[0]);
+                    waitfor (ready);
+                }
+            }
+        }
+        """
+        assert "DC012" not in rules_of(source)
+
+    def test_ordinary_pointer_not_tracked(self):
+        source = """
+        int ready;
+        void main(void) {
+            int *buffer;
+            for (;;) {
+                costate {
+                    buffer = root_buffer(16);
+                    waitfor (ready);
+                    consume(buffer[0]);
+                }
+            }
+        }
+        """
+        assert "DC012" not in rules_of(source)

@@ -109,3 +109,117 @@ class TestEmbeddedExtraction:
     def test_python_syntax_error_reported(self):
         diagnostics = analyze_python_source("def broken(:\n")
         assert [d.rule for d in diagnostics] == ["PY000"]
+
+
+class TestPY105:
+    def test_wall_clock_read_flagged(self):
+        assert rules_of("""
+            import time
+            now = time.time()
+        """) == ["PY105"]
+
+    def test_perf_counter_flagged(self):
+        assert rules_of("""
+            import time
+            start = time.perf_counter()
+        """) == ["PY105"]
+
+    def test_datetime_now_flagged(self):
+        assert rules_of("""
+            import datetime
+            stamp = datetime.datetime.now()
+        """) == ["PY105"]
+
+    def test_global_rng_flagged(self):
+        assert rules_of("""
+            import random
+            jitter = random.random()
+            choice = random.randint(0, 7)
+        """) == ["PY105", "PY105"]
+
+    def test_seeded_rng_instance_clean(self):
+        assert rules_of("""
+            import random
+            rng = random.Random(42)
+            jitter = rng.random()
+        """) == []
+
+    def test_from_import_tracked(self):
+        assert rules_of("""
+            from time import perf_counter
+            start = perf_counter()
+        """) == ["PY105"]
+
+    def test_from_import_alias_tracked(self):
+        assert rules_of("""
+            from time import time as wall
+            start = wall()
+        """) == ["PY105"]
+
+    def test_allow_annotation_suppresses(self):
+        assert rules_of("""
+            import time
+            start = time.time()  # dclint: allow(PY105)
+        """) == []
+
+    def test_simulated_clock_clean(self):
+        assert rules_of("""
+            now = simulator.now()
+            later = clock.monotonic
+        """) == []
+
+    def test_error_severity(self):
+        import textwrap
+        diag, = analyze_python_source(textwrap.dedent("""
+            import time
+            now = time.time()
+        """))
+        assert diag.severity == Severity.ERROR
+
+
+class TestPY106:
+    def test_for_over_set_literal_flagged(self):
+        assert rules_of("""
+            for name in {"a", "b"}:
+                emit(name)
+        """) == ["PY106"]
+
+    def test_for_over_set_call_flagged(self):
+        assert rules_of("""
+            for name in set(names):
+                emit(name)
+        """) == ["PY106"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rules_of("""
+            rows = [emit(n) for n in frozenset(names)]
+        """) == ["PY106"]
+
+    def test_list_laundering_flagged(self):
+        assert rules_of("""
+            ordered = list({"a", "b"})
+        """) == ["PY106"]
+
+    def test_join_laundering_flagged(self):
+        assert rules_of("""
+            label = ", ".join(set(names))
+        """) == ["PY106"]
+
+    def test_sorted_set_clean(self):
+        assert rules_of("""
+            for name in sorted(set(names)):
+                emit(name)
+        """) == []
+
+    def test_list_iteration_clean(self):
+        assert rules_of("""
+            for name in names:
+                emit(name)
+        """) == []
+
+    def test_membership_test_clean(self):
+        assert rules_of("""
+            wanted = {"a", "b"}
+            if name in wanted:
+                emit(name)
+        """) == []

@@ -145,6 +145,98 @@ class TestDC003:
         assert rules_of(_main_with_costates(2), max_costates=1) == ["DC003"]
 
 
+def _pooled_main(capacity):
+    """The indexed-cofunction idiom: one costatement, N slots."""
+    return """
+    int NSLOTS = %d;
+    int state[8];
+    void main(void) {
+        int slot;
+        for (;;) {
+            costate tcp_driver { drive(); }
+            costate pool {
+                for (slot = 0; slot < NSLOTS; slot++) {
+                    waitfor (sock_ready(slot));
+                    serve(state[slot]);
+                }
+            }
+        }
+    }
+    """ % capacity
+
+
+class TestDC003Pools:
+    def test_pool_counted_by_configured_capacity(self):
+        assert rules_of(_pooled_main(4)) == ["DC003"]
+
+    def test_pool_within_cap_clean(self):
+        assert rules_of(_pooled_main(3)) == []
+
+    def test_pool_message_names_the_slot_count(self):
+        diag, = diags_of(_pooled_main(4))
+        assert "4 connection slots" in diag.message
+        assert "pool pools 4 slots" in diag.message
+
+    def test_pool_plus_plain_costate_sums_slots(self):
+        source = """
+        int NSLOTS = 3;
+        int state[8];
+        void main(void) {
+            int slot;
+            for (;;) {
+                costate pool {
+                    for (slot = 0; slot < NSLOTS; slot++) {
+                        waitfor (sock_ready(slot));
+                        serve(state[slot]);
+                    }
+                }
+                costate extra {
+                    waitfor (sock_ready(7));
+                    serve(state[7]);
+                }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC003"]
+
+    def test_compute_loop_without_yield_is_not_a_pool(self):
+        """A constant-bound loop that never yields is routine compute:
+        the costatement is still one connection."""
+        source = """
+        int NSLOTS = 8;
+        int state[8];
+        void main(void) {
+            int slot;
+            for (;;) {
+                costate warm {
+                    for (slot = 0; slot < NSLOTS; slot++) {
+                        state[slot] = 0;
+                    }
+                    yield;
+                }
+            }
+        }
+        """
+        assert rules_of(source) == []
+
+    def test_pool_bound_by_literal_constant(self):
+        source = """
+        int state[8];
+        void main(void) {
+            int slot;
+            for (;;) {
+                costate pool {
+                    for (slot = 0; slot < 5; slot++) {
+                        waitfor (sock_ready(slot));
+                        serve(state[slot]);
+                    }
+                }
+            }
+        }
+        """
+        assert rules_of(source) == ["DC003"]
+
+
 # -- DC004: torn-write race detector -----------------------------------------
 
 class TestDC004:
