@@ -82,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="gate this snapshot instead of running fresh")
     gate.add_argument("--verbose", action="store_true",
                       help="show passing claims and metrics too")
+    gate.add_argument("--slo", default=None, metavar="FILE",
+                      help="SLO rules TOML to fold into the verdict "
+                           "(default: slo.toml when present)")
+    gate.add_argument("--no-slo", action="store_true",
+                      help="skip SLO evaluation even if slo.toml exists")
     add_run_options(gate)
 
     show = sub.add_parser(
@@ -136,6 +141,21 @@ def _cmd_trend(args) -> int:
 
 
 def _cmd_gate(args) -> int:
+    import os
+
+    from repro.obs.slo import DEFAULT_RULES_FILE, SloConfigError, load_rules
+
+    slo_rules = None
+    if not args.no_slo:
+        rules_path = args.slo
+        if rules_path is None and os.path.exists(DEFAULT_RULES_FILE):
+            rules_path = DEFAULT_RULES_FILE
+        if rules_path is not None:
+            try:
+                slo_rules = load_rules(rules_path)
+            except SloConfigError as exc:
+                print(f"bench: {exc}", file=sys.stderr)
+                return 2
     baseline_path = args.baseline or default_snapshot_path(
         DEFAULT_BASELINE_TAG
     )
@@ -147,7 +167,7 @@ def _cmd_gate(args) -> int:
             args, "gate-run",
             QUICK_WORKLOAD if args.quick else baseline["workload"],
         )
-    report = evaluate_gate(current, baseline)
+    report = evaluate_gate(current, baseline, slo_rules=slo_rules)
     print(report.format(verbose=args.verbose))
     return 0 if report.ok else 1
 

@@ -125,6 +125,17 @@ CLAIMS: tuple[Claim, ...] = (
 #: it never fails the gate.
 SLOW_PATH_WALL_SECONDS = 89.32
 
+#: The flight recorder's wall-time budget on the redirector scenario,
+#: in percent over the same run with the recorder disabled (the
+#: snapshot measures both; see ``_collect_obs_detail``).  Warn-only for
+#: the same reason as above -- but a recorder that costs more than this
+#: has stopped being "always on for free".
+OBS_RECORDER_OVERHEAD_PCT = 10.0
+
+#: Below this many wall seconds for the recorder-off run, the overhead
+#: ratio is host-scheduler noise, not signal; skip the warning.
+_RECORDER_OVERHEAD_MIN_SECONDS = 0.05
+
 
 @dataclass
 class GateReport:
@@ -137,6 +148,9 @@ class GateReport:
     #: Warn-only harness-speed observations; never affect :attr:`ok`.
     speed_warnings: list[str] = field(default_factory=list)
     compare: CompareReport | None = None
+    #: Declarative objectives (:mod:`repro.obs.slo`); an error-severity
+    #: rule that is not met fails the gate alongside claims and drift.
+    slo: object | None = None
 
     @property
     def violated_claims(self) -> list[ClaimResult]:
@@ -147,6 +161,8 @@ class GateReport:
     def ok(self) -> bool:
         if (self.violated_claims or self.not_reproduced
                 or self.faults_failed):
+            return False
+        if self.slo is not None and not self.slo.ok:
             return False
         return self.compare.ok if self.compare is not None else True
 
@@ -176,6 +192,8 @@ class GateReport:
             )
         for warning in self.speed_warnings:
             lines.append(f"  warning (speed, non-fatal): {warning}")
+        if self.slo is not None:
+            lines.append(self.slo.format(verbose=verbose))
         if self.compare is not None:
             lines.append(self.compare.format(verbose=verbose))
         lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
@@ -183,9 +201,13 @@ class GateReport:
 
 
 def evaluate_gate(current: dict,
-                  baseline: dict | None = None) -> GateReport:
+                  baseline: dict | None = None,
+                  slo_rules: list | None = None) -> GateReport:
     """Check claims and reproduced flags on ``current``; when a
-    ``baseline`` snapshot is given, also drift-gate against it."""
+    ``baseline`` snapshot is given, also drift-gate against it; when
+    ``slo_rules`` (:class:`repro.obs.slo.SloRule`) are given, evaluate
+    them against ``current`` and fold error-severity misses into the
+    verdict."""
     report = GateReport(tag=current.get("tag", "?"))
     report.claim_results = [claim.evaluate(current) for claim in CLAIMS]
     report.not_reproduced = [
@@ -209,6 +231,25 @@ def evaluate_gate(current: dict,
                 f"{SLOW_PATH_WALL_SECONDS:.1f}s -- is the fast "
                 f"emulator core engaged?"
             )
+    obs_wall = current.get("wall_seconds", {}).get("obs", {})
+    with_recorder = obs_wall.get("redirector")
+    without_recorder = obs_wall.get("redirector_norec")
+    if (with_recorder is not None and without_recorder is not None
+            and without_recorder >= _RECORDER_OVERHEAD_MIN_SECONDS):
+        overhead_pct = (
+            (with_recorder - without_recorder) / without_recorder * 100.0
+        )
+        if overhead_pct > OBS_RECORDER_OVERHEAD_PCT:
+            report.speed_warnings.append(
+                f"flight recorder cost {overhead_pct:.1f}% wall on the "
+                f"redirector scenario ({with_recorder:.3f}s vs "
+                f"{without_recorder:.3f}s), over the "
+                f"{OBS_RECORDER_OVERHEAD_PCT:.0f}% budget"
+            )
+    if slo_rules is not None:
+        from repro.obs.slo import evaluate_slo
+
+        report.slo = evaluate_slo(slo_rules, current)
     if baseline is not None:
         report.compare = compare_snapshots(baseline, current)
     return report

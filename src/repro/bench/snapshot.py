@@ -94,6 +94,17 @@ def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
     start = time.time()  # dclint: allow(PY105)
     result = run_redirector_scenario(**redirector_kwargs)
     wall["redirector"] = round(time.time() - start, 3)  # dclint: allow(PY105)
+    # Same scenario with the flight recorder disabled: the pair of wall
+    # clocks is what the gate's OBS_RECORDER_OVERHEAD_PCT warn-only
+    # claim reads.  Only the timing differs -- the deterministic metric
+    # content comes from the recorder-on run above.
+    from repro.obs import NullFlightRecorder, Obs
+
+    start = time.time()  # dclint: allow(PY105)
+    run_redirector_scenario(
+        obs=Obs(recorder=NullFlightRecorder()), **redirector_kwargs
+    )
+    wall["redirector_norec"] = round(time.time() - start, 3)  # dclint: allow(PY105)
     metrics = result["obs"].metrics.snapshot()
     obs_section["redirector"] = {
         "counters": metrics["counters"],

@@ -304,4 +304,13 @@ class CostateScheduler:
                 f"(busy {starved.total_busy_s:.6g}s over {starved.passes} "
                 "passes)"
             )
+        # Attach the flight-recorder tail: the last events before the
+        # budget ran out usually name the wedged state machine directly.
+        recorder = self.obs.recorder
+        if recorder.enabled:
+            recorder.error("costate", self.name, f"run aborted: {reason}")
+            tail = recorder.tail_lines()
+            if tail:
+                message += "\nflight recorder (most recent last):\n"
+                message += "\n".join(tail)
         return message

@@ -130,12 +130,24 @@ def run_matrix(names: list[str] | None = None,
             f"known: {', '.join(SCENARIOS)}"
         )
     verdicts = _map_tasks(_scenario_worker, [(n, seed) for n in chosen], jobs)
+    # Merge the per-scenario registries (popped side channel) in scenario
+    # order: the merged section is byte-identical whether the scenarios
+    # ran sequentially or fanned out, because the merge inputs and order
+    # are the same either way.
+    from repro.obs.metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    for verdict in verdicts:
+        state = verdict.pop("_registry", None)
+        if state is not None:
+            merged.merge_state(state)
     passed = sum(1 for v in verdicts if v["ok"])
     return {
         "schema": REPORT_SCHEMA_VERSION,
         "kind": "matrix",
         "seed": seed,
         "scenarios": verdicts,
+        "metrics": merged.snapshot(),
         "total": len(verdicts),
         "passed": passed,
         "failed": len(verdicts) - passed,

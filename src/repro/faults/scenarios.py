@@ -36,7 +36,7 @@ from repro.issl.record import CT_APPLICATION_DATA
 from repro.net.dynctcp import DyncTcpStack
 from repro.net.host import build_lan
 from repro.net.sim import SimulationError, Simulator
-from repro.obs import Obs
+from repro.obs import DEFAULT_TAIL, Obs
 from repro.services import (
     ClientReport,
     TLS_PORT,
@@ -216,9 +216,10 @@ def _verdict(name: str, world: World, checks: list[dict]) -> dict:
         key: value for key, value in sorted(world.counters().items())
         if key.startswith(_COUNTER_PREFIXES)
     }
-    return {
+    ok = all(check["ok"] for check in checks)
+    verdict = {
         "name": name,
-        "ok": all(check["ok"] for check in checks),
+        "ok": ok,
         "sim_seconds": round(world.sim.now, 6),
         "checks": checks,
         "counters": counters,
@@ -232,6 +233,15 @@ def _verdict(name: str, world: World, checks: list[dict]) -> dict:
             for report in world.reports
         ],
     }
+    if not ok:
+        # Failed scenarios carry the flight-recorder tail; passing ones
+        # stay byte-identical to the pre-recorder reports.
+        verdict["events"] = world.obs.recorder.dump(last=DEFAULT_TAIL)
+    # Side channel for run_matrix: the full per-world registry state,
+    # merged across scenarios (in scenario order) into the report's
+    # ``metrics`` section, then popped -- never rendered per verdict.
+    verdict["_registry"] = world.obs.metrics.to_state()
+    return verdict
 
 
 def _check(name: str, ok: bool, detail: str = "") -> dict:
@@ -731,9 +741,10 @@ def scenario_echo_loss(seed: int) -> dict:
     ]
     _publish_recovery_counters(obs)
     counters = dict(obs.metrics.snapshot()["counters"])
-    return {
+    ok = all(check["ok"] for check in checks)
+    verdict = {
         "name": "echo-loss",
-        "ok": all(check["ok"] for check in checks),
+        "ok": ok,
         "sim_seconds": round(sim.now, 6),
         "checks": checks,
         "counters": {
@@ -747,6 +758,10 @@ def scenario_echo_loss(seed: int) -> dict:
             "error": None if results.get("echo") else "no echo",
         }],
     }
+    if not ok:
+        verdict["events"] = obs.recorder.dump(last=DEFAULT_TAIL)
+    verdict["_registry"] = obs.metrics.to_state()
+    return verdict
 
 
 def scenario_drop_filter_compat(seed: int) -> dict:

@@ -98,6 +98,9 @@ class IsslContext:
         self._ctr_hs_retries = metrics.counter("issl.handshakes.retries")
         self._ctr_mac_failures = metrics.counter("issl.records.mac_failures")
         self._gauge_sessions = metrics.gauge("issl.sessions.active")
+        #: Mergeable percentile summary of completed handshake times:
+        #: the fleet-level "p95 handshake latency" SLO reads this.
+        self._sketch_handshake = metrics.sketch("issl.handshake_s")
         if any(s.uses_rsa for s in profile.suites) and profile.name == "RMC2000_PORT":
             raise IsslConfigError("RMC2000 port cannot carry RSA suites")
 
@@ -130,7 +133,9 @@ class IsslSession:
         self.role = role
         # ``obs`` overrides the context's tracer for this one session
         # (counters stay context-wide); default is the context's handle.
-        self._tracer = (obs if obs is not None else context.obs).tracer
+        session_obs = obs if obs is not None else context.obs
+        self._tracer = session_obs.tracer
+        self._recorder = session_obs.recorder
         self._span_tid = f"issl:{role}:{context.sessions_total}"
         self.suite: CipherSuite | None = None
         self._send_state: RecordCipherState | None = None
@@ -191,6 +196,10 @@ class IsslSession:
                 # stream is out of step or under attack.  Tear the
                 # session down cleanly rather than limping on.
                 self.context._ctr_mac_failures.inc()
+                self._recorder.error(
+                    CAT_ISSL, self._span_tid,
+                    f"record protection failure: {exc}",
+                )
                 self.context.logger.log(
                     f"issl: {self.role} record protection failure: {exc}"
                 )
@@ -268,6 +277,11 @@ class IsslSession:
                 alive = not getattr(self.transport, "at_eof", True)
                 if attempt + 1 < attempts and alive and not self._transcript:
                     self.context._ctr_hs_retries.inc()
+                    self._recorder.warn(
+                        CAT_ISSL, self._span_tid,
+                        f"handshake attempt {attempt + 1}/{attempts} "
+                        "expired; retrying",
+                    )
                     self.context.logger.log(
                         f"issl: {self.role} handshake timeout "
                         f"(attempt {attempt + 1}/{attempts}); retrying"
@@ -277,6 +291,10 @@ class IsslSession:
                 self._deadline = None
                 self._abandon()
                 self.context._ctr_hs_failed.inc()
+                self._recorder.error(
+                    CAT_ISSL, self._span_tid,
+                    f"handshake gave up after {attempt + 1} attempt(s)",
+                )
                 self._tracer.end(span, error=type(exc).__name__)
                 raise IsslTimeout(
                     f"handshake timed out after {attempt + 1} attempt(s): "
@@ -286,12 +304,20 @@ class IsslSession:
                 self._deadline = None
                 self._abandon()
                 self.context._ctr_hs_failed.inc()
+                self._recorder.error(
+                    CAT_ISSL, self._span_tid,
+                    f"handshake failed: {type(exc).__name__}: {exc}",
+                )
                 self._tracer.end(span, error=type(exc).__name__)
                 raise IsslError(f"handshake failed: {exc}") from exc
             except IsslError as exc:
                 self._deadline = None
                 self._abandon()
                 self.context._ctr_hs_failed.inc()
+                self._recorder.error(
+                    CAT_ISSL, self._span_tid,
+                    f"handshake failed: {type(exc).__name__}: {exc}",
+                )
                 self._tracer.end(span, error=type(exc).__name__)
                 raise
             break
@@ -299,6 +325,7 @@ class IsslSession:
         self.established = True
         self.handshake_seconds = self._now() - start
         self.context._ctr_hs_completed.inc()
+        self.context._sketch_handshake.observe(self.handshake_seconds)
         self._tracer.end(span, suite=self.suite.name)
         self.context.logger.log(
             f"issl: {self.role} handshake complete suite={self.suite.name}"
@@ -475,6 +502,20 @@ class IsslSession:
         if self.role == "client":
             return client_state, server_state
         return server_state, client_state
+
+    # -- trace propagation -----------------------------------------------
+    def set_trace_context(self, ctx) -> None:
+        """Attach a trace context to subsequent outbound records (it
+        rides the underlying TCP frames as a side-channel annotation)."""
+        set_ctx = getattr(self.transport, "set_trace_context", None)
+        if set_ctx is not None:
+            set_ctx(ctx)
+
+    @property
+    def rx_trace_ctx(self):
+        """The trace context delivered with the most recent inbound
+        data, or None (plain unit-test transports have none)."""
+        return getattr(self.transport, "rx_trace_ctx", None)
 
     # -- application data -----------------------------------------------------
     def write(self, data: bytes):

@@ -43,6 +43,14 @@ class BsdTransport:
         conn = self._sock._require_conn()
         conn.send(data)
 
+    def set_trace_context(self, ctx) -> None:
+        self._sock._require_conn().set_trace_context(ctx)
+
+    @property
+    def rx_trace_ctx(self):
+        conn = self._sock._conn
+        return None if conn is None else conn.rx_trace_ctx
+
     def recv_exactly(self, nbytes: int, timeout: float | None = None):
         # Buffer partial reads across calls: a timed-out read must not
         # lose the bytes that did arrive, or a handshake retry would
@@ -87,6 +95,16 @@ class DyncTransport:
         written = self._stack.sock_write(self._sock, data)
         if written < 0:
             raise TransportError("sock_write on closed socket")
+
+    def set_trace_context(self, ctx) -> None:
+        conn = self._sock.conn
+        if conn is not None:
+            conn.set_trace_context(ctx)
+
+    @property
+    def rx_trace_ctx(self):
+        conn = self._sock.conn
+        return None if conn is None else conn.rx_trace_ctx
 
     def recv_exactly(self, nbytes: int, timeout: float | None = None):
         sim = self._stack.host.sim

@@ -143,6 +143,16 @@ class BsdSocket:
             yield conn.update_event
         return len(data)
 
+    def set_trace_context(self, ctx) -> None:
+        """Attach a trace context to subsequent outbound data."""
+        self._require_conn().set_trace_context(ctx)
+
+    @property
+    def rx_trace_ctx(self):
+        """Trace context delivered with the latest inbound data."""
+        conn = self._conn
+        return None if conn is None else conn.rx_trace_ctx
+
     def recv(self, max_bytes: int, timeout: float | None = None):
         """Generator: block until data, EOF (returns b"") or timeout."""
         conn = self._require_conn()

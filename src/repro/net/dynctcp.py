@@ -65,7 +65,8 @@ class DyncTcpStack:
     def __init__(self, host: Host):
         self.host = host
         self.tcp: TcpService = host.tcp
-        self._rx_queue: deque[IpPacket] = deque()
+        #: ``(packet, rx_trace_ctx)`` pairs -- see :meth:`_enqueue`.
+        self._rx_queue: deque[tuple[IpPacket, object]] = deque()
         self._listeners: dict[int, object] = {}
         self._waiting_sockets: dict[int, deque[DyncSocket]] = {}
         #: Attach-loop dirty flag: accept queues only grow while the rx
@@ -80,7 +81,10 @@ class DyncTcpStack:
 
     # -- NIC-side ------------------------------------------------------------
     def _enqueue(self, packet: IpPacket) -> None:
-        self._rx_queue.append(packet)
+        # Capture the delivery-instant trace context with the packet:
+        # the segment is only *processed* at the next tcp_tick, long
+        # after the wire's synchronous rx window has closed.
+        self._rx_queue.append((packet, self.host.sim.rx_trace_ctx))
 
     # -- the API -------------------------------------------------------------
     def sock_init(self) -> int:
@@ -139,15 +143,26 @@ class DyncTcpStack:
         # is where Figure 3's three-connection ceiling bites.
         pending = len(self._rx_queue)
         if pending:
+            sim = self.host.sim
             for _ in range(pending):
-                packet = self._rx_queue.popleft()
+                packet, ctx = self._rx_queue.popleft()
                 segment = packet.payload
                 is_syn = (segment.flags & TCP_SYN
                           and not segment.flags & TCP_ACK)
                 if is_syn and segment.dst_port in self._listeners \
                         and not self._waiting_sockets.get(segment.dst_port):
                     self.syns_deferred += 1
-                self.tcp._handle(packet)
+                if ctx is None:
+                    self.tcp._handle(packet)
+                else:
+                    # Re-raise the captured context for this segment's
+                    # processing so the connection records who sent it.
+                    previous = sim.rx_trace_ctx
+                    sim.rx_trace_ctx = ctx
+                    try:
+                        self.tcp._handle(packet)
+                    finally:
+                        sim.rx_trace_ctx = previous
             self._attach_dirty = True
         # Attach established connections to their waiting sockets.
         # Skipped on idle ticks: the accept queues can only have grown

@@ -20,7 +20,11 @@ class IpStack:
 
     def __init__(self, host):
         self._host = host
-        self._queue: deque[IpPacket] = deque()
+        #: ``(packet, trace_ctx)`` pairs: the wire trace context raised
+        #: by the sender at ``send()`` time rides the queue with its
+        #: packet, because the drain process transmits long after the
+        #: sender's synchronous window has closed.
+        self._queue: deque[tuple[IpPacket, object]] = deque()
         self._wake = host.sim.event(f"ip-out:{host.name}")
         self._handlers: dict[int, Callable[[IpPacket], None]] = {}
         self.packets_sent = 0
@@ -35,21 +39,28 @@ class IpStack:
     def send(self, dst: Ipv4Address, protocol: int, payload) -> None:
         """Queue one packet for transmission (never blocks)."""
         packet = IpPacket(self._host.ip_address, dst, protocol, payload)
+        ctx = self._host.sim.wire_trace_ctx
         if dst == self._host.ip_address:
             # Loopback: deliver in the next simulator slot, not inline,
             # to keep send() non-reentrant.
-            self._host.sim.call_soon(self._deliver, packet)
+            if ctx is None:
+                self._host.sim.call_soon(self._deliver, packet)
+            else:
+                self._host.sim.call_soon(
+                    self._deliver_with_ctx, packet, ctx
+                )
             self.packets_sent += 1
             return
-        self._queue.append(packet)
+        self._queue.append((packet, ctx))
         self._wake.trigger()
 
     def _output_loop(self):
+        sim = self._host.sim
         while True:
             if not self._queue:
                 yield self._wake
                 continue
-            packet = self._queue.popleft()
+            packet, ctx = self._queue.popleft()
             try:
                 mac = yield from self._host.arp.resolve(packet.dst)
             except ArpError:
@@ -58,7 +69,17 @@ class IpStack:
             frame = EthernetFrame(
                 self._host.interface.mac, mac, ETHERTYPE_IP, packet
             )
-            self._host.interface.transmit(frame)
+            # Re-raise the sender's context for the synchronous hop into
+            # ``EthernetSegment.broadcast``; scheduling is unchanged.
+            if ctx is None:
+                self._host.interface.transmit(frame)
+            else:
+                previous = sim.wire_trace_ctx
+                sim.wire_trace_ctx = ctx
+                try:
+                    self._host.interface.transmit(frame)
+                finally:
+                    sim.wire_trace_ctx = previous
             self.packets_sent += 1
 
     def handle_frame(self, frame: EthernetFrame) -> None:
@@ -69,6 +90,17 @@ class IpStack:
             self.packets_dropped += 1
             return
         self._deliver(packet)
+
+    def _deliver_with_ctx(self, packet: IpPacket, ctx) -> None:
+        """Loopback delivery with the sender's trace context raised as
+        the receive-side annotation (mirrors the Ethernet path)."""
+        sim = self._host.sim
+        previous = sim.rx_trace_ctx
+        sim.rx_trace_ctx = ctx
+        try:
+            self._deliver(packet)
+        finally:
+            sim.rx_trace_ctx = previous
 
     def _deliver(self, packet: IpPacket) -> None:
         self.packets_received += 1

@@ -162,13 +162,35 @@ class EthernetSegment:
         start = max(self.sim.now, self._medium_free_at)
         self._medium_free_at = start + serialization
         arrival = self._medium_free_at + self.latency_s
+        # The trace context riding this frame (if the sender raised one)
+        # travels as a side-channel annotation: the delivery callback
+        # re-raises it on the receiving end for the instant of delivery,
+        # so causality crosses the wire without widening the frame
+        # format.  Scheduling order (when, seq) is identical either way.
+        ctx = self.sim.wire_trace_ctx
         for delivered_frame, extra_delay in deliveries:
             for interface in self.interfaces:
                 if interface is not sender:
-                    self.sim.call_at(
-                        arrival + extra_delay, interface.deliver,
-                        delivered_frame,
-                    )
+                    if ctx is None:
+                        self.sim.call_at(
+                            arrival + extra_delay, interface.deliver,
+                            delivered_frame,
+                        )
+                    else:
+                        self.sim.call_at(
+                            arrival + extra_delay, self._deliver_with_ctx,
+                            interface, delivered_frame, ctx,
+                        )
+
+    def _deliver_with_ctx(self, interface: NetworkInterface,
+                          frame: EthernetFrame, ctx) -> None:
+        sim = self.sim
+        previous = sim.rx_trace_ctx
+        sim.rx_trace_ctx = ctx
+        try:
+            interface.deliver(frame)
+        finally:
+            sim.rx_trace_ctx = previous
 
     @property
     def utilization_bytes(self) -> int:

@@ -122,6 +122,10 @@ class Process:
             return
         self.alive = False
         if exc is not None:
+            self._sim.obs.recorder.error(
+                "sim", self.name,
+                f"process killed: {type(exc).__name__}: {exc}",
+            )
             try:
                 self._gen.throw(exc)
             except (StopIteration, type(exc)):
@@ -161,6 +165,15 @@ class Simulator:
         else:
             obs.bind_clock(lambda: self.now)
         self.obs = obs
+        #: Trace-context side channels (:class:`repro.obs.TraceContext`).
+        #: TCP raises ``wire_trace_ctx`` for the synchronous instant a
+        #: data frame is emitted; the link captures it and re-raises it
+        #: as ``rx_trace_ctx`` around delivery on the receiving host --
+        #: so causality crosses simulated hosts without widening the
+        #: frame format.  Both are only ever set around synchronous
+        #: call chains (no yields), never left raised across events.
+        self.wire_trace_ctx = None
+        self.rx_trace_ctx = None
 
     # -- scheduling -----------------------------------------------------
     def call_at(self, when: float, fn: Callable, *args) -> None:

@@ -129,6 +129,7 @@ class TcpConnection:
         # repro.obs); the connection-lifetime span opens on SYN.
         obs = self._host.sim.obs
         self._tracer = obs.tracer
+        self._recorder = obs.recorder
         self._ctr_retransmits = obs.metrics.counter("tcp.segments.retransmitted")
         self._ctr_bytes_sent = obs.metrics.counter("tcp.bytes.sent")
         self._ctr_bytes_received = obs.metrics.counter("tcp.bytes.received")
@@ -137,6 +138,12 @@ class TcpConnection:
         self._span_tid = (
             f"tcp:{self._host.name}:{local_port}->{remote_port}"
         )
+        # Causal side channel: the trace context captured from the
+        # sender at `send()` time rides outbound data frames (including
+        # retransmits); the last context delivered with inbound data is
+        # exposed to readers (issl, services) as `rx_trace_ctx`.
+        self._tx_ctx = None
+        self.rx_trace_ctx = None
 
     def _begin_span(self, how: str) -> None:
         self._ctr_opened.inc()
@@ -165,12 +172,33 @@ class TcpConnection:
         )
         self._host.ip.send(self.remote_ip, IPPROTO_TCP, segment)
 
+    def _emit_data(self, flags: int, payload: bytes,
+                   seq: int | None = None) -> None:
+        """Emit a payload-carrying segment with the captured trace
+        context raised for the synchronous window of ``IpStack.send``,
+        which annotates the queued packet so the context survives the
+        output loop's ARP hop onto the wire."""
+        ctx = self._tx_ctx
+        if ctx is None:
+            self._emit(flags, payload, seq=seq)
+            return
+        sim = self._host.sim
+        previous = sim.wire_trace_ctx
+        sim.wire_trace_ctx = ctx
+        try:
+            self._emit(flags, payload, seq=seq)
+        finally:
+            sim.wire_trace_ctx = previous
+
     def _enter(self, state: TcpState) -> None:
         previous = self.state
         self.state = state
         self._tracer.instant(
             "tcp.state", cat=CAT_TCP, tid=self._span_tid,
             transition=f"{previous.value}->{state.value}",
+        )
+        self._recorder.debug(
+            CAT_TCP, self._span_tid, f"{previous.value}->{state.value}"
         )
         if state in (TcpState.CLOSED, TcpState.TIME_WAIT) \
                 and self._span is not None:
@@ -184,6 +212,7 @@ class TcpConnection:
 
     def _fail(self, reason: str) -> None:
         self.error = reason
+        self._recorder.error(CAT_TCP, self._span_tid, reason)
         self._cancel_timer()
         self._enter(TcpState.CLOSED)
         self._service._forget(self)
@@ -213,6 +242,10 @@ class TcpConnection:
         self._ctr_retransmits.inc()
         self._tracer.instant("tcp.retransmit", cat=CAT_TCP,
                              tid=self._span_tid, rto_s=self._rto)
+        self._recorder.warn(
+            CAT_TCP, self._span_tid,
+            f"retransmit #{self._retransmit_count} in {self.state.value}",
+        )
         self._rto = min(self._rto * 2, MAX_RTO_S)
         if self.state == TcpState.SYN_SENT:
             self._emit(TCP_SYN, seq=self._iss)
@@ -222,7 +255,7 @@ class TcpConnection:
             # Resend the first unacked chunk (and FIN if that is what is out).
             data = self._retransmit[: self.mss]
             if data:
-                self._emit(TCP_ACK | TCP_PSH, data, seq=self.snd_una)
+                self._emit_data(TCP_ACK | TCP_PSH, data, seq=self.snd_una)
             elif self._fin_sent:
                 self._emit(TCP_FIN | TCP_ACK, seq=self.snd_una)
         self._arm_timer()
@@ -278,6 +311,13 @@ class TcpConnection:
         self._pump()
         return len(data)
 
+    def set_trace_context(self, ctx) -> None:
+        """Attach a :class:`repro.obs.TraceContext` to subsequent
+        outbound data (explicit, not ambient: generators yield between
+        a sender's intent and the actual emission, so an ambient global
+        would race across interleaved processes)."""
+        self._tx_ctx = ctx
+
     @property
     def send_queue_length(self) -> int:
         return len(self._send_queue) + len(self._retransmit)
@@ -292,7 +332,7 @@ class TcpConnection:
                 break
             chunk = self._send_queue[:budget]
             self._send_queue = self._send_queue[len(chunk):]
-            self._emit(TCP_ACK | TCP_PSH, chunk)
+            self._emit_data(TCP_ACK | TCP_PSH, chunk)
             self._retransmit += chunk
             self.snd_nxt = seq_add(self.snd_nxt, len(chunk))
             self.bytes_sent += len(chunk)
@@ -420,6 +460,10 @@ class TcpConnection:
                 self.rcv_nxt = seq_add(self.rcv_nxt, len(fresh))
                 self.bytes_received += len(fresh)
                 self._ctr_bytes_received.inc(len(fresh))
+                if fresh:
+                    ctx = self._host.sim.rx_trace_ctx
+                    if ctx is not None:
+                        self.rx_trace_ctx = ctx
                 notify = True
             # ACK whatever we have (also handles duplicates and old data).
             self._emit(TCP_ACK)

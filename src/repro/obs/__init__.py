@@ -31,6 +31,12 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    QuantileSketch,
+)
+from repro.obs.recorder import (
+    DEFAULT_TAIL,
+    FlightRecorder,
+    NullFlightRecorder,
 )
 from repro.obs.trace import (
     CAT_COSTATE,
@@ -39,31 +45,41 @@ from repro.obs.trace import (
     CAT_SERVICE,
     CAT_TCP,
     CAT_XALLOC,
+    NEW_TRACE,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
+    context_of,
 )
 
 
 class Obs:
-    """A tracer + metrics registry pair: the one handle layers accept."""
+    """A tracer + metrics registry + flight recorder: the one handle
+    layers accept."""
 
     def __init__(self, tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 recorder: FlightRecorder | None = None):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.recorder = recorder if recorder is not None else FlightRecorder()
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return (self.tracer.enabled or self.metrics.enabled
+                or self.recorder.enabled)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        """Point the tracer at a time source (the simulator's ``now``).
+        """Point the tracer and recorder at a time source (the
+        simulator's ``now``).
 
         First binding wins: an Obs normally belongs to one simulation.
         """
         if self.tracer.enabled and self.tracer.clock is None:
             self.tracer.clock = clock
+        if self.recorder.enabled and self.recorder.clock is None:
+            self.recorder.clock = clock
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "null"
@@ -72,7 +88,7 @@ class Obs:
 
 #: The shared disabled handle; ``obs or NULL_OBS`` is the idiom at every
 #: instrumentation seam.
-NULL_OBS = Obs(NullTracer(), NullMetricsRegistry())
+NULL_OBS = Obs(NullTracer(), NullMetricsRegistry(), NullFlightRecorder())
 
 
 __all__ = [
@@ -83,13 +99,20 @@ __all__ = [
     "CAT_TCP",
     "CAT_XALLOC",
     "Counter",
+    "DEFAULT_TAIL",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NEW_TRACE",
     "NULL_OBS",
+    "NullFlightRecorder",
     "NullMetricsRegistry",
     "NullTracer",
     "Obs",
+    "QuantileSketch",
     "Span",
+    "TraceContext",
     "Tracer",
+    "context_of",
 ]

@@ -8,6 +8,10 @@ Three subcommands, one per artifact kind:
   ``chrome://tracing`` or https://ui.perfetto.dev), or JSON-lines.
 * ``flame`` -- collapsed stacks for ``flamegraph.pl`` / speedscope
   (``aes`` scenario only; it is the one with a CPU to profile).
+
+Plus ``slo``, which evaluates a declarative rules file
+(:mod:`repro.obs.slo`) against an existing snapshot/report JSON and
+exits non-zero when an error-severity objective is not met.
 """
 
 from __future__ import annotations
@@ -48,6 +52,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     flame = sub.add_parser("flame", help="collapsed flame stacks (aes)")
     add_common(flame, "aes")
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO rules against a snapshot JSON"
+    )
+    slo.add_argument("document", metavar="SNAPSHOT",
+                     help="bench snapshot or fault report JSON to judge")
+    slo.add_argument("--rules", metavar="FILE", default=None,
+                     help="TOML rules file (default: slo.toml)")
+    slo.add_argument("--verbose", action="store_true",
+                     help="show passing rules too")
     return parser
 
 
@@ -93,8 +107,34 @@ def _report_text(args, result: dict) -> str:
     return "\n".join(sections)
 
 
+def _cmd_slo(args) -> int:
+    from repro.obs.slo import (
+        DEFAULT_RULES_FILE,
+        SloConfigError,
+        evaluate_slo,
+        load_rules,
+    )
+
+    try:
+        rules = load_rules(args.rules or DEFAULT_RULES_FILE)
+    except SloConfigError as exc:
+        print(f"slo: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.document, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"slo: cannot load {args.document}: {exc}", file=sys.stderr)
+        return 2
+    report = evaluate_slo(rules, document)
+    print(report.format(verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "slo":
+        return _cmd_slo(args)
     result = _run_scenario(args)
     obs = result["obs"]
     if args.command == "report":

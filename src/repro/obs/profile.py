@@ -96,12 +96,39 @@ def compiled_function_symbols(compilation) -> dict[str, int]:
 
 
 class CycleProfiler:
-    """Attach to a CPU, attribute every instruction's cycles to a routine."""
+    """Attach to a CPU, attribute every instruction's cycles to a routine.
+
+    Two attachment modes:
+
+    * **exact** (default): shadows ``cpu.step`` per instance, which
+      disengages the predecoded-block fast core -- every instruction is
+      attributed, call/return tracking yields flame stacks, but the run
+      pays the single-step emulator.
+    * **sampling** (``sample_blocks=N``): hooks
+      :attr:`repro.rabbit.cpu.Cpu.block_listener` instead, so the fast
+      core stays engaged.  Every Nth executed block, the cycles elapsed
+      since the previous sample are charged to the routine containing
+      that block's entry PC.  Accuracy trade-off: attribution is
+      quantized to runs of N blocks (cycles spent in short-lived callees
+      between samples are charged to whoever owns the sampled block),
+      there is no shadow call stack -- so no ``flame_lines`` and no
+      per-routine instruction/call counts -- and cycles from interrupt
+      dispatch or budget-edge single steps fold into the next sample.
+      ``N=1`` attributes every block and is still far cheaper than
+      exact mode; larger N trades attribution resolution for overhead.
+    """
 
     def __init__(self, cpu, symbols: dict[str, int],
-                 tracer: Tracer | None = None, root: str = "<root>"):
+                 tracer: Tracer | None = None, root: str = "<root>",
+                 sample_blocks: int | None = None):
+        if sample_blocks is not None and sample_blocks < 1:
+            raise ValueError("sample_blocks must be >= 1")
         self.cpu = cpu
         self.root = root
+        self.sample_blocks = sample_blocks
+        self._blocks_seen = 0
+        self.samples = 0
+        self._last_sample_cycles = 0
         self._addresses = sorted(symbols.values())
         by_address: dict[int, str] = {}
         for name, addr in sorted(symbols.items()):
@@ -125,10 +152,21 @@ class CycleProfiler:
         #: lifetime, and PCs repeat heavily in loops).
         self._routine_memo: dict[int, str] = {}
         self._original_step = None
+        self._listening = False
 
     # -- attachment -----------------------------------------------------
     def install(self) -> "CycleProfiler":
-        """Shadow ``cpu.step`` with the profiling wrapper."""
+        """Attach: shadow ``cpu.step`` (exact mode) or hook
+        ``cpu.block_listener`` (sampling mode)."""
+        if self.sample_blocks is not None:
+            if self._listening:
+                raise RuntimeError("profiler already installed")
+            if self.cpu.block_listener is not None:
+                raise RuntimeError("cpu already has a block listener")
+            self._last_sample_cycles = self.cpu.cycles
+            self.cpu.block_listener = self._on_block
+            self._listening = True
+            return self
         if self._original_step is not None:
             raise RuntimeError("profiler already installed")
         self._original_step = self.cpu.step
@@ -136,6 +174,10 @@ class CycleProfiler:
         return self
 
     def uninstall(self) -> None:
+        if self._listening:
+            self.cpu.block_listener = None
+            self._listening = False
+            return
         if self._original_step is None:
             return
         # Remove the instance attribute so the class method shows again.
@@ -202,6 +244,23 @@ class CycleProfiler:
                     cycles=cpu.cycles - started,
                 )
         return cycles
+
+    def _on_block(self, pc: int) -> None:
+        """Sampling-mode hook: every Nth executed block, charge the
+        cycles elapsed since the previous sample to the routine owning
+        this block's entry PC."""
+        self._blocks_seen += 1
+        if self._blocks_seen % self.sample_blocks:
+            return
+        cpu = self.cpu
+        delta = cpu.cycles - self._last_sample_cycles
+        self._last_sample_cycles = cpu.cycles
+        self.samples += 1
+        routine = self._routine_memo.get(pc)
+        if routine is None:
+            routine = self._routine_memo[pc] = self.routine_at(pc)
+        self.self_cycles[routine] = self.self_cycles.get(routine, 0) + delta
+        self.total_cycles += delta
 
     # -- reports --------------------------------------------------------
     def report_rows(self, top: int = 0) -> list[dict]:

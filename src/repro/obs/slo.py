@@ -1,0 +1,283 @@
+"""Declarative SLO rules evaluated over snapshot documents.
+
+An SLO file is TOML with one ``[[rule]]`` table per objective::
+
+    [[rule]]
+    name = "fault-scenarios-recover"
+    path = "faults/failed"          # "/"-separated path into the JSON
+    op = "=="
+    threshold = 0.0
+    severity = "error"              # "error" fails the gate; "warn" nags
+    description = "every fault scenario recovers"
+
+    [[rule]]
+    name = "fault-recovery-ratio"
+    numerator = "metrics/counters/faults.recovered."
+    denominator = "metrics/counters/faults.injected."
+    op = ">="
+    threshold = 0.5
+    severity = "warn"
+
+Two rule shapes:
+
+* **path** rules resolve one scalar (counter value, gauge field,
+  histogram/sketch percentile -- anything a snapshot serializes) and
+  compare it against the threshold.
+* **ratio** rules sum every key under two prefixes (the last path
+  segment is a key prefix inside the dict the rest of the path names)
+  and compare numerator/denominator.  This is the aggregation the fault
+  campaign needs: recovery actions over injected faults, whatever the
+  individual counter names are.
+
+The same engine runs everywhere SLOs are consumed: ``python -m
+repro.obs slo`` evaluates a rules file against any snapshot JSON,
+``repro.bench gate --slo`` folds the verdict into the regression gate,
+and ``repro.faults {run,matrix} --slo`` prints it to stderr (stdout
+stays the canonical byte-stable report).
+
+A rule whose inputs are missing from the document evaluates to
+``MISSING``: reported, but never gate-failing, matching the drift
+gate's stance that schema differences must be visible without breaking
+the gate retroactively (snapshots built with ``--no-obs`` or
+``--no-faults`` legitimately lack whole sections).  Only ``VIOLATED``
+at ``error`` severity fails.
+"""
+
+from __future__ import annotations
+
+import operator
+import tomllib
+from dataclasses import dataclass, field
+
+_OPS = {
+    ">=": operator.ge,
+    ">": operator.gt,
+    "<=": operator.le,
+    "<": operator.lt,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARN = "warn"
+
+OK = "ok"
+VIOLATED = "violated"
+MISSING = "missing"
+
+#: Conventional rules file at the repo root, next to BENCH_baseline.json.
+DEFAULT_RULES_FILE = "slo.toml"
+
+
+class SloConfigError(ValueError):
+    """A rules file that cannot be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative objective over a snapshot document."""
+
+    name: str
+    op: str
+    threshold: float
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+    path: str | None = None
+    numerator: str | None = None
+    denominator: str | None = None
+
+    @property
+    def target(self) -> str:
+        if self.path is not None:
+            return self.path
+        return f"sum({self.numerator}) / sum({self.denominator})"
+
+    def evaluate(self, document: dict) -> "SloResult":
+        if self.path is not None:
+            value = resolve_path(document, self.path)
+        else:
+            numerator = sum_prefix(document, self.numerator)
+            denominator = sum_prefix(document, self.denominator)
+            if numerator is None or denominator is None or denominator == 0:
+                value = None
+            else:
+                value = numerator / denominator
+        if value is None:
+            return SloResult(self, None, MISSING)
+        holds = _OPS[self.op](value, self.threshold)
+        return SloResult(self, value, OK if holds else VIOLATED)
+
+
+def resolve_path(document: dict, path: str) -> float | None:
+    """Walk a "/"-separated key path; scalars only, ``None`` if absent."""
+    node = document
+    for key in path.split("/"):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool):
+        return float(node)
+    if isinstance(node, (int, float)):
+        return float(node)
+    return None
+
+
+def sum_prefix(document: dict, spec: str) -> float | None:
+    """Sum every numeric value whose key starts with the spec's last
+    segment, inside the dict the leading segments name.
+
+    ``"metrics/counters/faults.injected."`` sums every
+    ``faults.injected.*`` counter of the report's merged registry.
+    """
+    if spec is None:
+        return None
+    parent_path, _slash, prefix = spec.rpartition("/")
+    node: object = document
+    if parent_path:
+        for key in parent_path.split("/"):
+            if not isinstance(node, dict) or key not in node:
+                return None
+            node = node[key]
+    if not isinstance(node, dict):
+        return None
+    total = 0.0
+    found = False
+    for key, value in node.items():
+        if key.startswith(prefix) and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            total += value
+            found = True
+    return total if found else None
+
+
+@dataclass
+class SloResult:
+    rule: SloRule
+    value: float | None
+    status: str
+
+    @property
+    def failing(self) -> bool:
+        """Does this result sink the gate (error severity, violated)?"""
+        return (self.status == VIOLATED
+                and self.rule.severity == SEVERITY_ERROR)
+
+    def line(self) -> str:
+        rule = self.rule
+        if self.status == OK:
+            verdict = "PASS"
+        elif self.status == MISSING:
+            verdict = "MISS"
+        else:
+            verdict = "FAIL"
+        value = "n/a" if self.value is None else f"{self.value:.6g}"
+        text = (f"{verdict} {rule.name} [{rule.severity}]: "
+                f"{rule.target} = {value} "
+                f"(want {rule.op} {rule.threshold:g})")
+        if rule.description:
+            text += f" -- {rule.description}"
+        return text
+
+
+@dataclass
+class SloReport:
+    """Every rule's verdict plus the overall gate answer."""
+
+    results: list[SloResult] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[SloResult]:
+        return [r for r in self.results if r.status != OK]
+
+    @property
+    def failures(self) -> list[SloResult]:
+        return [r for r in self.results if r.failing]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self, verbose: bool = False) -> str:
+        shown = self.results if verbose else self.violations
+        lines = [
+            f"slo: {len(self.results)} rule(s), "
+            f"{len(self.violations)} not met, "
+            f"{len(self.failures)} gate-failing"
+        ]
+        lines += [f"  {result.line()}" for result in shown]
+        lines.append(f"  slo verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _validate_rule(table: dict, index: int) -> SloRule:
+    where = f"rule #{index + 1}"
+    name = table.get("name")
+    if not isinstance(name, str) or not name:
+        raise SloConfigError(f"{where}: missing 'name'")
+    where = f"rule {name!r}"
+    op = table.get("op")
+    if op not in _OPS:
+        raise SloConfigError(
+            f"{where}: 'op' must be one of {sorted(_OPS)}, got {op!r}"
+        )
+    threshold = table.get("threshold")
+    if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
+        raise SloConfigError(f"{where}: 'threshold' must be a number")
+    severity = table.get("severity", SEVERITY_ERROR)
+    if severity not in (SEVERITY_ERROR, SEVERITY_WARN):
+        raise SloConfigError(
+            f"{where}: 'severity' must be 'error' or 'warn', "
+            f"got {severity!r}"
+        )
+    path = table.get("path")
+    numerator = table.get("numerator")
+    denominator = table.get("denominator")
+    if path is not None and (numerator is not None
+                             or denominator is not None):
+        raise SloConfigError(
+            f"{where}: give either 'path' or "
+            f"'numerator'+'denominator', not both"
+        )
+    if path is None and (numerator is None or denominator is None):
+        raise SloConfigError(
+            f"{where}: needs 'path', or both "
+            f"'numerator' and 'denominator'"
+        )
+    return SloRule(
+        name=name, op=op, threshold=float(threshold), severity=severity,
+        description=str(table.get("description", "")),
+        path=path, numerator=numerator, denominator=denominator,
+    )
+
+
+def parse_rules(text: bytes | str) -> list[SloRule]:
+    """Parse and validate a TOML rules document."""
+    if isinstance(text, str):
+        text = text.encode("utf-8")
+    try:
+        document = tomllib.loads(text.decode("utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise SloConfigError(f"invalid TOML: {exc}") from exc
+    tables = document.get("rule", [])
+    if not isinstance(tables, list) or not tables:
+        raise SloConfigError("no [[rule]] tables found")
+    return [_validate_rule(table, index)
+            for index, table in enumerate(tables)]
+
+
+def load_rules(path: str) -> list[SloRule]:
+    """Read and validate a rules file."""
+    try:
+        with open(path, "rb") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise SloConfigError(f"cannot read rules file {path}: {exc}") from exc
+    try:
+        return parse_rules(text)
+    except SloConfigError as exc:
+        raise SloConfigError(f"{path}: {exc}") from exc
+
+
+def evaluate_slo(rules: list[SloRule], document: dict) -> SloReport:
+    """Evaluate every rule against one snapshot document."""
+    return SloReport(results=[rule.evaluate(document) for rule in rules])

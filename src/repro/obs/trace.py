@@ -43,17 +43,52 @@ CAT_XALLOC = "xalloc"
 CAT_SERVICE = "service"
 CAT_APP = "app"
 
+#: Sentinel for ``Tracer.begin(trace=NEW_TRACE)``: mint a fresh trace
+#: rooted at the new span (its trace id is its own span id).
+NEW_TRACE = "new"
+
+
+class TraceContext:
+    """The portable causal handle: which trace, and which span within it.
+
+    Minted at a request's root span and carried as a side-channel
+    annotation (through TCP send queues and across ``EthernetSegment``
+    frames), so a receiver on another simulated host can open its span
+    with ``parent=ctx.span_id, trace=ctx.trace_id`` and the whole
+    request path reconstructs as one tree.
+    """
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"TraceContext(trace={self.trace_id}, span={self.span_id})"
+
+
+def context_of(span: "Span | None") -> TraceContext | None:
+    """The :class:`TraceContext` naming ``span``, or None for null/untraced
+    spans (a :class:`NullTracer` span has no ids to propagate)."""
+    span_id = getattr(span, "span_id", None)
+    if span_id is None:
+        return None
+    trace_id = span.trace_id if span.trace_id is not None else span_id
+    return TraceContext(trace_id, span_id)
+
 
 class Span:
     """One named interval on one logical timeline."""
 
     __slots__ = ("name", "cat", "tid", "start", "end", "args", "span_id",
-                 "parent_id", "wall_start", "wall_end", "cycles_start",
-                 "cycles_end")
+                 "parent_id", "trace_id", "wall_start", "wall_end",
+                 "cycles_start", "cycles_end")
 
     def __init__(self, name: str, cat: str, tid: str, start: float,
                  span_id: int, parent_id: int | None, args: dict,
-                 wall_start: float, cycles_start: int | None):
+                 wall_start: float, cycles_start: int | None,
+                 trace_id: int | None = None):
         self.name = name
         self.cat = cat
         self.tid = tid
@@ -62,6 +97,7 @@ class Span:
         self.args = args
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.wall_start = wall_start
         self.wall_end: float | None = None
         self.cycles_start = cycles_start
@@ -85,6 +121,7 @@ class Span:
             "tid": self.tid,
             "id": self.span_id,
             "parent": self.parent_id,
+            "trace": self.trace_id,
             "start_s": self.start,
             "end_s": self.end,
             "wall_s": (None if self.wall_end is None
@@ -139,12 +176,30 @@ class Tracer:
         return self.cycle_clock() if self.cycle_clock is not None else None
 
     def begin(self, name: str, cat: str = CAT_APP, tid: str = "main",
+              parent: int | None = None, trace: int | str | None = None,
               **args) -> Span:
-        """Open a span; it nests under the tid's current open span."""
+        """Open a span; it nests under the tid's current open span.
+
+        ``parent`` overrides the stack parent with an explicit span id
+        -- how a receiver links its span to a *remote* sender's via a
+        propagated :class:`TraceContext`.  ``trace`` sets the trace id:
+        an int adopts an existing trace, :data:`NEW_TRACE` mints a fresh
+        one rooted here; by default the span inherits its local parent's
+        trace.
+        """
         stack = self._stacks.setdefault(tid, [])
-        parent_id = stack[-1].span_id if stack else None
+        local_parent = stack[-1] if stack else None
+        parent_id = parent if parent is not None else (
+            local_parent.span_id if local_parent is not None else None
+        )
         span = Span(name, cat, tid, self.now(), self._next_id, parent_id,
                     args, time.perf_counter(), self._cycles())  # dclint: allow(PY105)
+        if trace == NEW_TRACE:
+            span.trace_id = span.span_id
+        elif trace is not None:
+            span.trace_id = trace
+        elif parent is None and local_parent is not None:
+            span.trace_id = local_parent.trace_id
         self._next_id += 1
         stack.append(span)
         return span
@@ -170,12 +225,15 @@ class Tracer:
         return _SpanContext(self, self.begin(name, cat, tid, **args))
 
     def add_complete(self, name: str, start: float, end: float,
-                     cat: str = CAT_APP, tid: str = "main", **args) -> Span:
+                     cat: str = CAT_APP, tid: str = "main",
+                     parent: int | None = None, trace: int | None = None,
+                     **args) -> Span:
         """Record an already-timed interval (reconstructed timelines:
         the costatement scheduler knows where each slice *would* sit on
-        the board even though the simulator charges time in one lump)."""
-        span = Span(name, cat, tid, start, self._next_id, None, args,
-                    time.perf_counter(), None)  # dclint: allow(PY105)
+        the board even though the simulator charges time in one lump).
+        ``parent``/``trace`` attach it to a propagated trace context."""
+        span = Span(name, cat, tid, start, self._next_id, parent, args,
+                    time.perf_counter(), None, trace_id=trace)  # dclint: allow(PY105)
         self._next_id += 1
         span.end = end
         span.wall_end = span.wall_start
@@ -253,8 +311,14 @@ class Tracer:
             args = dict(span.args)
             if span.cycles is not None:
                 args["cycles"] = span.cycles
-            if args:
-                event["args"] = args
+            # Span identity rides in args so parent links survive the
+            # Chrome export and a viewer (or test) can rebuild the tree.
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent"] = span.parent_id
+            if span.trace_id is not None:
+                args["trace"] = span.trace_id
+            event["args"] = args
             events.append(event)
         for instant in self.instants:
             events.append({
@@ -277,6 +341,9 @@ class _NullSpan:
     end = None
     duration = 0.0
     cycles = None
+    span_id = None
+    parent_id = None
+    trace_id = None
 
     def __enter__(self):
         return self

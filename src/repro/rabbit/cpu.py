@@ -49,6 +49,15 @@ class Cpu:
     #: automatically.
     use_fast_core = True
 
+    #: Optional ``callable(pc)`` invoked after every predecoded block
+    #: the fast loops execute (the ``pc`` is the block's entry point).
+    #: Unlike a ``step`` override this does NOT disengage the fast core
+    #: -- it is the sampling hook the obs ``CycleProfiler`` uses to
+    #: profile without paying the single-step path.  The loops hoist the
+    #: attribute once on entry, so set it before calling ``run``/
+    #: ``run_cycles``/``call_subroutine``, not during.
+    block_listener = None
+
     def __init__(self, memory, io=None):
         self.memory = memory
         self.io = io
@@ -474,6 +483,7 @@ class Cpu:
         cache = self._fast_cache()
         memory = self.memory
         blocks = cache.blocks
+        listener = self.block_listener
         remaining = max_instructions
         while remaining > 0:
             if self.halted:
@@ -504,6 +514,8 @@ class Cpu:
                 if cache.bail:
                     break
             remaining -= self.instructions - before
+            if listener is not None:
+                listener(pc)
         # The slow loop's budget check runs before its halt check, so a
         # HALT on the very last budgeted instruction still raises.
         raise CpuError(f"exceeded {max_instructions} instructions")
@@ -529,6 +541,7 @@ class Cpu:
         cache = self._fast_cache()
         memory = self.memory
         blocks = cache.blocks
+        listener = self.block_listener
         remaining = max_instructions
         while remaining > 0:
             if self.pc == stop_address:
@@ -560,6 +573,8 @@ class Cpu:
                 if cache.bail:
                     break
             remaining -= self.instructions - before
+            if listener is not None:
+                listener(pc)
         # Like the slow loop: budget exhaustion wins even if the last
         # budgeted step landed on the stop address.
         raise CpuError(f"subroutine at {address:#06x} did not return")
@@ -584,6 +599,7 @@ class Cpu:
         cache = self._fast_cache()
         memory = self.memory
         blocks = cache.blocks
+        listener = self.block_listener
         while self.cycles < target:
             if self.halted:
                 if not (self._int_pending and self.iff1):
@@ -604,6 +620,8 @@ class Cpu:
                 op(self, memory)
                 if cache.bail or self.cycles >= target:
                     break
+            if listener is not None:
+                listener(pc)
         return self.cycles - start
 
     # -- main table -----------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.issl.api import issl_bind
 from repro.issl.session import IsslContext, IsslError
 from repro.net.bsd import SocketError, socket
 from repro.net.host import Host
+from repro.obs.trace import CAT_APP, NEW_TRACE, context_of
 
 
 @dataclass
@@ -57,16 +58,25 @@ def secure_request_client(host: Host, context: IsslContext, server_ip: str,
         yield from session.handshake()
         report.handshake_time = sim.now - t0
         payload = _make_payload(request_size)
+        tracer = sim.obs.tracer
+        tid = f"client:{report.name}"
         for index in range(requests):
             t0 = sim.now
+            # Each request mints a fresh trace; the context rides the
+            # wire so the redirector and backend spans join this tree.
+            span = tracer.begin("client.request", cat=CAT_APP, tid=tid,
+                                trace=NEW_TRACE, seq=index)
+            session.set_trace_context(context_of(span))
             yield from session.write(payload + b"\n")
             report.bytes_sent += len(payload) + 1
             response = yield from _read_secure_line(session)
             if response is None:
                 report.error = f"EOF at request {index}"
+                tracer.end(span, error="eof")
                 break
             report.bytes_received += len(response) + 1
             report.request_times.append(sim.now - t0)
+            tracer.end(span)
         yield from session.close()
     except (SocketError, IsslError) as exc:
         report.error = str(exc)
@@ -86,16 +96,23 @@ def plain_request_client(host: Host, server_ip: str, port: int,
         yield from sock.connect((server_ip, port))
         report.connect_time = sim.now - t0
         payload = _make_payload(request_size)
+        tracer = sim.obs.tracer
+        tid = f"client:{report.name}"
         for index in range(requests):
             t0 = sim.now
+            span = tracer.begin("client.request", cat=CAT_APP, tid=tid,
+                                trace=NEW_TRACE, seq=index)
+            sock.set_trace_context(context_of(span))
             yield from sock.sendall(payload + b"\n")
             report.bytes_sent += len(payload) + 1
             response = yield from _read_plain_line(sock)
             if response is None:
                 report.error = f"EOF at request {index}"
+                tracer.end(span, error="eof")
                 break
             report.bytes_received += len(response) + 1
             report.request_times.append(sim.now - t0)
+            tracer.end(span)
         sock.close()
     except SocketError as exc:
         report.error = str(exc)

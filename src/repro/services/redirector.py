@@ -37,7 +37,7 @@ from repro.net.addresses import Ipv4Address
 from repro.net.bsd import LISTENQ, SocketError, socket
 from repro.net.dynctcp import DyncTcpStack, make_socket
 from repro.net.host import Host
-from repro.obs.trace import CAT_SERVICE
+from repro.obs.trace import CAT_SERVICE, context_of
 from repro.unixsim.host import UnixHost
 from repro.unixsim.process import exit_process
 
@@ -66,6 +66,8 @@ def backend_line_server(host: Host, port: int = BACKEND_PORT,
     lsock = socket(host)
     lsock.bind(("", port))
     lsock.listen(LISTENQ)
+    tracer = host.sim.obs.tracer
+    backend_tid = f"svc:{host.name}:backend"
 
     def handle(conn):
         buffer = b""
@@ -81,7 +83,17 @@ def backend_line_server(host: Host, port: int = BACKEND_PORT,
                 line, buffer = buffer.split(b"\n", 1)
                 if stats is not None:
                     stats["requests"] = stats.get("requests", 0) + 1
+                # Parent on the redirector's propagated trace context so
+                # the backend leg hangs off the service.request span.
+                ctx = conn.rx_trace_ctx
+                span = tracer.begin(
+                    "backend.request", cat=CAT_SERVICE, tid=backend_tid,
+                    parent=None if ctx is None else ctx.span_id,
+                    trace=None if ctx is None else ctx.trace_id,
+                    bytes=len(line),
+                )
                 yield from conn.sendall(transform(line) + b"\n")
+                tracer.end(span)
         conn.close()
 
     while True:
@@ -187,18 +199,23 @@ def _unix_child(host, context, conn, backend_ip, backend_port, stats,
         line = yield from _read_secure_line(session)
         if line is None:
             break
-        request_start = host.sim.now
+        ctx = session.rx_trace_ctx
+        req_span = tracer.begin(
+            "service.request", cat=CAT_SERVICE, tid=tid,
+            parent=None if ctx is None else ctx.span_id,
+            trace=None if ctx is None else ctx.trace_id,
+            bytes=len(line),
+        )
+        backend.set_trace_context(context_of(req_span))
         yield from backend.sendall(line + b"\n")
         response = yield from _read_plain_line(backend)
         if response is None:
+            tracer.end(req_span, error="backend-eof")
             break
         yield from session.write(response + b"\n")
         requests += 1
         ctr_redirected.inc()
-        tracer.add_complete(
-            "service.request", request_start, host.sim.now,
-            cat=CAT_SERVICE, tid=tid, bytes=len(line),
-        )
+        tracer.end(req_span)
         if stats is not None:
             stats["redirected"] = stats.get("redirected", 0) + 1
     backend.close()
@@ -272,6 +289,7 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
     sim = stack.host.sim
     obs = sim.obs
     tracer = obs.tracer
+    recorder = obs.recorder
     metrics = obs.metrics
     ctr_refused_sessions = metrics.counter("redirector.refused.sessions")
     ctr_refused_memory = metrics.counter("redirector.refused.memory")
@@ -296,6 +314,7 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
             yield
         if not stack.sock_established(sock):
             log(f"redirector: {label}: connection died before established")
+            recorder.warn(CAT_SERVICE, tid, "connection died before established")
             stack.sock_abort(sock)
             ctr_recovered.inc()
             yield
@@ -309,6 +328,7 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
                 # Graceful degradation: no record buffer, no service.
                 ctr_refused_memory.inc()
                 log(f"redirector: {label}: out of xmem, refusing: {exc}")
+                recorder.warn(CAT_SERVICE, tid, "refused: out of xmem")
                 stack.sock_abort(sock)
                 tracer.end(span, error="memory")
                 ctr_recovered.inc()
@@ -323,6 +343,7 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
                 # Figure 3's static ceiling: refuse, count, re-listen.
                 ctr_refused_sessions.inc()
                 log(f"redirector: {label}: refused: {exc}")
+                recorder.warn(CAT_SERVICE, tid, "refused: session limit")
                 stack.sock_abort(sock)
                 if buffer is not None:
                     buffer_pool.release(buffer)
@@ -338,6 +359,9 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
             except IsslError as exc:
                 ctr_hs_errors.inc()
                 log(f"redirector: {label}: handshake failed: {exc}")
+                recorder.error(
+                    CAT_SERVICE, tid, f"handshake failed: {type(exc).__name__}"
+                )
                 stack.sock_abort(sock)
                 if buffer is not None:
                     buffer_pool.release(buffer)
@@ -360,6 +384,7 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
         if not stack.sock_established(backend):
             ctr_backend_errors.inc()
             log(f"redirector: {label}: backend unreachable")
+            recorder.error(CAT_SERVICE, tid, "backend unreachable")
             stack.sock_abort(backend)
             if secure:
                 yield from session.close()
@@ -422,7 +447,22 @@ def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler",
             return requests
         if line is None:
             return requests
-        request_start = sim.now
+        # Open the relay span parented on the client's propagated trace
+        # context (delivered alongside the request bytes), and raise our
+        # own context on the backend leg, so one client request renders
+        # as client.request -> service.request -> backend.request.
+        if session is not None:
+            ctx = session.rx_trace_ctx
+        else:
+            ctx = None if sock.conn is None else sock.conn.rx_trace_ctx
+        span = tracer.begin(
+            "service.request", cat=CAT_SERVICE, tid=tid,
+            parent=None if ctx is None else ctx.span_id,
+            trace=None if ctx is None else ctx.trace_id,
+            bytes=len(line),
+        )
+        if backend.conn is not None:
+            backend.conn.set_trace_context(context_of(span))
         stack.sock_write(backend, line + b"\n")
         try:
             response = yield from _dync_read_line(stack, backend, deadline)
@@ -433,13 +473,16 @@ def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler",
                     f"redirector: {tid}: backend response deadline expired"
                 )
             stack.sock_abort(sock)
+            tracer.end(span, error="backend-deadline")
             return requests
         if response is None:
+            tracer.end(span, error="backend-eof")
             return requests
         if session is not None:
             try:
                 yield from session.write(response + b"\n")
             except (IsslError, TransportError):
+                tracer.end(span, error="client-write")
                 return requests
         else:
             stack.sock_write(sock, response + b"\n")
@@ -447,10 +490,7 @@ def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler",
         ctr_redirected.inc()
         if deadline is not None:
             deadline = sim.now + deadline_s
-        tracer.add_complete(
-            "service.request", request_start, sim.now,
-            cat=CAT_SERVICE, tid=tid, bytes=len(line),
-        )
+        tracer.end(span)
         if stats is not None:
             stats["redirected"] = stats.get("redirected", 0) + 1
 

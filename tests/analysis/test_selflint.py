@@ -83,6 +83,26 @@ def test_simulation_packages_are_deterministic():
             )
 
 
+def test_obs_wall_clock_is_confined_to_trace_spans():
+    """The obs v2 additions (flight recorder, mergeable metrics, SLO
+    engine, sampling profiler) are deterministic by construction --
+    recorder dumps and metric snapshots must merge byte-identically
+    across ``--jobs`` fan-out.  Only the tracer's wall-span bookkeeping
+    in ``trace.py`` may annotate a wall-clock read; an allow() anywhere
+    else in the package is a new nondeterminism sneaking in."""
+    obs = REPO / "src" / "repro" / "obs"
+    for path in obs.rglob("*.py"):
+        if path.name == "trace.py":
+            continue
+        assert "allow(PY10" not in path.read_text(), (
+            f"{path}: obs wall-clock reads belong in trace.py's "
+            "wall spans only"
+        )
+    diagnostics = [d for d in analyze_paths([obs])
+                   if d.rule in ("PY105", "PY106")]
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
+
+
 def test_parallel_selflint_matches_serial():
     """--jobs fan-out must not change the diagnostic stream."""
     serial = analyze_paths(LINTED_TREES)

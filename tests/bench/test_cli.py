@@ -123,6 +123,68 @@ class TestGateCli:
         assert "FAIL" in completed.stdout
         assert "+25.00%" in completed.stdout
 
+    def test_perturbed_slo_rules_fail_gate_subprocess(
+        self, quick_snapshot_path, tmp_path
+    ):
+        """The SLO acceptance contract end to end: a rules file whose
+        threshold the snapshot violates must turn the gate red with a
+        per-rule diff, even when claims and drift both pass."""
+        rules = tmp_path / "slo.toml"
+        rules.write_text(
+            '[[rule]]\n'
+            'name = "all-scenarios-pass"\n'
+            'path = "faults/passed"\n'
+            'op = ">="\n'
+            'threshold = 99.0\n'
+            'severity = "error"\n'
+            'description = "the matrix must stay this big"\n',
+            encoding="utf-8",
+        )
+        completed = _run_module(
+            "gate", "--baseline", str(quick_snapshot_path),
+            "--snapshot", str(quick_snapshot_path), "--slo", str(rules),
+        )
+        assert completed.returncode == 1, completed.stderr
+        assert "FAIL all-scenarios-pass [error]" in completed.stdout
+        assert "faults/passed" in completed.stdout
+        assert "want >= 99" in completed.stdout
+        assert "slo verdict: FAIL" in completed.stdout
+        assert "verdict: FAIL" in completed.stdout.splitlines()[-1]
+
+    def test_met_slo_rules_keep_the_gate_green(
+        self, quick_snapshot_path, tmp_path, capsys
+    ):
+        rules = tmp_path / "slo.toml"
+        rules.write_text(
+            '[[rule]]\n'
+            'name = "no-failed-scenarios"\n'
+            'path = "faults/failed"\n'
+            'op = "=="\n'
+            'threshold = 0.0\n',
+            encoding="utf-8",
+        )
+        assert main(["gate", "--baseline", str(quick_snapshot_path),
+                     "--snapshot", str(quick_snapshot_path),
+                     "--slo", str(rules)]) == 0
+        out = capsys.readouterr().out
+        assert "slo verdict: PASS" in out
+        assert "verdict: PASS" in out.splitlines()[-1]
+
+    def test_no_slo_skips_evaluation(self, quick_snapshot_path, capsys):
+        assert main(["gate", "--baseline", str(quick_snapshot_path),
+                     "--snapshot", str(quick_snapshot_path),
+                     "--no-slo"]) == 0
+        assert "slo verdict" not in capsys.readouterr().out
+
+    def test_invalid_slo_file_exits_two(self, quick_snapshot_path,
+                                        tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("not [ toml", encoding="utf-8")
+        assert main(["gate", "--baseline", str(quick_snapshot_path),
+                     "--snapshot", str(quick_snapshot_path),
+                     "--slo", str(bad)]) == 2
+        assert "invalid TOML" in capsys.readouterr().err
+
     def test_violated_claim_fails_gate(self, quick_snapshot_path,
                                        tmp_path, capsys):
         document = json.loads(quick_snapshot_path.read_text())

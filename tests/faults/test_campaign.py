@@ -8,6 +8,7 @@ demands recovery, and the same seed produces the same report.
 
 import pytest
 
+from repro.obs import DEFAULT_TAIL
 from repro.faults.campaign import (
     DEFAULT_SEED,
     REPORT_SCHEMA_VERSION,
@@ -99,6 +100,40 @@ class TestCrashContainment:
         assert "handler blew up" in check["detail"]
 
 
+class TestRecorderEmbedding:
+    def test_failed_scenario_carries_the_recorder_tail(self, monkeypatch):
+        """A red verdict ships the last-N flight-recorder events -- the
+        'why' alongside the 'what' -- capped at DEFAULT_TAIL."""
+        def failing(seed):
+            world = scenario_mod.build_world(seed, client_hosts=1)
+            world.obs.recorder.error("faults", "forced",
+                                     "deliberate failure")
+            return scenario_mod._verdict(
+                "always-fails", world,
+                [scenario_mod._check("forced", False, "always fails")],
+            )
+
+        monkeypatch.setitem(
+            scenario_mod.SCENARIOS, "always-fails",
+            (failing, "a scenario that always fails"),
+        )
+        verdict = run_scenario("always-fails")
+        assert verdict["ok"] is False
+        events = verdict["events"]
+        assert events
+        assert len(events) <= DEFAULT_TAIL
+        assert any(e["msg"] == "deliberate failure" for e in events)
+        for event in events:
+            assert set(event) == {"seq", "t", "sev", "cat", "tid", "msg"}
+
+    def test_passing_scenario_has_no_events_key(self):
+        """Green verdicts stay byte-identical to the pre-recorder
+        reports: no events section at all."""
+        verdict = run_scenario("baseline")
+        assert verdict["ok"], verdict["checks"]
+        assert "events" not in verdict
+
+
 class TestMatrix:
     def test_subset_report_shape_and_verdict(self):
         report = run_matrix(["baseline", "rst-midhandshake"])
@@ -114,3 +149,12 @@ class TestMatrix:
     def test_same_seed_same_report(self):
         names = ["baseline", "hello-loss", "fin-midhandshake"]
         assert run_matrix(names, seed=5) == run_matrix(names, seed=5)
+
+    def test_report_embeds_merged_metrics_section(self):
+        report = run_matrix(["baseline", "syn-loss"])
+        counters = report["metrics"]["counters"]
+        # syn-loss's injection shows up in the fleet-wide merge.
+        assert counters["faults.injected.drop"] == 1
+        assert list(counters) == sorted(counters)
+        # The per-scenario side channel never leaks into the verdicts.
+        assert all("_registry" not in v for v in report["scenarios"])

@@ -101,6 +101,50 @@ class TestMatrixCli:
         assert "unknown scenario" in completed.stderr
 
 
+class TestSloFlag:
+    """``--slo``: evaluate repro.obs.slo rules against the report.
+
+    The verdict goes to stderr so stdout stays the canonical JSON
+    encoding regardless of whether rules are in play.
+    """
+
+    def test_met_rules_keep_exit_zero_and_stdout_canonical(self, tmp_path):
+        rules = tmp_path / "rules.toml"
+        rules.write_text(
+            '[[rule]]\nname = "nothing-failed"\npath = "failed"\n'
+            'op = "=="\nthreshold = 0.0\nseverity = "error"\n',
+            encoding="utf-8",
+        )
+        completed = _run_module("run", "baseline", "--slo", str(rules))
+        assert completed.returncode == 0, completed.stderr
+        assert "slo verdict: PASS" in completed.stderr
+        report = json.loads(completed.stdout)
+        assert completed.stdout == (
+            json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
+
+    def test_violated_error_rule_exits_one(self, tmp_path):
+        rules = tmp_path / "rules.toml"
+        rules.write_text(
+            '[[rule]]\nname = "impossible-pass-count"\npath = "passed"\n'
+            'op = ">="\nthreshold = 99.0\nseverity = "error"\n',
+            encoding="utf-8",
+        )
+        completed = _run_module("run", "baseline", "--slo", str(rules))
+        assert completed.returncode == 1
+        assert "FAIL impossible-pass-count [error]" in completed.stderr
+        assert "slo verdict: FAIL" in completed.stderr
+        # The report itself is still green and still on stdout.
+        assert json.loads(completed.stdout)["verdict"] == "PASS"
+
+    def test_invalid_rules_file_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("not [ toml", encoding="utf-8")
+        completed = _run_module("run", "baseline", "--slo", str(bad))
+        assert completed.returncode == 2
+        assert "invalid TOML" in completed.stderr
+
+
 @pytest.mark.slow
 class TestFullMatrix:
     def test_full_matrix_deterministic_and_green(self, tmp_path):

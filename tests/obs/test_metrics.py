@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    QuantileSketch,
 )
 
 
@@ -173,6 +174,135 @@ class TestRegistrySnapshots:
         assert parsed == registry.snapshot()
 
 
+class TestQuantileSketch:
+    def test_exact_on_few_observations(self):
+        sketch = QuantileSketch("lat", max_centroids=64)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            sketch.observe(value)
+        assert sketch.count == 4
+        assert sketch.mean == 2.5
+        assert (sketch.min, sketch.max) == (1.0, 4.0)
+        assert sketch.percentile(1.0) == 4.0
+
+    def test_compression_caps_centroids_and_keeps_totals(self):
+        sketch = QuantileSketch("lat", max_centroids=8)
+        for index in range(1000):
+            sketch.observe(index / 1000.0)
+        assert len(sketch.centroids) <= 8
+        assert sketch.count == 1000
+        # ~2% accuracy from 8 centroids over a uniform distribution.
+        assert abs(sketch.percentile(0.5) - 0.5) < 0.05
+        assert abs(sketch.percentile(0.95) - 0.95) < 0.05
+
+    def test_percentiles_clamp_to_observed_range(self):
+        sketch = QuantileSketch("lat", max_centroids=4)
+        for value in (5.0, 5.0, 5.0, 100.0):
+            sketch.observe(value)
+        assert sketch.percentile(0.01) >= 5.0
+        assert sketch.percentile(1.0) <= 100.0
+
+    def test_merge_matches_sequential_observation(self):
+        # The mergeability contract: merging shard states in shard
+        # order equals observing the shards' values in the same order.
+        values = [float(v % 17) / 7.0 for v in range(200)]
+        sequential = QuantileSketch("lat", max_centroids=16)
+        shard_a = QuantileSketch("lat", max_centroids=16)
+        shard_b = QuantileSketch("lat", max_centroids=16)
+        for value in values[:100]:
+            shard_a.observe(value)
+        for value in values[100:]:
+            shard_b.observe(value)
+        merged = QuantileSketch("lat", max_centroids=16)
+        merged.merge_state(shard_a.to_state())
+        merged.merge_state(shard_b.to_state())
+        for value in values:
+            sequential.observe(value)
+        assert merged.count == sequential.count == 200
+        assert merged.total == pytest.approx(sequential.total)
+        assert merged.percentile(0.5) == pytest.approx(
+            sequential.percentile(0.5), abs=0.2
+        )
+
+    def test_merge_rejects_mismatched_sizes(self):
+        sketch = QuantileSketch("lat", max_centroids=8)
+        other = QuantileSketch("lat", max_centroids=16)
+        with pytest.raises(ValueError):
+            sketch.merge_state(other.to_state())
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("lat", max_centroids=1)
+
+
+class TestRegistryMerge:
+    def _shard(self, factor: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(10 * factor)
+        registry.gauge("active").set(2.0 * factor)
+        registry.histogram("gap", (0.01, 0.1)).observe(0.05 * factor)
+        registry.sketch("lat").observe(0.5 * factor)
+        return registry
+
+    def test_merged_shards_equal_sequential_snapshot(self):
+        merged = MetricsRegistry()
+        merged.merge_state(self._shard(1).to_state())
+        merged.merge_state(self._shard(2).to_state())
+        sequential = MetricsRegistry()
+        sequential.counter("reqs").inc(10)
+        sequential.counter("reqs").inc(20)
+        sequential.gauge("active").set(2.0)
+        sequential.gauge("active").set(4.0)
+        histogram = sequential.histogram("gap", (0.01, 0.1))
+        histogram.observe(0.05)
+        histogram.observe(0.10)
+        sketch = sequential.sketch("lat")
+        sketch.observe(0.5)
+        sketch.observe(1.0)
+        assert merged.snapshot() == sequential.snapshot()
+        assert merged.to_json() == sequential.to_json()
+
+    def test_from_state_round_trips(self):
+        original = self._shard(3)
+        rebuilt = MetricsRegistry.from_state(original.to_state())
+        assert rebuilt.snapshot() == original.snapshot()
+        assert rebuilt.to_state() == original.to_state()
+
+    def test_merge_registry_objects(self):
+        merged = self._shard(1).merge(self._shard(1))
+        assert merged.snapshot()["counters"]["reqs"] == 20
+
+    def test_gauge_merge_is_last_writer_with_max_high_water(self):
+        low = MetricsRegistry()
+        low.gauge("level").set(9.0)
+        low.gauge("level").set(1.0)
+        merged = MetricsRegistry()
+        merged.gauge("level").set(4.0)
+        merged.merge_state(low.to_state())
+        gauge = merged.snapshot()["gauges"]["level"]
+        assert gauge["value"] == 1.0
+        assert gauge["high_water"] == 9.0
+
+    def test_histogram_merge_rejects_different_bounds(self):
+        left = MetricsRegistry()
+        left.histogram("gap", (0.01,)).observe(0.005)
+        right = MetricsRegistry()
+        right.histogram("gap", (0.5,)).observe(0.25)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_snapshot_key_order_is_sorted_not_insertion(self):
+        backwards = MetricsRegistry()
+        backwards.counter("z.last").inc()
+        backwards.counter("a.first").inc()
+        forwards = MetricsRegistry()
+        forwards.counter("a.first").inc()
+        forwards.counter("z.last").inc()
+        assert (list(backwards.snapshot()["counters"])
+                == list(forwards.snapshot()["counters"])
+                == ["a.first", "z.last"])
+        assert backwards.to_json() == forwards.to_json()
+
+
 class TestNullRegistry:
     def test_hands_out_one_shared_noop(self):
         registry = NullMetricsRegistry()
@@ -184,6 +314,6 @@ class TestNullRegistry:
         counter.observe(1.0)
         assert counter.value == 0
         assert registry.snapshot() == {
-            "counters": {}, "gauges": {}, "histograms": {},
+            "counters": {}, "gauges": {}, "histograms": {}, "sketches": {},
         }
         assert not registry.enabled

@@ -124,6 +124,70 @@ class TestInstallation:
                 profiler.install()
 
 
+class TestSampling:
+    """``sample_blocks=N`` profiles via ``Cpu.block_listener`` so the
+    predecoded-block fast core stays engaged."""
+
+    def _run(self, sample_blocks):
+        assembly = assemble(FIXTURE)
+        board = Board()
+        board.program(assembly.code)
+        profiler = CycleProfiler(
+            board.cpu, dict(assembly.symbols), sample_blocks=sample_blocks
+        )
+        with profiler:
+            assert board.cpu._fast_eligible()
+            board.cpu.call_subroutine(assembly.symbols["start"])
+        return profiler, board
+
+    def test_fast_core_stays_engaged(self):
+        profiler, board = self._run(sample_blocks=1)
+        assert "step" not in vars(board.cpu)
+        assert board.cpu._cache is not None
+        assert board.cpu._cache.executed_blocks > 0
+
+    def test_every_sample_charges_a_known_routine(self):
+        profiler, board = self._run(sample_blocks=1)
+        assert profiler.samples > 0
+        assert set(profiler.self_cycles) <= {"start", "addone", "noop"}
+        assert sum(profiler.self_cycles.values()) == profiler.total_cycles
+        # Trailing cycles after the last sampled block stay unattributed.
+        assert 0 < profiler.total_cycles <= board.cpu.cycles
+
+    def test_coarser_sampling_still_accounts_all_sampled_cycles(self):
+        exact, _board = self._run(sample_blocks=1)
+        coarse, _board = self._run(sample_blocks=3)
+        assert coarse.samples < exact.samples
+        assert coarse.total_cycles <= exact.total_cycles
+
+    def test_no_flame_stacks_in_sampling_mode(self):
+        profiler, _board = self._run(sample_blocks=1)
+        assert profiler.flame_lines() == []
+        assert profiler.call_counts == {}
+
+    def test_uninstall_clears_the_listener(self):
+        board = Board()
+        profiler = CycleProfiler(board.cpu, {"fn": 0}, sample_blocks=2)
+        profiler.install()
+        assert board.cpu.block_listener is not None
+        assert "step" not in vars(board.cpu)
+        profiler.uninstall()
+        assert board.cpu.block_listener is None
+        profiler.uninstall()  # idempotent
+
+    def test_second_listener_rejected(self):
+        board = Board()
+        first = CycleProfiler(board.cpu, {"fn": 0}, sample_blocks=1)
+        second = CycleProfiler(board.cpu, {"fn": 0}, sample_blocks=1)
+        with first:
+            with pytest.raises(RuntimeError):
+                second.install()
+
+    def test_sample_blocks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CycleProfiler(None, {"fn": 0}, sample_blocks=0)
+
+
 class TestSymbolSelection:
     def test_collapse_sublabels_folds_locals(self):
         symbols = {"mul16": 0x10, "mul16_loop": 0x14, "other": 0x30}

@@ -60,6 +60,66 @@ class TestRedirectorScenario:
         assert len([e for e in events if e["ph"] == "X"]) >= 20
 
 
+class TestCausalTraceTree:
+    """A client request must render as one connected tree spanning
+    client, redirector, and backend -- walked through the parent links
+    the Chrome export carries in ``args``."""
+
+    def test_request_tree_spans_three_hosts(self, redirector):
+        events = [e for e in redirector["obs"].tracer.to_chrome()
+                  ["traceEvents"] if e["ph"] == "X"]
+        by_id = {e["args"]["span_id"]: e for e in events}
+        clients = [e for e in events if e["name"] == "client.request"]
+        services = [e for e in events if e["name"] == "service.request"]
+        backends = [e for e in events if e["name"] == "backend.request"]
+        assert clients and services and backends
+        # Every client request roots its own trace.
+        for event in clients:
+            assert event["args"]["trace"] == event["args"]["span_id"]
+        # Every backend span walks parent links back to a client root,
+        # crossing the service hop, all inside one trace.
+        for backend in backends:
+            trace = backend["args"]["trace"]
+            service = by_id[backend["args"]["parent"]]
+            assert service["name"] == "service.request"
+            assert service["args"]["trace"] == trace
+            client = by_id[service["args"]["parent"]]
+            assert client["name"] == "client.request"
+            assert client["args"]["trace"] == trace
+            assert client["args"]["span_id"] == trace
+            # Three distinct logical timelines: the hop is real.
+            assert len({backend["tid"], service["tid"],
+                        client["tid"]}) == 3
+
+    def test_every_client_request_reaches_the_backend(self, redirector):
+        spans = redirector["obs"].tracer.spans
+        client_traces = {s.trace_id for s in spans
+                         if s.name == "client.request"}
+        backend_traces = {s.trace_id for s in spans
+                          if s.name == "backend.request"}
+        assert len(client_traces) == 12
+        assert backend_traces == client_traces
+
+
+class TestRecorderOverheadContract:
+    def test_disabling_the_recorder_changes_no_metrics(self):
+        # The bench snapshot times the scenario twice (recorder on/off)
+        # for the overhead claim; that is only meaningful if the
+        # recorder has zero effect on the deterministic content.
+        from repro.obs import NullFlightRecorder, Obs
+
+        recorded = run_redirector_scenario()
+        silent = run_redirector_scenario(
+            obs=Obs(recorder=NullFlightRecorder())
+        )
+        assert recorded["obs"].recorder.enabled
+        assert not silent["obs"].recorder.enabled
+        assert len(recorded["obs"].recorder.events()) > 0
+        assert (recorded["obs"].metrics.snapshot()
+                == silent["obs"].metrics.snapshot())
+        assert recorded["stats"] == silent["stats"]
+
+
 class TestAesScenario:
     def test_profiles_the_asm_cipher(self):
         result = run_aes_scenario(implementation="asm")

@@ -1,0 +1,203 @@
+"""The declarative SLO engine: parsing, resolution, and verdicts."""
+
+import pytest
+
+from repro.obs.slo import (
+    MISSING,
+    OK,
+    VIOLATED,
+    SloConfigError,
+    evaluate_slo,
+    load_rules,
+    parse_rules,
+    resolve_path,
+    sum_prefix,
+)
+
+DOCUMENT = {
+    "faults": {"failed": 0, "passed": 18},
+    "obs": {
+        "redirector": {
+            "counters": {"issl.handshakes.failed": 0},
+            "histograms": {"costate.gap_s": {"p99": 0.04}},
+        },
+    },
+    "metrics": {
+        "counters": {
+            "faults.injected.loss": 10,
+            "faults.injected.rst": 4,
+            "faults.recovered.loss": 9,
+            "faults.recovered.rst": 4,
+        },
+    },
+    "flags": {"reproduced": True},
+}
+
+
+class TestResolution:
+    def test_path_walks_nested_keys(self):
+        assert resolve_path(DOCUMENT, "faults/failed") == 0.0
+        assert resolve_path(
+            DOCUMENT, "obs/redirector/histograms/costate.gap_s/p99"
+        ) == 0.04
+
+    def test_booleans_resolve_as_numbers(self):
+        assert resolve_path(DOCUMENT, "flags/reproduced") == 1.0
+
+    def test_absent_or_non_scalar_is_none(self):
+        assert resolve_path(DOCUMENT, "faults/nope") is None
+        assert resolve_path(DOCUMENT, "obs/redirector") is None
+
+    def test_sum_prefix_totals_matching_keys(self):
+        assert sum_prefix(
+            DOCUMENT, "metrics/counters/faults.injected."
+        ) == 14.0
+        assert sum_prefix(
+            DOCUMENT, "metrics/counters/faults.recovered."
+        ) == 13.0
+
+    def test_sum_prefix_with_no_match_is_none(self):
+        assert sum_prefix(DOCUMENT, "metrics/counters/nothing.") is None
+        assert sum_prefix(DOCUMENT, "absent/branch/x.") is None
+
+
+RULES = """
+[[rule]]
+name = "no-failed-scenarios"
+path = "faults/failed"
+op = "=="
+threshold = 0.0
+severity = "error"
+description = "every scenario recovers"
+
+[[rule]]
+name = "recovery-ratio"
+numerator = "metrics/counters/faults.recovered."
+denominator = "metrics/counters/faults.injected."
+op = ">="
+threshold = 0.9
+severity = "warn"
+
+[[rule]]
+name = "unmeasurable"
+path = "not/there"
+op = "<"
+threshold = 1.0
+severity = "error"
+"""
+
+
+class TestEvaluation:
+    def test_statuses_and_values(self):
+        report = evaluate_slo(parse_rules(RULES), DOCUMENT)
+        by_name = {r.rule.name: r for r in report.results}
+        assert by_name["no-failed-scenarios"].status == OK
+        ratio = by_name["recovery-ratio"]
+        assert ratio.status == OK
+        assert ratio.value == pytest.approx(13 / 14)
+        assert by_name["unmeasurable"].status == MISSING
+
+    def test_missing_reports_but_never_fails_the_gate(self):
+        report = evaluate_slo(parse_rules(RULES), DOCUMENT)
+        assert report.ok
+        assert len(report.violations) == 1
+        assert report.failures == []
+
+    def test_error_violation_fails(self):
+        report = evaluate_slo(
+            parse_rules(RULES), {**DOCUMENT, "faults": {"failed": 3}}
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.rule.name == "no-failed-scenarios"
+        assert failure.status == VIOLATED
+
+    def test_warn_violation_does_not_fail(self):
+        document = dict(DOCUMENT)
+        document["metrics"] = {
+            "counters": {"faults.injected.x": 10, "faults.recovered.x": 1}
+        }
+        report = evaluate_slo(parse_rules(RULES), document)
+        assert report.ok
+        assert any(r.rule.name == "recovery-ratio"
+                   for r in report.violations)
+
+    def test_zero_denominator_is_missing(self):
+        document = dict(DOCUMENT)
+        document["metrics"] = {
+            "counters": {"faults.injected.x": 0, "faults.recovered.x": 0}
+        }
+        report = evaluate_slo(parse_rules(RULES), document)
+        by_name = {r.rule.name: r for r in report.results}
+        assert by_name["recovery-ratio"].status == MISSING
+
+    def test_format_has_per_rule_lines_and_verdict(self):
+        report = evaluate_slo(
+            parse_rules(RULES), {**DOCUMENT, "faults": {"failed": 3}}
+        )
+        text = report.format(verbose=True)
+        assert "FAIL no-failed-scenarios [error]" in text
+        assert "PASS recovery-ratio [warn]" in text
+        assert "MISS unmeasurable [error]" in text
+        assert "every scenario recovers" in text
+        assert text.endswith("slo verdict: FAIL")
+
+
+class TestValidation:
+    def _rejects(self, toml_text, fragment):
+        with pytest.raises(SloConfigError) as excinfo:
+            parse_rules(toml_text)
+        assert fragment in str(excinfo.value)
+
+    def test_invalid_toml(self):
+        self._rejects("not [ toml", "invalid TOML")
+
+    def test_no_rules(self):
+        self._rejects("x = 1", "no [[rule]] tables")
+
+    def test_missing_name(self):
+        self._rejects('[[rule]]\npath = "a"\nop = ">"\nthreshold = 1.0',
+                      "missing 'name'")
+
+    def test_bad_op(self):
+        self._rejects(
+            '[[rule]]\nname = "r"\npath = "a"\nop = "~"\nthreshold = 1.0',
+            "'op' must be one of",
+        )
+
+    def test_bad_threshold(self):
+        self._rejects(
+            '[[rule]]\nname = "r"\npath = "a"\nop = ">"\nthreshold = "x"',
+            "'threshold' must be a number",
+        )
+
+    def test_bad_severity(self):
+        self._rejects(
+            '[[rule]]\nname = "r"\npath = "a"\nop = ">"\n'
+            'threshold = 1.0\nseverity = "fatal"',
+            "'severity' must be",
+        )
+
+    def test_path_and_ratio_are_exclusive(self):
+        self._rejects(
+            '[[rule]]\nname = "r"\npath = "a"\nnumerator = "b"\n'
+            'denominator = "c"\nop = ">"\nthreshold = 1.0',
+            "not both",
+        )
+
+    def test_ratio_needs_both_halves(self):
+        self._rejects(
+            '[[rule]]\nname = "r"\nnumerator = "b"\nop = ">"\n'
+            "threshold = 1.0",
+            "needs 'path'",
+        )
+
+    def test_load_rules_wraps_read_errors(self, tmp_path):
+        with pytest.raises(SloConfigError) as excinfo:
+            load_rules(str(tmp_path / "absent.toml"))
+        assert "cannot read" in str(excinfo.value)
+
+    def test_load_rules_reads_a_file(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(RULES, encoding="utf-8")
+        assert len(load_rules(str(path))) == 3

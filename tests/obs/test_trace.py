@@ -16,8 +16,10 @@ from repro.obs.trace import (
     CAT_COSTATE,
     CAT_ISSL,
     CAT_TCP,
+    NEW_TRACE,
     NullTracer,
     Tracer,
+    context_of,
 )
 
 GOLDEN = pathlib.Path(__file__).with_name("golden_chrome_trace.json")
@@ -107,6 +109,56 @@ class TestNesting:
         assert (span.start, span.end) == (1.5, 2.5)
         assert span.parent_id is None
         assert span.args == {"run": 7}
+
+
+# -- causal contexts ----------------------------------------------------------
+
+class TestCausalContext:
+    def test_new_trace_roots_at_the_span(self):
+        tracer = Tracer()
+        root = tracer.begin("client.request", trace=NEW_TRACE)
+        assert root.trace_id == root.span_id
+
+    def test_children_inherit_the_parents_trace(self):
+        tracer = Tracer()
+        root = tracer.begin("client.request", tid="a", trace=NEW_TRACE)
+        child = tracer.begin("tcp.send", tid="a")
+        assert child.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+
+    def test_explicit_parent_links_across_timelines(self):
+        # How a receiver on another simulated host joins the sender's
+        # trace: the propagated TraceContext carries both ids.
+        tracer = Tracer()
+        root = tracer.begin("client.request", tid="client", trace=NEW_TRACE)
+        ctx = context_of(root)
+        assert (ctx.trace_id, ctx.span_id) == (root.trace_id, root.span_id)
+        remote = tracer.begin("service.request", tid="server",
+                              parent=ctx.span_id, trace=ctx.trace_id)
+        assert remote.parent_id == root.span_id
+        assert remote.trace_id == root.trace_id
+
+    def test_context_of_defaults_trace_to_the_span(self):
+        tracer = Tracer()
+        plain = tracer.begin("untraced", tid="x")
+        ctx = context_of(plain)
+        assert ctx.trace_id == plain.span_id
+
+    def test_context_of_null_spans_is_none(self):
+        assert context_of(None) is None
+        assert context_of(NullTracer().begin("x")) is None
+
+    def test_chrome_args_carry_the_linkage(self):
+        tracer = Tracer()
+        root = tracer.begin("root", trace=NEW_TRACE)
+        child = tracer.begin("child")
+        tracer.end(child)
+        tracer.end(root)
+        events = {e["name"]: e for e in tracer.to_chrome()["traceEvents"]
+                  if e["ph"] == "X"}
+        assert events["root"]["args"]["trace"] == root.span_id
+        assert events["child"]["args"]["parent"] == root.span_id
+        assert events["child"]["args"]["trace"] == root.span_id
 
 
 # -- queries ------------------------------------------------------------------
