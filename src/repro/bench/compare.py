@@ -118,6 +118,12 @@ class CompareReport:
     baseline_tag: str
     current_tag: str
     diffs: list[MetricDiff] = field(default_factory=list)
+    #: Regression-forensics text (:func:`repro.obs.diff.forensics_text`)
+    #: attached by :func:`compare_snapshots` whenever any diff warns or
+    #: fails: top routine cycle deltas, the first simulated-time
+    #: telemetry divergence, the flight-recorder tail.  None when every
+    #: metric passed.
+    forensics: str | None = None
 
     def _with_status(self, *statuses: str) -> list[MetricDiff]:
         return [d for d in self.diffs if d.status in statuses]
@@ -158,6 +164,8 @@ class CompareReport:
             lines.append(format_table([d.row() for d in shown]))
         elif not verbose:
             lines.append("  all metrics within tolerance")
+        if self.forensics:
+            lines.append(self.forensics)
         return "\n".join(lines)
 
 
@@ -185,4 +193,11 @@ def compare_snapshots(baseline: dict, current: dict) -> CompareReport:
     report.diffs.extend(_diff_maps(
         flatten_wall(baseline), flatten_wall(current), WALL_BAND, "wall",
     ))
+    if report.failures or report.warnings:
+        # Lazy import: obs.diff is pure data -> text and tolerates
+        # snapshots without embedded telemetry/recorder sections, so
+        # forensics attach to any warn/fail without re-running anything.
+        from repro.obs.diff import forensics_text
+
+        report.forensics = forensics_text(baseline, current)
     return report

@@ -159,9 +159,16 @@ def flatten_metrics(document: dict) -> dict:
             flat[f"{base}.routine.{row['routine']}.self_cycles"] = (
                 row["self cycles"]
             )
+        for name, series in sorted(profile.get("telemetry", {}).items()):
+            flat[f"{base}.telemetry.{name}.samples"] = series["n"]
+            flat[f"{base}.telemetry.{name}.last"] = series["last"]
     redirector = obs.get("redirector", {})
     for name, value in sorted(redirector.get("counters", {}).items()):
         flat[f"obs.redirector.counter.{name}"] = value
+    for name, series in sorted(redirector.get("telemetry", {}).items()):
+        base = f"obs.redirector.telemetry.{name}"
+        flat[f"{base}.samples"] = series["n"]
+        flat[f"{base}.max"] = series["max"]
     for name, gauge in sorted(redirector.get("gauges", {}).items()):
         flat[f"obs.redirector.gauge.{name}.high_water"] = (
             gauge["high_water"]

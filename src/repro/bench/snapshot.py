@@ -90,6 +90,7 @@ def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
             "total_cycles": profiler.total_cycles,
             "blocks": result["blocks"],
             "routines": profiler.report_rows(),
+            "telemetry": result["obs"].telemetry.snapshot(),
         }
     start = time.time()  # dclint: allow(PY105)
     result = run_redirector_scenario(**redirector_kwargs)
@@ -105,6 +106,8 @@ def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
         obs=Obs(recorder=NullFlightRecorder()), **redirector_kwargs
     )
     wall["redirector_norec"] = round(time.time() - start, 3)  # dclint: allow(PY105)
+    from repro.obs import DEFAULT_TAIL
+
     metrics = result["obs"].metrics.snapshot()
     obs_section["redirector"] = {
         "counters": metrics["counters"],
@@ -113,6 +116,11 @@ def _collect_obs_detail(workload: str) -> tuple[dict, dict]:
         "clients_ok": sum(
             1 for report in result["reports"] if report.error is None
         ),
+        # Forensics payload: the simulated-time series and the flight
+        # recorder's last events, both deterministic, so a failing
+        # compare/gate can attach *when* without re-running anything.
+        "telemetry": result["obs"].telemetry.snapshot(),
+        "recorder_tail": result["obs"].recorder.dump(last=DEFAULT_TAIL),
     }
     return obs_section, wall
 

@@ -173,9 +173,18 @@ class CostateScheduler:
         observe_gap = self._gap_histogram.observe
         inc_passes = self._ctr_passes.inc
         overhead = self.pass_overhead_s
+        # Cadence-gated telemetry: one cumulative-passes sample every
+        # 16 trips, hoisted to a bound method (None when disabled).
+        telemetry = self.obs.telemetry
+        sample_passes = (
+            telemetry.series(f"costate.{self.name}.passes").record_at
+            if telemetry.enabled else None
+        )
         while self.running:
             self.passes += 1
             inc_passes()
+            if sample_passes is not None and not (self.passes & 15):
+                sample_passes(sim.now, float(self.passes))
             busy = 0.0
             snapshot = self._snapshot
             if snapshot is None:

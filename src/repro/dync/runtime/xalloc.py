@@ -68,6 +68,7 @@ class XmemAllocator:
         self._tracer = obs.tracer
         self._gauge_used = obs.metrics.gauge("xalloc.used")
         self._ctr_allocations = obs.metrics.counter("xalloc.allocations")
+        self._ts_used = obs.telemetry.series("xalloc.used")
 
     def xalloc(self, nbytes: int) -> XmemPointer:
         """Allocate ``nbytes``; raises :class:`XallocError` when exhausted."""
@@ -85,6 +86,7 @@ class XmemAllocator:
         self._brk += nbytes
         self.allocations += 1
         self._gauge_used.set(self.used)
+        self._ts_used.record(float(self.used))
         self._ctr_allocations.inc()
         self._tracer.instant(
             "xalloc", cat=CAT_XALLOC, tid="xmem",
@@ -140,6 +142,7 @@ class XmemBufferPool:
             obs = NULL_OBS
         self._gauge_in_use = obs.metrics.gauge("xalloc.pool.in_use")
         self._ctr_refusals = obs.metrics.counter("xalloc.pool.refusals")
+        self._ts_in_use = obs.telemetry.series("xalloc.pool.in_use")
 
     def acquire(self) -> XmemPointer:
         """A slot's buffer; raises :class:`XallocError` when none idle
@@ -162,12 +165,14 @@ class XmemBufferPool:
             self._allocated += 1
         self.acquired_total += 1
         self._gauge_in_use.set(self.in_use)
+        self._ts_in_use.record(float(self.in_use))
         return pointer
 
     def release(self, pointer: XmemPointer) -> None:
         """Return a slot for reuse (the memory itself is never freed)."""
         self._idle.append(pointer)
         self._gauge_in_use.set(self.in_use)
+        self._ts_in_use.record(float(self.in_use))
 
     @property
     def in_use(self) -> int:

@@ -208,6 +208,11 @@ class Simulator:
         executed = 0
         previous_bound = self._run_until
         self._run_until = until
+        # Hoisted telemetry: one bound method when sampling is on, None
+        # when it is not, so the per-event cost is a masked int test.
+        telemetry = self.obs.telemetry
+        sample_depth = (telemetry.series("sim.pending_events").record_at
+                        if telemetry.enabled else None)
         try:
             while self._queue:
                 when, _seq, fn, args = self._queue[0]
@@ -218,6 +223,8 @@ class Simulator:
                 self.now = when
                 fn(*args)
                 executed += 1
+                if sample_depth is not None and not (executed & 63):
+                    sample_depth(self.now, float(len(self._queue)))
                 if executed >= max_events:
                     raise SimulationError(f"exceeded {max_events} events")
             else:
@@ -237,6 +244,10 @@ class Simulator:
         deadline = None if timeout is None else self.now + timeout
         previous_bound = self._run_until
         self._run_until = deadline
+        telemetry = self.obs.telemetry
+        sample_depth = (telemetry.series("sim.pending_events").record_at
+                        if telemetry.enabled else None)
+        executed = 0
         try:
             while process.alive:
                 if not self._queue:
@@ -249,6 +260,9 @@ class Simulator:
                 when, _seq, fn, args = heapq.heappop(self._queue)
                 self.now = when
                 fn(*args)
+                executed += 1
+                if sample_depth is not None and not (executed & 63):
+                    sample_depth(self.now, float(len(self._queue)))
         finally:
             self._run_until = previous_bound
         return process.result

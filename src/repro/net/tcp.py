@@ -134,6 +134,9 @@ class TcpConnection:
         self._ctr_bytes_sent = obs.metrics.counter("tcp.bytes.sent")
         self._ctr_bytes_received = obs.metrics.counter("tcp.bytes.received")
         self._ctr_opened = obs.metrics.counter("tcp.connections.opened")
+        self._ts_send_queue = obs.telemetry.series(
+            f"tcp.{self._host.name}.send_queue"
+        )
         self._span = None
         self._span_tid = (
             f"tcp:{self._host.name}:{local_port}->{remote_port}"
@@ -309,6 +312,9 @@ class TcpConnection:
             raise TcpError("send after close")
         self._send_queue += data
         self._pump()
+        # Sample the host's queue depth after the pump: what is left is
+        # the backpressure (window-limited bytes awaiting ACK or space).
+        self._ts_send_queue.record(float(self.send_queue_length))
         return len(data)
 
     def set_trace_context(self, ctx) -> None:
@@ -528,13 +534,18 @@ class TcpListener:
         self.accept_event = service._host.sim.event(f"accept:{port}")
         self.closed = False
         self.connections_refused = 0
+        self._ts_backlog = service._host.sim.obs.telemetry.series(
+            f"tcp.{service._host.name}.accept_backlog"
+        )
 
     def pending(self) -> int:
         return len(self.accept_queue)
 
     def pop(self) -> TcpConnection | None:
         if self.accept_queue:
-            return self.accept_queue.popleft()
+            conn = self.accept_queue.popleft()
+            self._ts_backlog.record(float(len(self.accept_queue)))
+            return conn
         return None
 
     def close(self) -> None:
@@ -556,6 +567,9 @@ class TcpService:
         self._iss_counter = 1000
         self.segments_received = 0
         self.resets_sent = 0
+        self._ts_open = host.sim.obs.telemetry.series(
+            f"tcp.{host.name}.open_connections"
+        )
         host.ip.register_protocol(IPPROTO_TCP, self._handle)
 
     # -- public API --------------------------------------------------------
@@ -573,6 +587,7 @@ class TcpService:
         conn = TcpConnection(self, local_port, remote_ip, remote_port,
                              window=window, mss=mss)
         self._connections[(local_port, remote_ip, remote_port)] = conn
+        self._ts_open.record(float(len(self._connections)))
         conn.connect()
         return conn
 
@@ -597,6 +612,7 @@ class TcpService:
         self._connections.pop(
             (conn.local_port, conn.remote_ip, conn.remote_port), None
         )
+        self._ts_open.record(float(len(self._connections)))
         for listener in self._listeners.values():
             listener._embryonic.pop((conn.remote_ip, conn.remote_port), None)
 
@@ -607,6 +623,7 @@ class TcpService:
             if listener._embryonic.get(key) is conn:
                 del listener._embryonic[key]
                 listener.accept_queue.append(conn)
+                listener._ts_backlog.record(float(len(listener.accept_queue)))
                 listener.accept_event.trigger(conn)
                 return
 
@@ -632,6 +649,7 @@ class TcpService:
                 window=listener.window, mss=listener.mss,
             )
             self._connections[key] = conn
+            self._ts_open.record(float(len(self._connections)))
             listener._embryonic[(packet.src, segment.src_port)] = conn
             conn._passive_open(segment)
             return

@@ -10,6 +10,12 @@ that first-class:
 * :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms.
 * :mod:`repro.obs.profile` -- per-routine cycle attribution on the
   Rabbit core (PC sampling plus call/return tracking).
+* :mod:`repro.obs.timeseries` -- ``(t, value)`` samples over simulated
+  time (queue depths, xmem high-water, cycle rates), mergeable and
+  byte-identical across ``--jobs`` fan-out.
+* :mod:`repro.obs.diff` -- run-to-run forensics: signed per-routine
+  cycle deltas, trace-tree duration deltas, metric drift, and the first
+  simulated-time divergence between two runs' telemetry.
 
 One :class:`Obs` handle bundles a tracer and a metrics registry and is
 threaded (optionally) through the simulator, the TCP stack, the
@@ -38,6 +44,11 @@ from repro.obs.recorder import (
     FlightRecorder,
     NullFlightRecorder,
 )
+from repro.obs.timeseries import (
+    NullTelemetryStore,
+    TelemetryStore,
+    TimeSeries,
+)
 from repro.obs.trace import (
     CAT_COSTATE,
     CAT_CPU,
@@ -60,19 +71,22 @@ class Obs:
 
     def __init__(self, tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 recorder: FlightRecorder | None = None):
+                 recorder: FlightRecorder | None = None,
+                 telemetry: TelemetryStore | None = None):
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.recorder = recorder if recorder is not None else FlightRecorder()
+        self.telemetry = (telemetry if telemetry is not None
+                          else TelemetryStore())
 
     @property
     def enabled(self) -> bool:
         return (self.tracer.enabled or self.metrics.enabled
-                or self.recorder.enabled)
+                or self.recorder.enabled or self.telemetry.enabled)
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
-        """Point the tracer and recorder at a time source (the
-        simulator's ``now``).
+        """Point the tracer, recorder, and telemetry store at a time
+        source (the simulator's ``now``).
 
         First binding wins: an Obs normally belongs to one simulation.
         """
@@ -80,6 +94,8 @@ class Obs:
             self.tracer.clock = clock
         if self.recorder.enabled and self.recorder.clock is None:
             self.recorder.clock = clock
+        if self.telemetry.enabled and self.telemetry.clock is None:
+            self.telemetry.clock = clock
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "null"
@@ -88,7 +104,8 @@ class Obs:
 
 #: The shared disabled handle; ``obs or NULL_OBS`` is the idiom at every
 #: instrumentation seam.
-NULL_OBS = Obs(NullTracer(), NullMetricsRegistry(), NullFlightRecorder())
+NULL_OBS = Obs(NullTracer(), NullMetricsRegistry(), NullFlightRecorder(),
+               NullTelemetryStore())
 
 
 __all__ = [
@@ -108,10 +125,13 @@ __all__ = [
     "NULL_OBS",
     "NullFlightRecorder",
     "NullMetricsRegistry",
+    "NullTelemetryStore",
     "NullTracer",
     "Obs",
     "QuantileSketch",
     "Span",
+    "TelemetryStore",
+    "TimeSeries",
     "TraceContext",
     "Tracer",
     "context_of",

@@ -9,9 +9,17 @@ Three subcommands, one per artifact kind:
 * ``flame`` -- collapsed stacks for ``flamegraph.pl`` / speedscope
   (``aes`` scenario only; it is the one with a CPU to profile).
 
-Plus ``slo``, which evaluates a declarative rules file
-(:mod:`repro.obs.slo`) against an existing snapshot/report JSON and
-exits non-zero when an error-severity objective is not met.
+Plus two subcommands that judge existing artifacts instead of running
+a scenario:
+
+* ``slo`` -- evaluates a declarative rules file (:mod:`repro.obs.slo`)
+  against a snapshot/report JSON; exits non-zero when an
+  error-severity objective is not met.
+* ``diff`` -- regression forensics (:mod:`repro.obs.diff`): align two
+  bench snapshots (routine cycle deltas, metric drift, telemetry
+  first-divergence) or two Chrome trace exports (span trees by
+  name/hierarchy path).  Exit 0 means byte-identical runs, 1 means
+  differences, 2 means a document would not load.
 """
 
 from __future__ import annotations
@@ -62,6 +70,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="TOML rules file (default: slo.toml)")
     slo.add_argument("--verbose", action="store_true",
                      help="show passing rules too")
+
+    diff = sub.add_parser(
+        "diff", help="diff two runs: snapshots or Chrome traces"
+    )
+    diff.add_argument("baseline", metavar="A",
+                      help="baseline document (bench snapshot or trace JSON)")
+    diff.add_argument("current", metavar="B",
+                      help="current document of the same kind")
+    diff.add_argument("--top", type=int, default=None, metavar="N",
+                      help="rows per delta table (default: 10; 0 = all)")
+    diff.add_argument("--out", metavar="FILE", default=None,
+                      help="write to FILE instead of stdout")
     return parser
 
 
@@ -86,6 +106,9 @@ def _report_text(args, result: dict) -> str:
     obs = result["obs"]
     sections = [f"scenario: {args.scenario}", "", "== metrics ==",
                 obs.metrics.render_text()]
+    if obs.telemetry.names():
+        sections += ["", "== telemetry (simulated time) ==",
+                     obs.telemetry.render_text()]
     summary = obs.tracer.summary_rows()
     if summary:
         sections += ["", "== spans ==", format_table(summary)]
@@ -131,10 +154,33 @@ def _cmd_slo(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_diff(args) -> int:
+    from repro.obs.diff import DEFAULT_TOP, diff_documents
+
+    documents = []
+    for path in (args.baseline, args.current):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                documents.append(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"diff: cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+    top = DEFAULT_TOP if args.top is None else args.top
+    try:
+        text, changed = diff_documents(documents[0], documents[1], top=top)
+    except ValueError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    _emit(text, args.out)
+    return 1 if changed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "slo":
         return _cmd_slo(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     result = _run_scenario(args)
     obs = result["obs"]
     if args.command == "report":
@@ -143,7 +189,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_format == "jsonl":
             _emit(obs.tracer.to_jsonl(), args.out)
         else:
-            _emit(json.dumps(obs.tracer.to_chrome(), indent=1), args.out)
+            _emit(json.dumps(
+                obs.tracer.to_chrome(telemetry=obs.telemetry), indent=1
+            ), args.out)
     elif args.command == "flame":
         profiler = result.get("profiler")
         if profiler is None:

@@ -37,7 +37,7 @@ from repro.obs.profile import (
     assembly_function_symbols,
     compiled_function_symbols,
 )
-from repro.rabbit.board import Board
+from repro.rabbit.board import Board, CLOCK_HZ
 from repro.services import (
     ClientReport,
     TLS_PORT,
@@ -53,13 +53,20 @@ _SESSION_BUFFER_BYTES = 4096
 
 def run_redirector_scenario(obs: Obs | None = None, *, clients: int = 3,
                             requests: int = 4, request_size: int = 64,
-                            handlers: int = 3) -> dict:
-    """The ported redirector under load, instrumented end to end."""
+                            handlers: int = 3, lan_hook=None) -> dict:
+    """The ported redirector under load, instrumented end to end.
+
+    ``lan_hook`` (optional) receives the :class:`EthernetSegment` before
+    any traffic flows -- fault tests use it to install drop filters or
+    frame hooks without rebuilding the topology by hand.
+    """
     if obs is None:
         obs = Obs()
     sim = Simulator(obs=obs)
     names = ["rmc", "backend"] + [f"c{i}" for i in range(clients)]
-    _lan, hosts = build_lan(sim, names, bandwidth_bps=100_000_000)
+    lan, hosts = build_lan(sim, names, bandwidth_bps=100_000_000)
+    if lan_hook is not None:
+        lan_hook(lan)
     stack = DyncTcpStack(hosts["rmc"])
     # The asm cost model: crypto costs real simulated milliseconds, so
     # costatement slices have visible width on the trace.
@@ -98,6 +105,7 @@ def run_redirector_scenario(obs: Obs | None = None, *, clients: int = 3,
     return {
         "obs": obs,
         "sim": sim,
+        "lan": lan,
         "reports": reports,
         "stats": stats,
         "scheduler": scheduler,
@@ -124,6 +132,12 @@ def run_aes_scenario(obs: Obs | None = None, *, implementation: str = "asm",
     else:
         raise ValueError(f"implementation must be asm/c, got {implementation!r}")
     profiler = CycleProfiler(board.cpu, symbols, tracer=obs.tracer)
+    # Cumulative-cycle telemetry in CPU time: the exact profiler shadows
+    # Cpu.step (no block listener fires), so the per-block boundary here
+    # is the sampling cadence.  repro.obs.diff turns the cumulative
+    # series into per-interval cycle rates.
+    ts_cycles = obs.telemetry.series("cpu.cycles")
+    board.cpu.sample_telemetry(ts_cycles, CLOCK_HZ)
     blocks = 0
     with profiler:
         for key_index in range(keys):
@@ -138,6 +152,7 @@ def run_aes_scenario(obs: Obs | None = None, *, implementation: str = "asm",
                 if ciphertext != reference.encrypt_block(block):
                     raise AssertionError("AES scenario: wrong ciphertext")
                 blocks += 1
+                board.cpu.sample_telemetry(ts_cycles, CLOCK_HZ)
     obs.metrics.counter("aes.blocks.encrypted").inc(blocks)
     obs.metrics.gauge("aes.total_cycles").set(profiler.total_cycles)
     return {

@@ -184,6 +184,12 @@ class SloReport:
     """Every rule's verdict plus the overall gate answer."""
 
     results: list[SloResult] = field(default_factory=list)
+    #: Flight-recorder tail lifted from the judged document by
+    #: :func:`evaluate_slo` when an error-severity rule is violated:
+    #: the last events before the run ended, so the report carries
+    #: *when* things went wrong next to *what* rule failed.  Empty when
+    #: the gate passes or the document embeds no recorder dump.
+    recorder_tail: list = field(default_factory=list)
 
     @property
     def violations(self) -> list[SloResult]:
@@ -205,6 +211,14 @@ class SloReport:
             f"{len(self.failures)} gate-failing"
         ]
         lines += [f"  {result.line()}" for result in shown]
+        if self.recorder_tail:
+            from repro.obs.diff import format_recorder_tail
+
+            lines.append(
+                f"  flight recorder tail "
+                f"(last {len(self.recorder_tail)} events):"
+            )
+            lines += format_recorder_tail(self.recorder_tail)
         lines.append(f"  slo verdict: {'PASS' if self.ok else 'FAIL'}")
         return "\n".join(lines)
 
@@ -278,6 +292,28 @@ def load_rules(path: str) -> list[SloRule]:
         raise SloConfigError(f"{path}: {exc}") from exc
 
 
+def _document_recorder_tail(document: dict) -> list:
+    """The flight-recorder dump a document embeds, if any.
+
+    Bench snapshots carry it at ``obs/redirector/recorder_tail``;
+    standalone recorder dumps use a top-level ``events`` list of the
+    same record shape.
+    """
+    tail = document.get("obs", {}).get("redirector", {}) \
+                   .get("recorder_tail", [])
+    if not tail:
+        tail = document.get("events", [])
+    return tail if isinstance(tail, list) else []
+
+
 def evaluate_slo(rules: list[SloRule], document: dict) -> SloReport:
-    """Evaluate every rule against one snapshot document."""
-    return SloReport(results=[rule.evaluate(document) for rule in rules])
+    """Evaluate every rule against one snapshot document.
+
+    When an error-severity rule is violated, the document's embedded
+    flight-recorder tail (if any) is attached to the report, so the
+    printed verdict names the last things the run did before failing.
+    """
+    report = SloReport(results=[rule.evaluate(document) for rule in rules])
+    if report.failures:
+        report.recorder_tail = _document_recorder_tail(document)
+    return report

@@ -287,8 +287,13 @@ class Tracer:
         records = [span.to_dict() for span in self.spans] + list(self.instants)
         return "\n".join(json.dumps(r, sort_keys=True) for r in records)
 
-    def to_chrome(self, pid: int = 1) -> dict:
-        """The ``trace_event`` JSON object ``chrome://tracing`` loads."""
+    def to_chrome(self, pid: int = 1, telemetry=None) -> dict:
+        """The ``trace_event`` JSON object ``chrome://tracing`` loads.
+
+        Pass a :class:`repro.obs.TelemetryStore` as ``telemetry`` to
+        emit its time series as counter (``"C"`` phase) events, so
+        queue depths and xmem usage render as tracks alongside spans.
+        """
         tids: dict[str, int] = {}
         events: list[dict] = []
 
@@ -327,6 +332,15 @@ class Tracer:
                 "ts": round(instant["ts_s"] * 1e6, 3), "s": "t",
                 "args": instant["args"],
             })
+        if telemetry is not None and telemetry.enabled:
+            for name in telemetry.names():
+                series = telemetry.series(name)
+                for t, value in zip(series.times, series.values):
+                    events.append({
+                        "ph": "C", "pid": pid, "tid": 0, "name": name,
+                        "ts": round(t * 1e6, 3),
+                        "args": {"value": value},
+                    })
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -85,6 +85,15 @@ class Cpu:
         self.instructions = 0
         self._int_pending: list[int] = []
 
+    def sample_telemetry(self, series, clock_hz: float) -> None:
+        """Record the cumulative cycle counter into an obs time series.
+
+        The sample time is the core's own clock (``cycles / clock_hz``
+        seconds since reset), so cycle-rate series line up run to run
+        regardless of where the board sits in a larger simulation.
+        """
+        series.record_at(self.cycles / clock_hz, float(self.cycles))
+
     # -- register pair helpers ------------------------------------------
     @property
     def bc(self) -> int:

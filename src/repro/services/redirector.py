@@ -296,6 +296,8 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
     ctr_hs_errors = metrics.counter("redirector.errors.handshake")
     ctr_backend_errors = metrics.counter("redirector.errors.backend")
     ctr_recovered = metrics.counter("redirector.recovered")
+    gauge_active = metrics.gauge("redirector.active_connections")
+    ts_active = obs.telemetry.series("redirector.active_connections")
     log = context.logger.log
     tid = f"svc:{label}"
     sock = make_socket(stack)
@@ -396,10 +398,17 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
             ctr_recovered.inc()
             yield
             continue
+        # One handler serves one connection; the shared gauge counts how
+        # many of the N handlers are mid-service, and the telemetry
+        # series records when that level changed on the simulated clock.
+        gauge_active.set(gauge_active.value + 1)
+        ts_active.record(gauge_active.value)
         requests = yield from _rmc_serve(
             stack, sock, backend, session, stats, tid,
             deadline_s=conn_deadline_s, logger=context.logger,
         )
+        gauge_active.set(gauge_active.value - 1)
+        ts_active.record(gauge_active.value)
         stack.sock_close(backend)
         if secure:
             yield from session.close()

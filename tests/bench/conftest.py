@@ -39,6 +39,11 @@ _TEMPLATE = {
                     {"routine": "aes_encrypt", "self cycles": 90000,
                      "% of total": 90.0, "instructions": 5000, "calls": 2},
                 ],
+                "telemetry": {
+                    "cpu.cycles": {"n": 3, "last": 100000.0, "max": 100000.0,
+                                   "times": [0.0, 0.001, 0.002],
+                                   "values": [0.0, 50000.0, 100000.0]},
+                },
             },
         },
         "redirector": {
@@ -54,6 +59,15 @@ _TEMPLATE = {
                 },
             },
             "clients_ok": 2,
+            "telemetry": {
+                "sim.pending_events": {"n": 2, "last": 3.0, "max": 5.0,
+                                       "times": [0.01, 0.02],
+                                       "values": [5.0, 3.0]},
+            },
+            "recorder_tail": [
+                {"seq": 7, "t": 0.098, "sev": "DEBUG", "cat": "net.tcp",
+                 "tid": "tcp:rmc", "msg": "ESTABLISHED->CLOSE_WAIT"},
+            ],
         },
     },
     "wall_seconds": {

@@ -207,6 +207,67 @@ class TestGateCli:
         assert "no snapshot" in capsys.readouterr().err
 
 
+class TestForensicsAcceptance:
+    """The obs-v3 acceptance contract: comparing the committed baseline
+    against a perturbed-AES-cost-model snapshot must attach a
+    deterministic forensics section naming the moved routine and the
+    first simulated-time divergence point, byte-identical across runs.
+    """
+
+    @pytest.fixture(scope="class")
+    def perturbed_path(self, tmp_path_factory) -> pathlib.Path:
+        document = json.loads(
+            (REPO / "BENCH_baseline.json").read_text(encoding="utf-8")
+        )
+        # What a MixColumns cost-model change does to the numbers: the
+        # routine's self cycles move, and with them the totals and the
+        # cumulative cycle telemetry.
+        profile = document["obs"]["aes_profile"]["c"]
+        delta = 0
+        for row in profile["routines"]:
+            if row["routine"] == "mix_columns":
+                delta = int(row["self cycles"] * 0.5)
+                row["self cycles"] += delta
+        assert delta > 0, "baseline lost its mix_columns routine"
+        profile["total_cycles"] += delta
+        telemetry = profile["telemetry"]["cpu.cycles"]
+        telemetry["values"][-1] += delta
+        telemetry["last"] += delta
+        document["tag"] = "perturbed-aes"
+        path = tmp_path_factory.mktemp("forensics") / "BENCH_pert.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return path
+
+    def test_compare_attaches_deterministic_forensics(
+        self, perturbed_path
+    ):
+        runs = [
+            _run_module("compare", "BENCH_baseline.json",
+                        str(perturbed_path))
+            for _ in range(2)
+        ]
+        for completed in runs:
+            assert completed.returncode == 1, completed.stdout
+            out = completed.stdout
+            assert "forensics:" in out
+            assert "top routine cycle deltas [c]:" in out
+            assert "mix_columns" in out
+            assert ("first telemetry divergence: aes:c/cpu.cycles "
+                    "at t=") in out
+            assert "flight recorder tail" in out
+        assert runs[0].stdout == runs[1].stdout
+
+    def test_gate_carries_the_forensics_section(self, perturbed_path):
+        completed = _run_module(
+            "gate", "--baseline", "BENCH_baseline.json",
+            "--snapshot", str(perturbed_path), "--no-slo",
+        )
+        assert completed.returncode == 1, completed.stdout
+        assert "forensics:" in completed.stdout
+        assert "mix_columns" in completed.stdout
+        assert "verdict: FAIL" in completed.stdout.splitlines()[-1]
+
+
 class TestEntryPoint:
     def test_help_exits_zero(self):
         completed = _run_module("--help")

@@ -150,3 +150,55 @@ class TestReportRendering:
     def test_band_constants(self):
         assert DETERMINISTIC_BAND.fail_rel is not None
         assert WALL_BAND.fail_rel is None
+
+
+class TestForensicsAttachment:
+    def test_clean_compare_attaches_no_forensics(self, snapshot):
+        report = compare_snapshots(snapshot, make_snapshot())
+        assert report.forensics is None
+        assert "forensics:" not in report.format()
+
+    def test_failing_compare_attaches_forensics(self, snapshot):
+        current = make_snapshot()
+        profile = current["obs"]["aes_profile"]["asm"]
+        profile["routines"][0]["self cycles"] = 135000
+        profile["total_cycles"] = 145000
+        telemetry = profile["telemetry"]["cpu.cycles"]
+        telemetry["values"][-1] = 145000.0
+        telemetry["last"] = 145000.0
+        report = compare_snapshots(snapshot, current)
+        assert not report.ok
+        assert report.forensics is not None
+        text = report.format()
+        assert "forensics:" in text
+        assert "aes_encrypt" in report.forensics
+        assert "+45000 cycles" in report.forensics
+        assert ("first telemetry divergence: aes:asm/cpu.cycles "
+                "at t=0.002000000s") in report.forensics
+        # The synthetic snapshot embeds a one-event recorder tail.
+        assert "flight recorder tail" in report.forensics
+        assert "ESTABLISHED->CLOSE_WAIT" in report.forensics
+
+    def test_warn_only_compare_also_attaches_forensics(self, snapshot):
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               512000.0 * 1.01)
+        report = compare_snapshots(snapshot, current)
+        assert report.ok
+        assert report.forensics is not None
+
+    def test_snapshots_without_forensics_sections_still_compare(
+        self, snapshot
+    ):
+        # Pre-v3 snapshots lack telemetry/recorder_tail; a failing
+        # compare must still render, just with less detail.
+        baseline = make_snapshot()
+        current = _with_metric(make_snapshot(), "c_cycles_per_block",
+                               700000.0)
+        for document in (baseline, current):
+            for profile in document["obs"]["aes_profile"].values():
+                del profile["telemetry"]
+            del document["obs"]["redirector"]["telemetry"]
+            del document["obs"]["redirector"]["recorder_tail"]
+        report = compare_snapshots(baseline, current)
+        assert not report.ok
+        assert "divergence: none" in report.forensics

@@ -59,6 +59,28 @@ class TestRedirectorScenario:
         assert {e["ph"] for e in events} <= {"M", "X", "i"}
         assert len([e for e in events if e["ph"] == "X"]) >= 20
 
+    def test_telemetry_samples_simulated_time(self, redirector):
+        telemetry = redirector["obs"].telemetry
+        names = telemetry.names()
+        assert "sim.pending_events" in names
+        assert "redirector.active_connections" in names
+        assert any(n.startswith("tcp.") for n in names)
+        sim_now = redirector["sim"].now
+        for name in names:
+            for t, _value in telemetry.series(name).samples():
+                assert 0.0 <= t <= sim_now
+
+    def test_chrome_counter_events_mirror_telemetry(self, redirector):
+        obs = redirector["obs"]
+        trace = obs.tracer.to_chrome(telemetry=obs.telemetry)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert ({e["name"] for e in counters}
+                == set(obs.telemetry.names()))
+        for event in counters:
+            assert event["ts"] >= 0.0
+            assert "value" in event["args"]
+
 
 class TestCausalTraceTree:
     """A client request must render as one connected tree spanning
@@ -99,6 +121,64 @@ class TestCausalTraceTree:
                           if s.name == "backend.request"}
         assert len(client_traces) == 12
         assert backend_traces == client_traces
+
+
+class TestTraceContextUnderLinkFaults:
+    """A dropped-then-retransmitted segment must not sever causality:
+    the retransmit re-emits with the original trace context, so the
+    client->redirector->backend tree stays connected."""
+
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        dropped = {"count": 0}
+
+        def install_drop(lan):
+            sim = lan.sim
+
+            def drop_first_ctx_frame(frame, index):
+                # Drop exactly the first frame carrying a trace context
+                # (a client request segment mid-flight on the wire).
+                if dropped["count"] == 0 and sim.wire_trace_ctx is not None:
+                    dropped["count"] += 1
+                    return True
+                return False
+
+            lan.set_drop_filter(drop_first_ctx_frame)
+
+        result = run_redirector_scenario(lan_hook=install_drop)
+        result["dropped"] = dropped["count"]
+        return result
+
+    def test_the_fault_actually_fired(self, faulted):
+        assert faulted["dropped"] == 1
+        counters = faulted["obs"].metrics.snapshot()["counters"]
+        assert counters["tcp.segments.retransmitted"] >= 1
+
+    def test_clients_still_complete(self, faulted):
+        for report in faulted["reports"]:
+            assert report.error is None
+
+    def test_trace_trees_stay_connected_across_the_retransmit(
+        self, faulted
+    ):
+        spans = faulted["obs"].tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        client_traces = {s.trace_id for s in spans
+                        if s.name == "client.request"}
+        backends = [s for s in spans if s.name == "backend.request"]
+        assert len(client_traces) == 12
+        assert {s.trace_id for s in backends} == client_traces
+        # Every backend span still walks an unbroken parent chain to
+        # its client root -- one connected tree per request, fault or
+        # not.
+        for backend in backends:
+            node = backend
+            hops = 0
+            while node.parent_id is not None and hops < 16:
+                node = by_id[node.parent_id]
+                hops += 1
+            assert node.name == "client.request"
+            assert node.span_id == backend.trace_id
 
 
 class TestRecorderOverheadContract:

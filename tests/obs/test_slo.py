@@ -201,3 +201,57 @@ class TestValidation:
         path = tmp_path / "rules.toml"
         path.write_text(RULES, encoding="utf-8")
         assert len(load_rules(str(path))) == 3
+
+
+_TAIL_RECORD = {"seq": 5, "t": 0.125, "sev": "ERROR", "cat": "net.tcp",
+                "tid": "tcp:rmc", "msg": "connection reset"}
+
+_ERROR_RULE = ('[[rule]]\nname = "no-failures"\npath = "faults/failed"\n'
+               'op = "=="\nthreshold = 0.0\nseverity = "error"')
+
+_WARN_RULE = ('[[rule]]\nname = "soft"\npath = "faults/failed"\n'
+              'op = "=="\nthreshold = 0.0\nseverity = "warn"')
+
+
+class TestRecorderTailAttachment:
+    def test_error_violation_attaches_the_embedded_tail(self):
+        document = {
+            "faults": {"failed": 2},
+            "obs": {"redirector": {"recorder_tail": [_TAIL_RECORD]}},
+        }
+        report = evaluate_slo(parse_rules(_ERROR_RULE), document)
+        assert not report.ok
+        assert report.recorder_tail == [_TAIL_RECORD]
+        text = report.format()
+        assert "flight recorder tail (last 1 events):" in text
+        assert "connection reset" in text
+
+    def test_top_level_events_list_is_the_fallback(self):
+        document = {"faults": {"failed": 2}, "events": [_TAIL_RECORD]}
+        report = evaluate_slo(parse_rules(_ERROR_RULE), document)
+        assert report.recorder_tail == [_TAIL_RECORD]
+
+    def test_passing_report_attaches_nothing(self):
+        document = {
+            "faults": {"failed": 0},
+            "obs": {"redirector": {"recorder_tail": [_TAIL_RECORD]}},
+        }
+        report = evaluate_slo(parse_rules(_ERROR_RULE), document)
+        assert report.ok
+        assert report.recorder_tail == []
+        assert "flight recorder" not in report.format()
+
+    def test_warn_severity_violation_attaches_nothing(self):
+        document = {
+            "faults": {"failed": 2},
+            "obs": {"redirector": {"recorder_tail": [_TAIL_RECORD]}},
+        }
+        report = evaluate_slo(parse_rules(_WARN_RULE), document)
+        assert report.ok
+        assert report.recorder_tail == []
+
+    def test_document_without_a_tail_formats_cleanly(self):
+        report = evaluate_slo(parse_rules(_ERROR_RULE),
+                              {"faults": {"failed": 2}})
+        assert not report.ok
+        assert "flight recorder" not in report.format()
