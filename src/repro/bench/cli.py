@@ -48,6 +48,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the instrumented obs scenarios")
         p.add_argument("--no-faults", action="store_true",
                        help="skip the fault-injection matrix")
+        p.add_argument("--no-scaling", action="store_true",
+                       help="skip the redirector scaling curve")
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan experiments and fault scenarios out over "
                             "N worker processes; deterministic content is "
@@ -107,6 +109,7 @@ def _snapshot_from_run_options(args, tag: str, workload: str) -> dict:
     return build_snapshot(
         tag, workload=workload, experiments=only,
         include_obs=not args.no_obs, include_faults=not args.no_faults,
+        include_scaling=not args.no_scaling,
         jobs=args.jobs, progress=_progress,
     )
 

@@ -41,19 +41,35 @@ MISSING = "missing-metric"
 
 @dataclass(frozen=True)
 class Claim:
-    """One paper-level assertion on a snapshot metric."""
+    """One paper-level assertion on a snapshot metric.
+
+    ``section`` picks the snapshot top-level the claim reads.  The
+    default, ``"experiments"``, is keyed by ``experiment_id`` with the
+    value under ``metrics``; any other section is a plain dict whose
+    value lives under ``summary`` (the ``redirector_scaling`` shape).
+    A snapshot without the section skips the claim -- quick snapshots
+    may omit optional sections entirely -- but a present section with
+    the metric missing is a violation, as for experiment claims.
+    """
 
     experiment_id: str
     metric: str
     op: str
     threshold: float
     description: str
+    section: str = "experiments"
 
     def evaluate(self, document: dict) -> "ClaimResult":
-        record = document["experiments"].get(self.experiment_id)
+        if self.section == "experiments":
+            record = document["experiments"].get(self.experiment_id)
+        else:
+            record = document.get(self.section)
         if record is None:
             return ClaimResult(self, None, SKIPPED)
-        value = record.get("metrics", {}).get(self.metric)
+        if self.section == "experiments":
+            value = record.get("metrics", {}).get(self.metric)
+        else:
+            value = record.get("summary", {}).get(self.metric)
         if value is None:
             return ClaimResult(self, None, MISSING)
         holds = _OPS[self.op](value, self.threshold)
@@ -115,6 +131,27 @@ CLAIMS: tuple[Claim, ...] = (
           "RSA-512 private op takes minutes on the Rabbit (RSA dropped)"),
     Claim("E10", "rsa512_asm_seconds", ">", 10.0,
           "...still unshippable even granting the full assembly speedup"),
+)
+
+#: The post-paper claims on the dynamic connection-slot pool: the
+#: ``redirector_scaling`` snapshot section must show the pool breaking
+#: Figure 3's three-connection ceiling without breaking anything else.
+#: Kept separate from :data:`CLAIMS` -- that table is pinned to the
+#: paper's ten experiments -- and keyed by section, not experiment.
+SCALING_CLAIMS: tuple[Claim, ...] = (
+    Claim("SCALING", "speedup_8_vs_static3", ">", 1.0,
+          "a dynamic pool of >= 8 slots strictly beats the static "
+          "3-costatement build's throughput",
+          section="redirector_scaling"),
+    Claim("SCALING", "xmem_budget_violations", "==", 0.0,
+          "no point on the curve allocates past the xmem budget",
+          section="redirector_scaling"),
+    Claim("SCALING", "monotone_throughput", "==", 1.0,
+          "throughput is monotone non-decreasing in pool size",
+          section="redirector_scaling"),
+    Claim("SCALING", "monotone_refusal_rate", "==", 1.0,
+          "refusal rate is monotone non-increasing in pool size",
+          section="redirector_scaling"),
 )
 
 #: Wall clock of the last full snapshot taken before the predecoded
@@ -209,7 +246,9 @@ def evaluate_gate(current: dict,
     them against ``current`` and fold error-severity misses into the
     verdict."""
     report = GateReport(tag=current.get("tag", "?"))
-    report.claim_results = [claim.evaluate(current) for claim in CLAIMS]
+    report.claim_results = [
+        claim.evaluate(current) for claim in CLAIMS + SCALING_CLAIMS
+    ]
     report.not_reproduced = [
         experiment_id
         for experiment_id, record in sorted(current["experiments"].items())
@@ -224,6 +263,12 @@ def evaluate_gate(current: dict,
     ]
     if current.get("workload") == "full":
         total = current.get("wall_seconds", {}).get("total")
+        # The scaling curve postdates the recorded slow-path total;
+        # subtract its wall so the comparison stays like-for-like.
+        if total is not None:
+            total -= current.get("wall_seconds", {}).get(
+                "redirector_scaling", 0.0
+            )
         if total is not None and total >= SLOW_PATH_WALL_SECONDS:
             report.speed_warnings.append(
                 f"full run took {total:.1f}s wall, at or above the "

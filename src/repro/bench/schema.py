@@ -17,8 +17,9 @@ A snapshot is one JSON document::
     }
 
 The ``faults`` section (fault-injection matrix verdicts and
-injected/recovered counters) is optional, so snapshots from before the
-campaign runner existed still load.
+injected/recovered counters) and the ``redirector_scaling`` section
+(the dynamic connection-slot pool's concurrency scaling curve) are
+optional, so snapshots from before those runners existed still load.
 
 ``experiments`` entries are exactly
 :meth:`repro.experiments.harness.ExperimentResult.to_dict`, so every
@@ -186,6 +187,29 @@ def flatten_metrics(document: dict) -> dict:
             flat[f"{base}.injected.{kind}"] = count
         for kind, count in sorted(scenario.get("recovered", {}).items()):
             flat[f"{base}.recovered.{kind}"] = count
+    scaling = document.get("redirector_scaling", {})
+    points = [("static3", scaling.get("static3"))] + [
+        (f"pool{slots}", point)
+        for slots, point in sorted(
+            scaling.get("pools", {}).items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    for label, point in points:
+        if point is None:
+            continue
+        base = f"scaling.{label}"
+        for name in ("attempts", "completed_requests", "clients_completed",
+                     "refused_connections", "refused_slots",
+                     "refusal_rate", "makespan_s", "throughput_rps",
+                     "peak_slots_occupied", "xmem_used_bytes",
+                     "xmem_budget_violations"):
+            flat[f"{base}.{name}"] = point[name]
+        for quantile in ("p50", "p95", "p99"):
+            flat[f"{base}.latency_s.{quantile}"] = (
+                point["latency_s"][quantile]
+            )
+    for name, value in sorted(scaling.get("summary", {}).items()):
+        flat[f"scaling.summary.{name}"] = value
     return flat
 
 
@@ -202,6 +226,8 @@ def flatten_wall(document: dict) -> dict:
         flat[f"wall.obs.{name}"] = seconds
     if "faults" in wall:
         flat["wall.faults"] = wall["faults"]
+    if "redirector_scaling" in wall:
+        flat["wall.redirector_scaling"] = wall["redirector_scaling"]
     if "total" in wall:
         flat["wall.total"] = wall["total"]
     return flat

@@ -51,6 +51,15 @@ _QUICK_OBS_KWARGS = {
 #: workload runs the entire matrix.
 _QUICK_FAULTS_SCENARIOS = ["baseline", "syn-loss", "rst-midhandshake"]
 
+#: The quick scaling curve keeps pool 8 -- dropping it would turn the
+#: gate's speedup_8_vs_static3 claim into a missing metric, which
+#: counts as violated.
+_QUICK_SCALING_KWARGS = {
+    "pool_sizes": (3, 8),
+    "clients": 6,
+    "requests": 1,
+}
+
 
 def _runner_kwargs(experiment_id: str, workload: str) -> dict:
     if workload == QUICK_WORKLOAD:
@@ -168,6 +177,22 @@ def _collect_faults_detail(workload: str, jobs: int = 1) -> tuple[dict, float]:
     return section, wall
 
 
+def _collect_redirector_scaling(workload: str,
+                                jobs: int = 1) -> tuple[dict, float]:
+    """Run the connection-slot-pool scaling curve; returns
+    ``(section, wall_seconds)``.  The section's deterministic content is
+    exactly :func:`repro.services.scaling.run_scaling_curve`."""
+    from repro.services.scaling import run_scaling_curve
+
+    kwargs = (
+        dict(_QUICK_SCALING_KWARGS) if workload == QUICK_WORKLOAD else {}
+    )
+    start = time.time()  # dclint: allow(PY105)
+    section = run_scaling_curve(jobs=jobs, **kwargs)
+    wall = round(time.time() - start, 3)  # dclint: allow(PY105)
+    return section, wall
+
+
 def _experiment_worker(task: tuple[str, dict]) -> tuple[str, dict, float]:
     """Run one experiment; module-level so multiprocessing can pickle it.
 
@@ -184,13 +209,15 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
                    experiments: list[str] | None = None,
                    include_obs: bool = True,
                    include_faults: bool = True,
+                   include_scaling: bool = True,
                    jobs: int = 1,
                    progress=None) -> dict:
     """Run the battery and return a schema-versioned snapshot document.
 
     ``experiments`` restricts the run to a subset of ids (for tests and
     targeted comparisons); ``include_obs=False`` skips the instrumented
-    scenarios and ``include_faults=False`` the fault-injection matrix.
+    scenarios, ``include_faults=False`` the fault-injection matrix, and
+    ``include_scaling=False`` the connection-slot-pool scaling curve.
     ``jobs > 1`` fans the experiments (and the fault matrix) out over
     worker processes; every record is already seeded and deterministic,
     and results are merged in experiment order, so the snapshot's
@@ -237,6 +264,13 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
         faults_section, faults_wall = _collect_faults_detail(
             workload, jobs=jobs
         )
+    scaling_section: dict = {}
+    scaling_wall = 0.0
+    if include_scaling:
+        say("running redirector scaling curve ...")
+        scaling_section, scaling_wall = _collect_redirector_scaling(
+            workload, jobs=jobs
+        )
     created = time.time()  # dclint: allow(PY105)
     wall_seconds = {
         "experiments": experiment_wall,
@@ -245,7 +279,9 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     }
     if include_faults:
         wall_seconds["faults"] = faults_wall
-    return {
+    if include_scaling:
+        wall_seconds["redirector_scaling"] = scaling_wall
+    document = {
         "schema_version": SCHEMA_VERSION,
         "tag": tag,
         "workload": workload,
@@ -259,3 +295,6 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
         "faults": faults_section,
         "wall_seconds": wall_seconds,
     }
+    if include_scaling:
+        document["redirector_scaling"] = scaling_section
+    return document

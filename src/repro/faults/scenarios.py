@@ -36,11 +36,12 @@ from repro.issl.record import CT_APPLICATION_DATA
 from repro.net.dynctcp import DyncTcpStack
 from repro.net.host import build_lan
 from repro.net.sim import SimulationError, Simulator
-from repro.obs import DEFAULT_TAIL, Obs
+from repro.obs import DEFAULT_TAIL, FlightRecorder, Obs
 from repro.services import (
     ClientReport,
     TLS_PORT,
     backend_line_server,
+    build_pooled_redirector,
     build_rmc_redirector,
     dync_echo_costate,
     echo_client,
@@ -91,10 +92,23 @@ def build_world(seed: int, *, client_hosts: int = 4, handlers: int = 3,
                 backend_timeout_s: float | None = _BACKEND_TIMEOUT_S,
                 buffer_pool_slots: int | None = None,
                 xmem: XmemAllocator | None = None,
+                xmem_capacity: int = 64 * 1024,
                 with_backend: bool = True,
-                bandwidth_bps: float = 10_000_000) -> World:
-    """One hardened redirector deployment on a fresh simulated LAN."""
-    obs = Obs()
+                bandwidth_bps: float = 10_000_000,
+                pooled: bool = False,
+                pool_admission: bool = False,
+                recorder_capacity: int = 256) -> World:
+    """One hardened redirector deployment on a fresh simulated LAN.
+
+    ``pooled=True`` swaps Figure 3's static handler costatements for
+    the dynamic connection-slot pool at the same capacity
+    (``handlers`` slots).  With ``pool_admission=False`` the slots run
+    the classic listen/serve body -- the differential tests pin that
+    its ``redirector.*`` accounting matches the static build exactly;
+    with ``pool_admission=True`` the pool adds admission control and
+    refuses (``redirector.refused.slots``) when every slot is busy.
+    """
+    obs = Obs(recorder=FlightRecorder(capacity=recorder_capacity))
     sim = Simulator(obs=obs)
     names = ["rmc", "backend"] + [f"c{i}" for i in range(client_hosts)]
     lan, hosts = build_lan(sim, names, bandwidth_bps=bandwidth_bps)
@@ -106,23 +120,36 @@ def build_world(seed: int, *, client_hosts: int = 4, handlers: int = 3,
     context = IsslContext(profile, CipherRng(_seed_bytes(seed, "server")),
                           logger=logger, psk=DEMO_PSK, obs=obs)
     if xmem is None:
-        xmem = XmemAllocator(capacity=64 * 1024, obs=obs)
+        xmem = XmemAllocator(capacity=xmem_capacity, obs=obs)
     buffer_pool = None
     if buffer_pool_slots is not None:
         buffer_pool = XmemBufferPool(xmem, buffer_pool_slots,
                                      _BUFFER_BYTES, obs=obs)
     if with_backend:
-        hosts["backend"].spawn(backend_line_server(hosts["backend"]))
+        # Backlog sized to the deployment: a dynamic pool can open one
+        # backend connection per slot in the same burst.
+        hosts["backend"].spawn(backend_line_server(
+            hosts["backend"], backlog=max(5, handlers)
+        ))
     stats: dict = {}
-    scheduler = build_rmc_redirector(
-        stack, context, str(hosts["backend"].ip_address),
-        handlers=handlers, stats=stats, obs=obs,
+    builder_kwargs = dict(
+        stats=stats, obs=obs,
         handshake_timeout_s=handshake_timeout_s,
         handshake_retries=handshake_retries,
         conn_deadline_s=conn_deadline_s,
         backend_timeout_s=backend_timeout_s,
         buffer_pool=buffer_pool,
     )
+    if pooled:
+        scheduler = build_pooled_redirector(
+            stack, context, str(hosts["backend"].ip_address),
+            slots=handlers, admission=pool_admission, **builder_kwargs,
+        )
+    else:
+        scheduler = build_rmc_redirector(
+            stack, context, str(hosts["backend"].ip_address),
+            handlers=handlers, **builder_kwargs,
+        )
     scheduler.start()
     return World(sim=sim, obs=obs, lan=lan, hosts=hosts, stack=stack,
                  context=context, scheduler=scheduler, stats=stats,
@@ -195,6 +222,7 @@ _RECOVERY_SOURCES = {
     "faults.recovered.deadline": "redirector.deadline.expired",
     "faults.recovered.session_refusal": "redirector.refused.sessions",
     "faults.recovered.memory_refusal": "redirector.refused.memory",
+    "faults.recovered.slot_refusal": "redirector.refused.slots",
     "faults.recovered.mac_teardown": "issl.records.mac_failures",
     "faults.recovered.backend_error": "redirector.errors.backend",
     "faults.recovered.handler": "redirector.recovered",
@@ -793,6 +821,85 @@ def scenario_drop_filter_compat(seed: int) -> dict:
     return _verdict("drop-filter-compat", world, checks)
 
 
+def _scenario_pool_burst(seed: int, slots: int) -> dict:
+    """Shared body for the pool-burst-N scenarios: ``slots + 3``
+    simultaneous connections against a dynamic pool of ``slots`` slots.
+    The three surplus connections must be refused with clean
+    ``redirector.refused.slots`` accounting (one flight-recorder event
+    each), the loop must not deadlock, and after the burst drains a
+    late-comer must be served normally."""
+    first_wave = slots + 3
+    # Deeper flight recorder for the bigger deployments: a 32-slot
+    # burst writes ~20 TCP teardown events per connection, and the
+    # refusal events must survive long enough to be counted.
+    world = build_world(seed, pooled=True, pool_admission=True,
+                        handlers=slots, max_sessions=slots,
+                        client_hosts=first_wave + 1,
+                        recorder_capacity=max(256, 32 * slots))
+    processes = [
+        _spawn_secure_client(world, i, requests=1)[0]
+        for i in range(first_wave)
+    ]
+    late, late_report = _spawn_secure_client(
+        world, first_wave, requests=1, start_s=5.0
+    )
+    done = _finish(world, processes + [late])
+    counters = world.counters()
+    refused = counters.get("redirector.refused.slots", 0)
+    failed_first_wave = sum(
+        1 for r in world.reports[:first_wave] if r.error is not None
+    )
+    refusal_events = sum(
+        1 for event in world.obs.recorder.dump()
+        if event["msg"] == "refused: no idle slot"
+    )
+    gauges = world.obs.metrics.snapshot()["gauges"]
+    occupied = gauges.get("redirector.slots.occupied", {})
+    checks = [_check("completed", done)]
+    checks.append(_check(
+        "slots_refused", refused >= 1,
+        f"refused.slots={refused}",
+    ))
+    checks.append(_check(
+        "refusals_account_for_failures", failed_first_wave == refused,
+        f"failed={failed_first_wave} refused={refused}",
+    ))
+    checks.append(_check(
+        "refusal_events_recorded", refusal_events == refused,
+        f"recorder events={refusal_events} refused={refused}",
+    ))
+    checks.append(_check(
+        "pool_ceiling_respected",
+        occupied.get("high_water", 0.0) <= slots,
+        f"peak occupancy={occupied.get('high_water', 0.0)} slots={slots}",
+    ))
+    checks.append(_check(
+        "pool_drained", occupied.get("value", 0.0) == 0,
+        f"occupancy={occupied.get('value', 0.0)} after settle",
+    ))
+    checks.append(_check(
+        "recovered_after_burst", late_report.error is None,
+        f"late client error={late_report.error!r}",
+    ))
+    checks += _check_quiescent(world)
+    return _verdict(f"pool-burst-{slots}", world, checks)
+
+
+def scenario_pool_burst_3(seed: int) -> dict:
+    """Burst against the smallest pool: Figure 3's capacity, dynamic."""
+    return _scenario_pool_burst(seed, 3)
+
+
+def scenario_pool_burst_8(seed: int) -> dict:
+    """Burst against the gate-pinned 8-slot pool."""
+    return _scenario_pool_burst(seed, 8)
+
+
+def scenario_pool_burst_32(seed: int) -> dict:
+    """Burst against the largest measured pool."""
+    return _scenario_pool_burst(seed, 32)
+
+
 #: name -> (runner, description).  Order is report order.
 SCENARIOS: dict = {
     "baseline": (scenario_baseline,
@@ -838,4 +945,13 @@ SCENARIOS: dict = {
     "drop-filter-compat": (scenario_drop_filter_compat,
                            "legacy set_drop_filter composing with the "
                            "injector chain"),
+    "pool-burst-3": (scenario_pool_burst_3,
+                     "burst of slots+3 connections against a 3-slot "
+                     "dynamic pool; refuse, count, recover"),
+    "pool-burst-8": (scenario_pool_burst_8,
+                     "burst of slots+3 connections against an 8-slot "
+                     "dynamic pool; refuse, count, recover"),
+    "pool-burst-32": (scenario_pool_burst_32,
+                      "burst of slots+3 connections against a 32-slot "
+                      "dynamic pool; refuse, count, recover"),
 }

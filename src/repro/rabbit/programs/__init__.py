@@ -3,7 +3,12 @@ Dynamic C subset (DESIGN.md S13)."""
 
 from repro.rabbit.programs.aes_asm import AesAsm
 from repro.rabbit.programs.aes_c import AES_C_SOURCE, AesC
-from repro.rabbit.programs.redirector_dc import FIGURE3_MAIN_SOURCE, main_source
+from repro.rabbit.programs.redirector_dc import (
+    FIGURE3_MAIN_SOURCE,
+    POOLED_MAIN_SOURCE,
+    main_source,
+    pooled_main_source,
+)
 
 __all__ = ["AES_C_SOURCE", "AesAsm", "AesC", "FIGURE3_MAIN_SOURCE",
-           "main_source"]
+           "POOLED_MAIN_SOURCE", "main_source", "pooled_main_source"]

@@ -10,24 +10,31 @@ from repro.services.echo import bsd_echo_server, dync_echo_costate, echo_client
 from repro.services.redirector import (
     BACKEND_PORT,
     PLAIN_PORT,
+    SLOT_BUFFER_BYTES,
     TLS_PORT,
     backend_line_server,
+    build_pooled_redirector,
     build_rmc_redirector,
     unix_plain_redirector,
     unix_secure_redirector,
 )
+from repro.services.scaling import SCALING_POOL_SIZES, run_scaling_curve
 
 __all__ = [
     "BACKEND_PORT",
     "ClientReport",
     "PLAIN_PORT",
+    "SCALING_POOL_SIZES",
+    "SLOT_BUFFER_BYTES",
     "TLS_PORT",
     "backend_line_server",
     "bsd_echo_server",
+    "build_pooled_redirector",
     "build_rmc_redirector",
     "dync_echo_costate",
     "echo_client",
     "plain_request_client",
+    "run_scaling_curve",
     "secure_request_client",
     "unix_plain_redirector",
     "unix_secure_redirector",

@@ -7,12 +7,18 @@ it; it decrypts each request line, forwards it over plain TCP to a
 backend, and returns the backend's response line over the secure
 channel -- the coprocessor-offload pattern Section 2 motivates.
 
-Four variants:
+Five variants:
 
 * :func:`unix_secure_redirector` -- the original: BSD sockets, one
   forked child per connection (the listing in Section 5.3).
 * :func:`build_rmc_redirector` -- the port: Figure 3's main loop, N
   handler costatements (default 3) plus one ``tcp_tick`` driver.
+* :func:`build_pooled_redirector` -- past the Figure-3 ceiling: ONE
+  indexed pooled costatement whose slot capacity is set at
+  scheduler-build time, per-slot state drawn from an
+  :class:`~repro.dync.runtime.xalloc.XmemBufferPool`, and admission
+  control that refuses (``redirector.refused.*``) instead of
+  allocating past the xmem budget.
 * :func:`unix_plain_redirector` / plain handlers -- the no-TLS baseline
   the E4 throughput experiment compares against.
 * :func:`backend_line_server` -- the plaintext backend behind all of
@@ -21,10 +27,11 @@ Four variants:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
-from repro.dync.runtime.costate import CostateScheduler
-from repro.dync.runtime.xalloc import XallocError
+from repro.dync.runtime.costate import CostateScheduler, IndexedCofunctionPool
+from repro.dync.runtime.xalloc import XallocError, XmemBufferPool
 from repro.issl.api import issl_bind
 from repro.issl.session import (
     IsslContext,
@@ -55,17 +62,21 @@ _LINE_MAX = 4096
 
 def backend_line_server(host: Host, port: int = BACKEND_PORT,
                         transform: Callable[[bytes], bytes] | None = None,
-                        stats: dict | None = None):
+                        stats: dict | None = None,
+                        backlog: int = LISTENQ):
     """Generator: accept-loop line server; one child process per client.
 
     The default transform upper-cases the request, making redirection
-    observable end to end.
+    observable end to end.  ``backlog`` must cover the redirector's
+    slot count: a dynamic pool opens up to one backend connection per
+    slot simultaneously, and a burst past the backlog reads as
+    ``redirector.errors.backend`` on the other side.
     """
     if transform is None:
         transform = bytes.upper
     lsock = socket(host)
     lsock.bind(("", port))
-    lsock.listen(LISTENQ)
+    lsock.listen(backlog)
     tracer = host.sim.obs.tracer
     backend_tid = f"svc:{host.name}:backend"
 
@@ -571,6 +582,347 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
                          buffer_pool=buffer_pool),
             name=f"handler{index + 1}",
         )
+
+    def tick_driver():
+        while True:
+            stack.tcp_tick(None)
+            yield
+
+    scheduler.add(tick_driver(), name="tick-driver")
+    return scheduler
+
+
+# ---------------------------------------------------------------------------
+# Past the Figure-3 ceiling: the dynamic connection-slot pool
+# ---------------------------------------------------------------------------
+
+#: Per-slot record buffer carved from the no-free xmem pool (matches
+#: the fault worlds' per-handler buffer size).
+SLOT_BUFFER_BYTES = 4096
+
+
+class _SlotMailbox:
+    """Admission -> slot hand-off cell: the accepted socket, or None."""
+
+    __slots__ = ("sock",)
+
+    def __init__(self):
+        self.sock = None
+
+
+def _pool_slot(stack: DyncTcpStack, context: IsslContext,
+               backend_ip, backend_port,
+               stats: dict | None, secure: bool, label: str,
+               mailbox: _SlotMailbox, slot, free_socks, *,
+               handshake_timeout_s: float | None = None,
+               handshake_retries: int = 0,
+               conn_deadline_s: float | None = None,
+               backend_timeout_s: float | None = None,
+               buffer_pool=None):
+    """One indexed-cofunction slot: serve handed-off connections forever.
+
+    The admission step (not this body) listens, accepts, and either
+    places an established connection into this slot's mailbox or
+    refuses it; from the hand-off on, the slot mirrors
+    :func:`_rmc_handler`'s established path exactly -- same counters,
+    same recorder events, same per-request progress deadline -- and
+    every exit path releases its pool buffer exactly once and returns
+    the socket to the admission free list.
+    """
+    sim = stack.host.sim
+    obs = sim.obs
+    tracer = obs.tracer
+    recorder = obs.recorder
+    metrics = obs.metrics
+    ctr_refused_sessions = metrics.counter("redirector.refused.sessions")
+    ctr_refused_memory = metrics.counter("redirector.refused.memory")
+    ctr_hs_errors = metrics.counter("redirector.errors.handshake")
+    ctr_backend_errors = metrics.counter("redirector.errors.backend")
+    ctr_recovered = metrics.counter("redirector.recovered")
+    gauge_active = metrics.gauge("redirector.active_connections")
+    ts_active = obs.telemetry.series("redirector.active_connections")
+    gauge_occupied = metrics.gauge("redirector.slots.occupied")
+    ts_occupied = obs.telemetry.series("redirector.slots.occupied")
+    log = context.logger.log
+    tid = f"svc:{label}"
+
+    def release_slot(sock):
+        # The one place a slot goes idle: socket back on the admission
+        # free list, mailbox cleared, occupancy stepped down.
+        free_socks.append(sock)
+        mailbox.sock = None
+        slot.busy = False
+        gauge_occupied.set(gauge_occupied.value - 1)
+        ts_occupied.record(gauge_occupied.value)
+
+    while True:
+        while mailbox.sock is None:
+            yield
+        sock = mailbox.sock
+        span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
+        buffer = None
+        if buffer_pool is not None:
+            try:
+                buffer = buffer_pool.acquire()
+            except XallocError as exc:
+                # The xmem budget is a refusal, never an allocation past
+                # it: the slot sheds the connection and goes back idle.
+                ctr_refused_memory.inc()
+                log(f"redirector: {label}: out of xmem, refusing: {exc}")
+                recorder.warn(CAT_SERVICE, tid, "refused: out of xmem")
+                stack.sock_abort(sock)
+                tracer.end(span, error="memory")
+                ctr_recovered.inc()
+                release_slot(sock)
+                yield
+                continue
+        session = None
+        if secure:
+            try:
+                session = issl_bind(context, sock, stack=stack,
+                                    role="server")
+            except IsslSessionLimitError as exc:
+                ctr_refused_sessions.inc()
+                log(f"redirector: {label}: refused: {exc}")
+                recorder.warn(CAT_SERVICE, tid, "refused: session limit")
+                stack.sock_abort(sock)
+                if buffer is not None:
+                    buffer_pool.release(buffer)
+                tracer.end(span, error="sessions")
+                ctr_recovered.inc()
+                release_slot(sock)
+                yield
+                continue
+            try:
+                yield from session.handshake(
+                    timeout=handshake_timeout_s,
+                    retries=handshake_retries,
+                )
+            except IsslError as exc:
+                ctr_hs_errors.inc()
+                log(f"redirector: {label}: handshake failed: {exc}")
+                recorder.error(
+                    CAT_SERVICE, tid, f"handshake failed: {type(exc).__name__}"
+                )
+                stack.sock_abort(sock)
+                if buffer is not None:
+                    buffer_pool.release(buffer)
+                tracer.end(span, error="handshake")
+                ctr_recovered.inc()
+                release_slot(sock)
+                yield
+                continue
+        backend = make_socket(stack)
+        stack.tcp_open(backend, 0, backend_ip, backend_port)
+        backend_deadline = (
+            None if backend_timeout_s is None
+            else sim.now + backend_timeout_s
+        )
+        while not (
+            stack.sock_established(backend) or _sock_dead(backend)
+            or (backend_deadline is not None
+                and sim.now >= backend_deadline)
+        ):
+            yield
+        if not stack.sock_established(backend):
+            ctr_backend_errors.inc()
+            log(f"redirector: {label}: backend unreachable")
+            recorder.error(CAT_SERVICE, tid, "backend unreachable")
+            stack.sock_abort(backend)
+            if secure:
+                yield from session.close()
+            else:
+                stack.sock_close(sock)
+            if buffer is not None:
+                buffer_pool.release(buffer)
+            tracer.end(span, error="backend-connect")
+            ctr_recovered.inc()
+            release_slot(sock)
+            yield
+            continue
+        gauge_active.set(gauge_active.value + 1)
+        ts_active.record(gauge_active.value)
+        requests = yield from _rmc_serve(
+            stack, sock, backend, session, stats, tid,
+            deadline_s=conn_deadline_s, logger=context.logger,
+        )
+        gauge_active.set(gauge_active.value - 1)
+        ts_active.record(gauge_active.value)
+        stack.sock_close(backend)
+        if secure:
+            yield from session.close()
+        stack.sock_close(sock)
+        if buffer is not None:
+            buffer_pool.release(buffer)
+        tracer.end(span, requests=requests)
+        release_slot(sock)
+        yield
+
+
+def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
+                            backend_ip: Ipv4Address | str,
+                            backend_port: int = BACKEND_PORT,
+                            listen_port: int = TLS_PORT,
+                            slots: int = 3,
+                            admission: bool = True,
+                            secure: bool = True,
+                            stats: dict | None = None,
+                            pass_overhead_s: float | None = None,
+                            obs=None,
+                            handshake_timeout_s: float | None = None,
+                            handshake_retries: int = 0,
+                            conn_deadline_s: float | None = None,
+                            backend_timeout_s: float | None = None,
+                            buffer_pool=None,
+                            xmem=None,
+                            slot_bytes: int = SLOT_BUFFER_BYTES
+                            ) -> CostateScheduler:
+    """The dynamic connection-slot pool: one pooled costatement, N slots.
+
+    Where Figure 3 hardcodes one costatement per connection,
+    this builder registers a single indexed pooled costatement
+    (:class:`~repro.dync.runtime.costate.IndexedCofunctionPool`) whose
+    capacity is ``slots`` -- the "add more costatements and recompile"
+    knob turned into a build-time parameter, exactly the shape dclint
+    DC003 counts by its configured bound.
+
+    Two wirings:
+
+    * ``admission=True`` (default): one acceptor socket listens; each
+      established connection is handed to the lowest-index idle slot or
+      refused (``redirector.refused.slots`` + a flight-recorder event)
+      when all slots are busy.  Occupancy is published as the
+      ``redirector.slots.occupied`` gauge and telemetry series.
+    * ``admission=False``: every slot runs the classic
+      :func:`_rmc_handler` body (listen/serve/re-listen) inside the
+      pooled costatement -- step-for-step the static variant's
+      behaviour, which the differential regression tests pin.
+
+    Per-slot record buffers come from ``buffer_pool``; passing ``xmem``
+    instead builds an :class:`~repro.dync.runtime.xalloc.XmemBufferPool`
+    of ``slots`` x ``slot_bytes`` over it, so a pool sized past the
+    budget refuses at admission (``redirector.refused.memory``) rather
+    than allocating past it.  The per-request progress deadline
+    (``conn_deadline_s``) and the other hardening knobs carry over
+    from the static builder unchanged.
+    """
+    if slots < 1:
+        raise ValueError(f"slots must be >= 1, got {slots}")
+    if isinstance(backend_ip, str):
+        backend_ip = Ipv4Address.parse(backend_ip)
+    stack.sock_init()
+    if buffer_pool is None and xmem is not None:
+        buffer_pool = XmemBufferPool(xmem, slots, slot_bytes,
+                                     obs=stack.host.sim.obs)
+    kwargs = {}
+    if pass_overhead_s is not None:
+        kwargs["pass_overhead_s"] = pass_overhead_s
+    scheduler = CostateScheduler(stack.host.sim, name="rmc-redirector",
+                                 obs=obs, **kwargs)
+    handler_kwargs = dict(
+        handshake_timeout_s=handshake_timeout_s,
+        handshake_retries=handshake_retries,
+        conn_deadline_s=conn_deadline_s,
+        backend_timeout_s=backend_timeout_s,
+        buffer_pool=buffer_pool,
+    )
+    pool = IndexedCofunctionPool(name="slot-pool")
+    if not admission:
+        # Listen-mode slots: the static handler body, pooled.  Counter
+        # parity with build_rmc_redirector is by construction.
+        for index in range(slots):
+            slot = pool.add_slot(name=f"slot{index + 1}")
+            slot.bind(_rmc_handler(
+                stack, context, backend_ip, backend_port, listen_port,
+                stats, secure, label=f"slot{index + 1}", **handler_kwargs,
+            ))
+        scheduler.add_pool(pool)
+
+        def tick_driver():
+            while True:
+                stack.tcp_tick(None)
+                yield
+
+        scheduler.add(tick_driver(), name="tick-driver")
+        return scheduler
+
+    sim = stack.host.sim
+    world_obs = sim.obs
+    metrics = world_obs.metrics
+    recorder = world_obs.recorder
+    ctr_refused_slots = metrics.counter("redirector.refused.slots")
+    ctr_handoffs = metrics.counter("redirector.slots.handoffs")
+    ctr_recovered = metrics.counter("redirector.recovered")
+    gauge_occupied = metrics.gauge("redirector.slots.occupied")
+    ts_occupied = world_obs.telemetry.series("redirector.slots.occupied")
+    log = context.logger.log
+    admission_tid = "svc:admission"
+    # Statically allocated sockets, Rabbit style: one in the acceptor's
+    # hand, the rest on the free list; slots return theirs on release.
+    free_socks = deque(make_socket(stack) for _ in range(slots))
+    acceptor = [make_socket(stack)]
+    table = []
+    for index in range(slots):
+        mailbox = _SlotMailbox()
+        slot = pool.add_slot(name=f"slot{index + 1}")
+        slot.bind(_pool_slot(
+            stack, context, backend_ip, backend_port, stats, secure,
+            f"slot{index + 1}", mailbox, slot, free_socks, **handler_kwargs,
+        ))
+        table.append((mailbox, slot))
+
+    def admission_step():
+        # One non-blocking admission decision per big-loop pass.
+        sock = acceptor[0]
+        if sock.waiting:
+            return  # listening; nothing attached yet
+        conn = sock.conn
+        if conn is None or conn.state.value in ("CLOSED", "TIME_WAIT"):
+            # (Re-)arm the listener; always succeeds from these states.
+            stack.tcp_listen(sock, listen_port)
+            return
+        if stack.sock_established(sock):
+            for mailbox, slot in table:
+                if not slot.busy:
+                    # Hand off to the lowest-index idle slot.
+                    slot.busy = True
+                    mailbox.sock = sock
+                    ctr_handoffs.inc()
+                    gauge_occupied.set(gauge_occupied.value + 1)
+                    ts_occupied.record(gauge_occupied.value)
+                    acceptor[0] = free_socks.popleft()
+                    return
+            # Every slot busy: refuse instead of queueing unboundedly --
+            # the pool's capacity is the budget, and the refusal is the
+            # observable (counter + recorder event), not a wedge.
+            ctr_refused_slots.inc()
+            log(f"redirector: admission: refused: all {len(table)} "
+                f"slots busy")
+            recorder.warn(CAT_SERVICE, admission_tid, "refused: no idle slot")
+            stack.sock_abort(sock)
+            ctr_recovered.inc()
+            return
+        if _sock_dead(sock):
+            # Died while queued for admission (lost handshake, RST);
+            # the abort lands the conn in CLOSED, so the next pass
+            # re-arms the listener.
+            log("redirector: admission: connection died before established")
+            recorder.warn(CAT_SERVICE, admission_tid,
+                          "connection died before established")
+            stack.sock_abort(sock)
+            ctr_recovered.inc()
+            return
+        # A teardown-in-flight socket off the free list: rotate it to
+        # the back so one lingering close never stalls admission.
+        free_socks.append(sock)
+        acceptor[0] = free_socks.popleft()
+
+    def pool_driver():
+        while True:
+            admission_step()
+            yield pool.step_all()
+
+    scheduler.add_pool(pool, driver=pool_driver())
 
     def tick_driver():
         while True:

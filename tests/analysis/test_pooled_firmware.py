@@ -1,0 +1,67 @@
+"""dclint on the dynamic-pool firmware: DC003 counts the pooled
+costatement at its configured capacity, and the build lints clean once
+the concurrency cap matches the pool."""
+
+from repro.analysis import LintConfig, analyze_dync_source
+from repro.rabbit.programs import (
+    POOLED_MAIN_SOURCE,
+    pooled_main_source,
+)
+
+
+def test_shipped_pooled_source_is_the_eight_slot_build():
+    assert POOLED_MAIN_SOURCE == pooled_main_source()
+    assert "int NSLOTS = 8;" in POOLED_MAIN_SOURCE
+
+
+def test_pool_counted_at_configured_capacity():
+    """At the Figure 3 cap the 8-slot pool is a DC003 error that names
+    the pooled costatement and its capacity -- the analyzer sees eight
+    connections in one costatement, not one."""
+    diagnostics = analyze_dync_source(POOLED_MAIN_SOURCE)
+    assert [d.rule for d in diagnostics] == ["DC003"]
+    (diag,) = diagnostics
+    assert "slot_pool pools 8 slots" in diag.message
+    assert "8 connection slots" in diag.message
+
+
+def test_lints_clean_at_matching_cap():
+    """Raise the cap to the pool's capacity (the recompile the paper
+    describes) and the build has zero errors and zero diagnostics."""
+    config = LintConfig(max_costates=8)
+    assert analyze_dync_source(POOLED_MAIN_SOURCE, config=config) == []
+
+
+def test_capacity_tracks_the_generator_argument():
+    for slots in (4, 16):
+        diagnostics = analyze_dync_source(pooled_main_source(slots))
+        (diag,) = diagnostics
+        assert f"slot_pool pools {slots} slots" in diag.message
+        clean = analyze_dync_source(
+            pooled_main_source(slots),
+            config=LintConfig(max_costates=slots),
+        )
+        assert clean == []
+
+
+def test_non_const_bound_is_not_a_countable_pool():
+    """The negative fixture: a runtime-loaded NSLOTS is not
+    const-resolvable, so the analyzer conservatively counts the
+    costatement as a single slot and the default cap holds."""
+    source = pooled_main_source(8, const_bound=False)
+    assert "NSLOTS = config_load();" in source
+    assert analyze_dync_source(source) == []
+
+
+def test_non_const_bound_still_counts_as_one_toward_the_cap():
+    """Even unresolvable, the pooled costatement occupies one slot in
+    the census: with the cap at zero headroom it tips DC003 over."""
+    source = pooled_main_source(8, const_bound=False)
+    diagnostics = analyze_dync_source(
+        source, config=LintConfig(max_costates=0)
+    )
+    rules = [d.rule for d in diagnostics]
+    assert "DC003" in rules
+    (dc003,) = [d for d in diagnostics if d.rule == "DC003"]
+    # Counted as a plain request costatement, no pool detail.
+    assert "pools" not in dc003.message

@@ -274,3 +274,24 @@ class TestEntryPoint:
         assert completed.returncode == 0
         for subcommand in ("run", "compare", "trend", "gate", "show"):
             assert subcommand in completed.stdout
+
+
+class TestScalingSection:
+    def test_quick_snapshot_carries_scaling_section(
+        self, quick_snapshot_path
+    ):
+        document = json.loads(quick_snapshot_path.read_text())
+        section = document["redirector_scaling"]
+        assert section["workload"]["pool_sizes"] == [3, 8]
+        assert section["summary"]["speedup_8_vs_static3"] > 1.0
+        assert section["summary"]["xmem_budget_violations"] == 0
+        assert "redirector_scaling" in document["wall_seconds"]
+
+    def test_no_scaling_flag_omits_section(self, tmp_path):
+        path = tmp_path / "BENCH_noscale.json"
+        assert main(["run", "--tag", "noscale", "--quick", "--only", "E6",
+                     "--no-obs", "--no-faults", "--no-scaling",
+                     "--out", str(path)]) == 0
+        document = json.loads(path.read_text())
+        assert "redirector_scaling" not in document
+        assert "redirector_scaling" not in document["wall_seconds"]

@@ -2,6 +2,7 @@
 
 from repro.bench.gate import (
     CLAIMS,
+    SCALING_CLAIMS,
     SLOW_PATH_WALL_SECONDS,
     Claim,
     evaluate_gate,
@@ -133,3 +134,97 @@ class TestSpeedWarning:
         snapshot["wall_seconds"]["total"] = SLOW_PATH_WALL_SECONDS + 1.0
         report = evaluate_gate(snapshot)
         assert report.speed_warnings == []
+
+
+def _scaling_point(variant, slots, throughput, refusal_rate=0.0):
+    return {
+        "variant": variant, "slots": slots, "clients": 6,
+        "requests_per_client": 1, "attempts": 6,
+        "completed_requests": 6, "clients_completed": 6,
+        "refused_connections": 0, "refused_slots": 0,
+        "refused_sessions": 0, "refused_memory": 0,
+        "refusal_rate": refusal_rate, "makespan_s": 1.0,
+        "throughput_rps": throughput,
+        "latency_s": {"p50": 0.1, "p95": 0.2, "p99": 0.3},
+        "peak_slots_occupied": float(slots),
+        "xmem_used_bytes": 4096, "xmem_capacity_bytes": 196608,
+        "xmem_budget_violations": 0,
+    }
+
+
+def make_scaling_section(speedup=1.25) -> dict:
+    static = _scaling_point("static", 3, 20.0)
+    return {
+        "workload": {"clients": 6, "requests_per_client": 1,
+                     "request_size": 64, "seed": 2000,
+                     "pool_sizes": [3, 8],
+                     "xmem_capacity_bytes": 196608},
+        "static3": static,
+        "pools": {
+            "3": _scaling_point("pool", 3, 15.0, refusal_rate=0.4),
+            "8": _scaling_point("pool", 8, 20.0 * speedup),
+        },
+        "summary": {
+            "throughput_rps_static3": 20.0,
+            "monotone_throughput": 1,
+            "monotone_refusal_rate": 1,
+            "xmem_budget_violations": 0,
+            "speedup_8_vs_static3": speedup,
+        },
+    }
+
+
+class TestScalingClaims:
+    """The post-paper claims on the dynamic connection-slot pool."""
+
+    def test_claim_table_still_pins_exactly_the_ten_experiments(self):
+        # SCALING_CLAIMS live in their own table so the paper's claim
+        # census stays E1..E10 exactly.
+        claimed = {claim.experiment_id for claim in CLAIMS}
+        assert claimed == {f"E{i}" for i in range(1, 11)}
+        assert all(claim.section == "redirector_scaling"
+                   for claim in SCALING_CLAIMS)
+
+    def test_skipped_when_section_absent(self, snapshot):
+        report = evaluate_gate(snapshot)
+        assert report.ok
+        result = _result_for(report, "SCALING", "speedup_8_vs_static3")
+        assert result.status == "skipped"
+
+    def test_healthy_section_passes_all_four_claims(self, snapshot):
+        snapshot["redirector_scaling"] = make_scaling_section()
+        report = evaluate_gate(snapshot)
+        assert report.ok
+        for claim in SCALING_CLAIMS:
+            result = _result_for(report, "SCALING", claim.metric)
+            assert result.status == "ok", claim.metric
+
+    def test_pool8_not_beating_static_fails_gate(self, snapshot):
+        snapshot["redirector_scaling"] = make_scaling_section(speedup=0.95)
+        report = evaluate_gate(snapshot)
+        assert not report.ok
+        result = _result_for(report, "SCALING", "speedup_8_vs_static3")
+        assert result.status == "violated"
+
+    def test_budget_violation_fails_gate(self, snapshot):
+        section = make_scaling_section()
+        section["summary"]["xmem_budget_violations"] = 1
+        snapshot["redirector_scaling"] = section
+        report = evaluate_gate(snapshot)
+        assert not report.ok
+
+    def test_non_monotone_curve_fails_gate(self, snapshot):
+        section = make_scaling_section()
+        section["summary"]["monotone_throughput"] = 0
+        snapshot["redirector_scaling"] = section
+        report = evaluate_gate(snapshot)
+        assert not report.ok
+
+    def test_missing_summary_metric_is_violated(self, snapshot):
+        section = make_scaling_section()
+        del section["summary"]["speedup_8_vs_static3"]
+        snapshot["redirector_scaling"] = section
+        report = evaluate_gate(snapshot)
+        result = _result_for(report, "SCALING", "speedup_8_vs_static3")
+        assert result.status == "missing-metric"
+        assert not report.ok

@@ -141,3 +141,39 @@ class TestFlattening:
 
     def test_snapshot_json_serializable(self, snapshot):
         json.dumps(flatten_metrics(snapshot))
+
+
+class TestScalingFlattening:
+    def _with_scaling(self, snapshot):
+        from tests.bench.test_gate import make_scaling_section
+
+        snapshot["redirector_scaling"] = make_scaling_section()
+        snapshot["wall_seconds"]["redirector_scaling"] = 7.5
+        return snapshot
+
+    def test_scaling_points_flattened(self, snapshot):
+        flat = flatten_metrics(self._with_scaling(snapshot))
+        assert flat["scaling.static3.throughput_rps"] == 20.0
+        assert flat["scaling.pool3.refusal_rate"] == 0.4
+        assert flat["scaling.pool8.throughput_rps"] == 25.0
+        assert flat["scaling.pool8.latency_s.p95"] == 0.2
+        assert flat["scaling.pool8.xmem_budget_violations"] == 0
+
+    def test_scaling_summary_flattened(self, snapshot):
+        flat = flatten_metrics(self._with_scaling(snapshot))
+        assert flat["scaling.summary.speedup_8_vs_static3"] == 1.25
+        assert flat["scaling.summary.monotone_throughput"] == 1
+
+    def test_scaling_wall_in_wall_map_not_metrics(self, snapshot):
+        document = self._with_scaling(snapshot)
+        assert flatten_wall(document)["wall.redirector_scaling"] == 7.5
+        assert not any(
+            name.startswith("wall.") for name in flatten_metrics(document)
+        )
+
+    def test_section_optional_for_validation(self, snapshot):
+        # Old snapshots without the section still validate and flatten.
+        validate_snapshot(snapshot)
+        assert not any(
+            name.startswith("scaling.") for name in flatten_metrics(snapshot)
+        )

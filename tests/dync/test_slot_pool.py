@@ -1,0 +1,120 @@
+"""The indexed-cofunction slot pool: the runtime shape behind the
+dynamic redirector (``cofunc void handler[NSLOTS]``-style slots driven
+from one costatement)."""
+
+import pytest
+
+from repro.dync.runtime.costate import (
+    CofunctionSlot,
+    CostateScheduler,
+    IndexedCofunctionPool,
+)
+from repro.net.sim import Simulator
+
+
+def _ticker(log, label, busy_s=0.0, passes=3):
+    for _ in range(passes):
+        log.append(label)
+        yield busy_s
+
+
+class TestCofunctionSlot:
+    def test_names_default_to_index(self):
+        slot = CofunctionSlot(0, None)
+        assert slot.name == "slot1"
+        assert CofunctionSlot(4, None, name="custom").name == "custom"
+
+    def test_step_accumulates_busy_and_passes(self):
+        log = []
+        slot = CofunctionSlot(0, _ticker(log, "a", busy_s=0.5, passes=2))
+        assert slot.step() == 0.5
+        assert slot.step() == 0.5
+        assert not slot.done
+        assert slot.step() == 0.0
+        assert slot.done
+        assert slot.passes == 3
+        assert slot.total_busy_s == pytest.approx(1.0)
+
+    def test_bind_attaches_body_later(self):
+        log = []
+        slot = CofunctionSlot(0, None)
+        # An unbound slot idles: stepping it is a no-op, not an error.
+        assert slot.step() == 0.0
+        assert slot.passes == 0
+        slot.bind(_ticker(log, "late", passes=1))
+        slot.step()
+        assert log == ["late"]
+
+
+class TestIndexedCofunctionPool:
+    def test_capacity_and_index_order(self):
+        log = []
+        pool = IndexedCofunctionPool()
+        for label in ("a", "b", "c"):
+            pool.add_slot(_ticker(log, label))
+        assert pool.slot_capacity == 3
+        assert [slot.index for slot in pool.slots] == [0, 1, 2]
+        pool.step_all()
+        # One big-loop pass advances every slot in index order.
+        assert log == ["a", "b", "c"]
+
+    def test_step_all_sums_busy_and_skips_done(self):
+        log = []
+        pool = IndexedCofunctionPool()
+        pool.add_slot(_ticker(log, "x", busy_s=0.25, passes=1))
+        pool.add_slot(_ticker(log, "y", busy_s=0.5, passes=2))
+        assert pool.step_all() == pytest.approx(0.75)
+        # x exhausted on the pass above; only y contributes now.
+        assert pool.step_all() == pytest.approx(0.5)
+        assert log == ["x", "y", "y"]
+
+    def test_occupied_reflects_busy_flags(self):
+        pool = IndexedCofunctionPool()
+        a = pool.add_slot()
+        pool.add_slot()
+        assert pool.occupied == 0
+        a.busy = True
+        assert pool.occupied == 1
+
+
+class TestSchedulerPoolIntegration:
+    def test_add_pool_reports_slot_capacity(self):
+        sim = Simulator()
+        scheduler = CostateScheduler(sim)
+        pool = IndexedCofunctionPool(name="pool")
+        for _ in range(8):
+            pool.add_slot()
+        costate = scheduler.add_pool(pool)
+        assert costate.name == "pool"
+        assert costate.slot_capacity == 8
+
+    def test_connection_slot_count_sums_capacities(self):
+        """The scheduler's census mirrors dclint DC003's: a pooled
+        costatement counts by its capacity, a plain one as one slot."""
+        sim = Simulator()
+        scheduler = CostateScheduler(sim)
+        pool = IndexedCofunctionPool()
+        for _ in range(5):
+            pool.add_slot()
+        scheduler.add_pool(pool)
+
+        def plain():
+            while True:
+                yield
+
+        scheduler.add(plain(), name="tick-driver")
+        assert scheduler.connection_slot_count == 6
+
+    def test_pool_runs_inside_big_loop(self):
+        sim = Simulator()
+        scheduler = CostateScheduler(sim)
+        log = []
+        pool = IndexedCofunctionPool()
+        pool.add_slot(_ticker(log, "s1", passes=4))
+        pool.add_slot(_ticker(log, "s2", passes=4))
+        scheduler.add_pool(pool)
+        scheduler.start()
+        sim.run(until=sim.now + 1.0)
+        scheduler.stop()
+        assert log[:4] == ["s1", "s2", "s1", "s2"]
+        assert all(slot.done for slot in pool.slots)

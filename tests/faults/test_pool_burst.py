@@ -1,0 +1,65 @@
+"""Burst-arrival fault scenarios against the dynamic connection-slot
+pool: clean ``redirector.refused.slots`` accounting, no deadlock, and
+full recovery after the burst drains."""
+
+from repro.faults.campaign import run_matrix, run_scenario
+from repro.faults.scenarios import SCENARIOS, _RECOVERY_SOURCES
+
+
+class TestRegistration:
+    def test_burst_scenarios_registered_at_all_three_sizes(self):
+        for slots in (3, 8, 32):
+            assert f"pool-burst-{slots}" in SCENARIOS
+
+    def test_slot_refusal_mapped_into_recovery_namespace(self):
+        assert _RECOVERY_SOURCES["faults.recovered.slot_refusal"] == (
+            "redirector.refused.slots"
+        )
+
+
+class TestBurstVerdicts:
+    def _checks(self, verdict):
+        return {check["name"]: check for check in verdict["checks"]}
+
+    def test_burst_3_refuses_surplus_and_recovers(self):
+        verdict = run_scenario("pool-burst-3", seed=424)
+        assert verdict["ok"], self._checks(verdict)
+        counters = verdict["counters"]
+        assert counters["redirector.refused.slots"] >= 1
+        assert counters["faults.recovered.slot_refusal"] == (
+            counters["redirector.refused.slots"]
+        )
+        checks = self._checks(verdict)
+        assert checks["refusals_account_for_failures"]["ok"]
+        assert checks["refusal_events_recorded"]["ok"]
+        assert checks["pool_drained"]["ok"]
+        assert checks["recovered_after_burst"]["ok"]
+
+    def test_burst_8_holds_the_same_contract(self):
+        verdict = run_scenario("pool-burst-8", seed=424)
+        assert verdict["ok"], self._checks(verdict)
+        assert verdict["counters"]["redirector.refused.slots"] >= 1
+        # Eight slots really ran: the handoff count covers the served
+        # first wave plus the late client.
+        assert verdict["counters"]["redirector.slots.handoffs"] >= 9
+
+    def test_burst_32_holds_the_same_contract(self):
+        verdict = run_scenario("pool-burst-32", seed=424)
+        assert verdict["ok"], self._checks(verdict)
+        assert verdict["counters"]["redirector.refused.slots"] >= 1
+
+    def test_burst_is_deterministic(self):
+        first = run_scenario("pool-burst-3", seed=77)
+        second = run_scenario("pool-burst-3", seed=77)
+        assert first == second
+
+
+class TestMatrixIntegration:
+    def test_matrix_subset_runs_burst_scenarios(self):
+        report = run_matrix(["baseline", "pool-burst-3"], seed=424)
+        assert report["verdict"] == "PASS"
+        names = [v["name"] for v in report["scenarios"]]
+        assert names == ["baseline", "pool-burst-3"]
+        # The merged metrics section carries the slot-refusal recovery.
+        counters = report["metrics"]["counters"]
+        assert counters["faults.recovered.slot_refusal"] >= 1

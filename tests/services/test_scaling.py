@@ -1,0 +1,102 @@
+"""The concurrency scaling curve (satellite of the dynamic pool):
+seeded, monotone, and byte-identical across runs and worker fan-out."""
+
+import json
+
+import pytest
+
+from repro.services.scaling import (
+    SCALING_POOL_SIZES,
+    run_scaling_curve,
+    run_scaling_point,
+)
+
+#: Quick workload mirroring the bench's quick snapshot: small enough
+#: for tier-1, big enough to exercise refusal + retry on the small
+#: pool and a real speedup at 8.
+_QUICK = dict(pool_sizes=(3, 8), clients=6, requests=1)
+
+
+@pytest.fixture(scope="module")
+def quick_curve():
+    return run_scaling_curve(**_QUICK)
+
+
+class TestScalingPoint:
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            run_scaling_point(variant="threads", slots=3)
+
+    def test_point_is_deterministic(self):
+        kwargs = dict(variant="pool", slots=3, clients=4, requests=1)
+        assert run_scaling_point(**kwargs) == run_scaling_point(**kwargs)
+
+    def test_point_shape(self):
+        point = run_scaling_point(
+            variant="static", slots=3, clients=3, requests=1)
+        assert point["variant"] == "static"
+        assert point["slots"] == 3
+        assert point["completed_requests"] == 3
+        assert set(point["latency_s"]) == {"p50", "p95", "p99"}
+        assert point["xmem_budget_violations"] == 0
+
+
+class TestCurveProperties:
+    def test_section_shape(self, quick_curve):
+        assert quick_curve["workload"]["pool_sizes"] == [3, 8]
+        assert quick_curve["static3"]["variant"] == "static"
+        assert set(quick_curve["pools"]) == {"3", "8"}
+        assert "speedup_8_vs_static3" in quick_curve["summary"]
+
+    def test_throughput_monotone_non_decreasing(self, quick_curve):
+        assert quick_curve["summary"]["monotone_throughput"] == 1
+
+    def test_refusal_rate_monotone_non_increasing(self, quick_curve):
+        assert quick_curve["summary"]["monotone_refusal_rate"] == 1
+        sizes = [str(n) for n in quick_curve["workload"]["pool_sizes"]]
+        rates = [quick_curve["pools"][n]["refusal_rate"] for n in sizes]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_zero_xmem_budget_violations(self, quick_curve):
+        assert quick_curve["summary"]["xmem_budget_violations"] == 0
+        for point in [quick_curve["static3"]] + list(
+            quick_curve["pools"].values()
+        ):
+            assert point["xmem_used_bytes"] <= point["xmem_capacity_bytes"]
+
+    def test_all_offered_work_eventually_completes(self, quick_curve):
+        """Refused clients retry: at every pool size the fixed workload
+        is fully served in the end."""
+        expected = _QUICK["clients"] * _QUICK["requests"]
+        for point in [quick_curve["static3"]] + list(
+            quick_curve["pools"].values()
+        ):
+            assert point["clients_completed"] == _QUICK["clients"]
+            assert point["completed_requests"] == expected
+
+    def test_peak_occupancy_bounded_by_pool(self, quick_curve):
+        for n, point in quick_curve["pools"].items():
+            assert point["peak_slots_occupied"] <= int(n)
+
+
+class TestDeterminism:
+    def test_curve_byte_identical_across_runs(self, quick_curve):
+        again = run_scaling_curve(**_QUICK)
+        assert json.dumps(quick_curve, sort_keys=True) == json.dumps(
+            again, sort_keys=True)
+
+    def test_curve_byte_identical_jobs_1_vs_2(self, quick_curve):
+        fanned = run_scaling_curve(jobs=2, **_QUICK)
+        assert json.dumps(quick_curve, sort_keys=True) == json.dumps(
+            fanned, sort_keys=True)
+
+    def test_default_sizes_cover_the_gate_claim(self):
+        # The gate pins speedup at 8 slots; the measured curve must
+        # include both endpoints of that claim.
+        assert 3 in SCALING_POOL_SIZES
+        assert 8 in SCALING_POOL_SIZES
+
+    def test_pool_sizes_deduplicated_and_sorted(self):
+        curve = run_scaling_curve(
+            pool_sizes=(8, 3, 3), clients=2, requests=1)
+        assert curve["workload"]["pool_sizes"] == [3, 8]
