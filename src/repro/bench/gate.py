@@ -162,6 +162,15 @@ SCALING_CLAIMS: tuple[Claim, ...] = (
 #: it never fails the gate.
 SLOW_PATH_WALL_SECONDS = 89.32
 
+#: Wall-clock budget for the full battery now that hot blocks are
+#: template-translated and the fault/scaling harnesses fork one warmed
+#: machine instead of cold-booting per scenario (about 3x under the
+#: block-dispatch era's total, with headroom for host noise).  A full
+#: run creeping back above this means the translation tier or the
+#: warm-fork path stopped engaging.  Warn-only, like the slow-path
+#: sentinel above: wall clock is a property of the host.
+FAST_BATTERY_WALL_SECONDS = 30.0
+
 #: The flight recorder's wall-time budget on the redirector scenario,
 #: in percent over the same run with the recorder disabled (the
 #: snapshot measures both; see ``_collect_obs_detail``).  Warn-only for
@@ -275,6 +284,15 @@ def evaluate_gate(current: dict,
                 f"recorded slow-path total of "
                 f"{SLOW_PATH_WALL_SECONDS:.1f}s -- is the fast "
                 f"emulator core engaged?"
+            )
+        total_all = current.get("wall_seconds", {}).get("total")
+        if (total_all is not None
+                and total_all >= FAST_BATTERY_WALL_SECONDS):
+            report.speed_warnings.append(
+                f"full run took {total_all:.1f}s wall, at or above the "
+                f"translated-tier budget of "
+                f"{FAST_BATTERY_WALL_SECONDS:.1f}s -- is the "
+                f"translation tier (and warm-machine forking) engaged?"
             )
     obs_wall = current.get("wall_seconds", {}).get("obs", {})
     with_recorder = obs_wall.get("redirector")

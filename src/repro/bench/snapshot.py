@@ -142,13 +142,17 @@ def _counters_by_prefix(counters: dict, prefix: str) -> dict:
     }
 
 
-def _collect_faults_detail(workload: str, jobs: int = 1) -> tuple[dict, float]:
+def _collect_faults_detail(workload: str, jobs: int = 1,
+                           machine_probe: bool = True) -> tuple[dict, float]:
     """Run the fault matrix; returns ``(faults_section, wall_seconds)``.
 
     The section keeps what the gate needs per scenario: the verdict and
     the injected/recovered counters, so a hardening regression (a fault
     that stops being recovered) fails the drift gate even when tier-1
-    tests stay green.
+    tests stay green.  With ``machine_probe`` on (the default) it also
+    carries the campaign's fork/boot tally: every scenario forks one
+    warmed machine from the process-local template instead of cold
+    booting (``cold_boots`` stays 0).
     """
     from repro.faults.campaign import DEFAULT_SEED, run_matrix
 
@@ -156,7 +160,8 @@ def _collect_faults_detail(workload: str, jobs: int = 1) -> tuple[dict, float]:
         _QUICK_FAULTS_SCENARIOS if workload == QUICK_WORKLOAD else None
     )
     start = time.time()  # dclint: allow(PY105)
-    report = run_matrix(names, seed=DEFAULT_SEED, jobs=jobs)
+    report = run_matrix(names, seed=DEFAULT_SEED, jobs=jobs,
+                        machine_probe=machine_probe)
     wall = round(time.time() - start, 3)  # dclint: allow(PY105)
     scenarios = {}
     for verdict in report["scenarios"]:
@@ -174,11 +179,14 @@ def _collect_faults_detail(workload: str, jobs: int = 1) -> tuple[dict, float]:
         "failed": report["failed"],
         "scenarios": scenarios,
     }
+    if "machine" in report:
+        section["machine"] = report["machine"]
     return section, wall
 
 
-def _collect_redirector_scaling(workload: str,
-                                jobs: int = 1) -> tuple[dict, float]:
+def _collect_redirector_scaling(workload: str, jobs: int = 1,
+                                machine_probe: bool = True,
+                                ) -> tuple[dict, float]:
     """Run the connection-slot-pool scaling curve; returns
     ``(section, wall_seconds)``.  The section's deterministic content is
     exactly :func:`repro.services.scaling.run_scaling_curve`."""
@@ -188,7 +196,8 @@ def _collect_redirector_scaling(workload: str,
         dict(_QUICK_SCALING_KWARGS) if workload == QUICK_WORKLOAD else {}
     )
     start = time.time()  # dclint: allow(PY105)
-    section = run_scaling_curve(jobs=jobs, **kwargs)
+    section = run_scaling_curve(jobs=jobs, machine_probe=machine_probe,
+                                **kwargs)
     wall = round(time.time() - start, 3)  # dclint: allow(PY105)
     return section, wall
 
@@ -210,6 +219,7 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
                    include_obs: bool = True,
                    include_faults: bool = True,
                    include_scaling: bool = True,
+                   machine_probe: bool = True,
                    jobs: int = 1,
                    progress=None) -> dict:
     """Run the battery and return a schema-versioned snapshot document.
@@ -218,6 +228,9 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     targeted comparisons); ``include_obs=False`` skips the instrumented
     scenarios, ``include_faults=False`` the fault-injection matrix, and
     ``include_scaling=False`` the connection-slot-pool scaling curve.
+    ``machine_probe`` (default on) has the fault scenarios and scaling
+    points fork a warmed emulated machine (:mod:`repro.rabbit.machine`)
+    for their device-liveness record instead of cold-booting one.
     ``jobs > 1`` fans the experiments (and the fault matrix) out over
     worker processes; every record is already seeded and deterministic,
     and results are merged in experiment order, so the snapshot's
@@ -262,14 +275,14 @@ def build_snapshot(tag: str, *, workload: str = FULL_WORKLOAD,
     if include_faults:
         say("running fault-injection matrix ...")
         faults_section, faults_wall = _collect_faults_detail(
-            workload, jobs=jobs
+            workload, jobs=jobs, machine_probe=machine_probe
         )
     scaling_section: dict = {}
     scaling_wall = 0.0
     if include_scaling:
         say("running redirector scaling curve ...")
         scaling_section, scaling_wall = _collect_redirector_scaling(
-            workload, jobs=jobs
+            workload, jobs=jobs, machine_probe=machine_probe
         )
     created = time.time()  # dclint: allow(PY105)
     wall_seconds = {

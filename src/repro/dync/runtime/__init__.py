@@ -5,6 +5,8 @@ from repro.dync.runtime.costate import (
     CostateError,
     CostateScheduler,
     DEFAULT_PASS_OVERHEAD_S,
+    IDLE,
+    idle_until,
     wait_delay,
     waitfor,
 )
@@ -40,6 +42,7 @@ __all__ = [
     "ErrorDispatcher",
     "ErrorRecord",
     "FunctionChainError",
+    "IDLE",
     "MicroCos",
     "FunctionChainRegistry",
     "ProtectedVariable",
@@ -57,6 +60,7 @@ __all__ = [
     "XmemAllocator",
     "XmemBufferPool",
     "XmemPointer",
+    "idle_until",
     "ignore_most_errors",
     "wait_delay",
     "waitfor",

@@ -26,6 +26,7 @@ their "callable costatement" semantics.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Callable, Generator
 
 from repro.net.sim import Simulator
@@ -38,6 +39,48 @@ DEFAULT_PASS_OVERHEAD_S = 10e-6
 #: Histogram buckets for the gap between consecutive runs of the same
 #: costatement (seconds): big-loop jitter, Figure 3's starvation signal.
 GAP_BUCKETS = (20e-6, 50e-6, 100e-6, 500e-6, 1e-3, 5e-3, 20e-3, 100e-3, 1.0)
+
+
+class _IdleToken:
+    """A costatement's declaration that this pass was a pure event-wait.
+
+    Yielding :data:`IDLE` (or a deadline-carrying token from
+    :func:`idle_until`) instead of a bare ``yield`` promises: *resuming
+    me again is a no-op unless a simulator event has run since, or (for
+    a deadline token) the pass starts at or after my deadline*.  The
+    pass must have performed no externally visible work -- no obs
+    writes, no state mutation beyond re-evaluating the wait predicate.
+
+    The big loop uses the promise to replay all-idle passes in bulk
+    without resuming any generator (see ``_big_loop``); the replay
+    reproduces the pass accounting (pass counters, gap histogram,
+    telemetry cadence) op-for-op, so every deterministic metric is
+    byte-identical to the resume-every-pass execution.  A costatement
+    that cannot make the promise keeps yielding bare/numeric values and
+    simply forfeits the fast-forward -- slower, never wrong.
+    """
+
+    __slots__ = ("deadline",)
+
+    def __init__(self, deadline: float | None = None):
+        self.deadline = deadline
+
+    def __repr__(self) -> str:
+        if self.deadline is None:
+            return "IDLE"
+        return f"idle_until({self.deadline!r})"
+
+
+#: The shared no-deadline token: "nothing to do until some event runs".
+IDLE = _IdleToken()
+
+
+def idle_until(deadline: float) -> _IdleToken:
+    """An idle declaration bounded by a deadline: resuming this
+    costatement in a pass that starts at sim time < ``deadline`` (with
+    no events in between) is a no-op; at or past it, the costatement
+    must run (its timeout path fires)."""
+    return _IdleToken(deadline)
 
 
 class CostateError(RuntimeError):
@@ -107,8 +150,9 @@ def waitfor(predicate: Callable[[], bool]):
 def wait_delay(scheduler: "CostateScheduler", seconds: float):
     """``waitfor(DelaySec(n))``: park this costatement for sim time."""
     deadline = scheduler.sim.now + seconds
+    token = _IdleToken(deadline)
     while scheduler.sim.now < deadline:
-        yield
+        yield token
 
 
 class CofunctionSlot:
@@ -122,7 +166,7 @@ class CofunctionSlot:
     """
 
     __slots__ = ("index", "name", "gen", "done", "busy", "passes",
-                 "total_busy_s")
+                 "total_busy_s", "last_idle")
 
     def __init__(self, index: int, gen: Generator | None, name: str = ""):
         self.index = index
@@ -132,6 +176,11 @@ class CofunctionSlot:
         self.busy = False
         self.passes = 0
         self.total_busy_s = 0.0
+        #: The :class:`_IdleToken` this slot yielded on its most recent
+        #: step, or ``None`` when the step was bare/numeric (not a
+        #: declared event-wait).  Pool drivers aggregate it so a fully
+        #: idle sweep can surface as one pool-level idle declaration.
+        self.last_idle: _IdleToken | None = None
 
     def bind(self, gen: Generator) -> None:
         """Attach the slot body; lets builders create the slot first so
@@ -143,10 +192,14 @@ class CofunctionSlot:
         if self.done or self.gen is None:
             return 0.0
         self.passes += 1
+        self.last_idle = None
         try:
             yielded = next(self.gen)
         except StopIteration:
             self.done = True
+            return 0.0
+        if type(yielded) is _IdleToken:
+            self.last_idle = yielded
             return 0.0
         if isinstance(yielded, (int, float)):
             busy = float(yielded)
@@ -205,10 +258,31 @@ class IndexedCofunctionPool:
                 busy += slot.step()
         return busy
 
+    def sweep_yield(self, busy: float, extra_idle: bool = True):
+        """What the pooled costatement should yield after a sweep that
+        ground ``busy`` seconds: the summed busy time, unless every live
+        slot declared idle (and ``extra_idle`` covers any interleaved
+        per-pass work), in which case one pool-level idle token carrying
+        the earliest slot deadline.  A pool whose slots are all done is
+        idle by definition -- stepping it is a no-op forever."""
+        if busy != 0.0 or not extra_idle:
+            return busy
+        deadline = None
+        for slot in self._slots:
+            if slot.done:
+                continue
+            token = slot.last_idle
+            if token is None:
+                return busy
+            d = token.deadline
+            if d is not None and (deadline is None or d < deadline):
+                deadline = d
+        return IDLE if deadline is None else _IdleToken(deadline)
+
     def driver(self) -> Generator:
         """The pooled costatement body: loop the slots forever."""
         while True:
-            yield self.step_all()
+            yield self.sweep_yield(self.step_all())
 
 
 class CostateScheduler:
@@ -305,12 +379,20 @@ class CostateScheduler:
             telemetry.series(f"costate.{self.name}.passes").record_at
             if telemetry.enabled else None
         )
+        histogram = self._gap_histogram
+        # Observability off hands out the shared _NullInstrument, which
+        # has no bucket state to replay into -- the bulk-idle replay
+        # then skips the histogram arithmetic entirely.
+        null_gap = not hasattr(histogram, "counts")
         while self.running:
             self.passes += 1
             inc_passes()
             if sample_passes is not None and not (self.passes & 15):
                 sample_passes(sim.now, float(self.passes))
             busy = 0.0
+            ran = 0
+            idle = 0
+            idle_deadline = None
             snapshot = self._snapshot
             if snapshot is None:
                 snapshot = self._snapshot = tuple(self._costates)
@@ -334,12 +416,22 @@ class CostateScheduler:
                 # Inline of Costate.step() (the done case is handled
                 # above): advance to the next yield, one pass.
                 costate.passes += 1
+                ran += 1
                 try:
                     yielded = next(costate.gen)
                 except StopIteration:
                     costate.done = True
                     continue
-                if isinstance(yielded, (int, float)):
+                if type(yielded) is _IdleToken:
+                    # A declared event-wait: this costatement is a
+                    # replayable no-op until the next simulator event
+                    # (or its deadline, whichever comes first).
+                    idle += 1
+                    d = yielded.deadline
+                    if d is not None and (
+                            idle_deadline is None or d < idle_deadline):
+                        idle_deadline = d
+                elif isinstance(yielded, (int, float)):
                     step_busy = float(yielded)
                     if step_busy != 0.0:
                         costate.total_busy_s += step_busy
@@ -367,6 +459,99 @@ class CostateScheduler:
             if queue and wake < queue[0][0] and (
                     bound is None or wake <= bound):
                 sim.now = wake
+                if idle and idle == ran and busy == 0.0:
+                    # Bulk idle replay: every live costatement declared
+                    # this pass a pure event-wait, so every subsequent
+                    # pass is a no-op until the next queued event pops
+                    # or the earliest idle deadline arrives -- neither
+                    # of which can happen without this process yielding.
+                    # Replay those passes without resuming a single
+                    # generator, reproducing the per-pass accounting
+                    # op-for-op (pass counters, telemetry cadence, and
+                    # the gap histogram's sequential float accumulation
+                    # -- Histogram.observe is inlined below, memo path
+                    # included, because total += gap must stay one add
+                    # per observation to keep the snapshot's mean
+                    # byte-identical).
+                    live = [c for c in snapshot if not c.done]
+                    nlive = len(live)
+                    next_event = queue[0][0]
+                    replayed = 0
+                    do_yield = False
+                    T = sim.now
+                    # Every live costate shares one last_ran_at: the
+                    # qualifying pass had busy == 0 through every slice,
+                    # so each slice started at the same ``base``.  The
+                    # per-pass gap is therefore ONE value observed
+                    # ``nlive`` times, and the histogram/pass state can
+                    # live in locals for the whole replay -- the float
+                    # accumulation below repeats ``total += gap`` per
+                    # observation so the sequence of adds (and thus the
+                    # snapshot's mean) stays byte-identical.
+                    last = live[0].last_ran_at if live else 0.0
+                    if not null_gap:
+                        counts = histogram.counts
+                        bisect_bounds = histogram.bounds
+                        nbuckets = len(counts)
+                        h_count = histogram.count
+                        h_total = histogram.total
+                        h_overflow = histogram.overflow
+                        memo_value = histogram._memo_value
+                        memo_index = histogram._memo_index
+                    passes_local = self.passes
+                    idle_bound = (float("inf") if idle_deadline is None
+                                  else idle_deadline)
+                    run_bound = float("inf") if bound is None else bound
+                    while T < idle_bound:
+                        passes_local += 1
+                        replayed += 1
+                        if sample_passes is not None and not (
+                                passes_local & 15):
+                            sample_passes(T, float(passes_local))
+                        base = T + overhead
+                        if not null_gap and nlive:
+                            gap = base - last
+                            h_count += nlive
+                            for _ in range(nlive):
+                                h_total += gap
+                            if gap == memo_value:
+                                counts[memo_index] += nlive
+                            else:
+                                index = bisect_left(bisect_bounds, gap)
+                                if index < nbuckets:
+                                    counts[index] += nlive
+                                    memo_value = gap
+                                    memo_index = index
+                                else:
+                                    h_overflow += nlive
+                        last = base
+                        # The replayed pass ends exactly like a live
+                        # one: advance in place while no queued event
+                        # (frozen -- nothing pops during the replay)
+                        # or run bound precedes the wake-up...
+                        if base < next_event and base <= run_bound:
+                            T = base
+                            continue
+                        # ...otherwise this pass performs the real
+                        # yield, after the loop re-synchronizes the
+                        # clock and writes the locals back.
+                        do_yield = True
+                        break
+                    self.passes = passes_local
+                    sim.now = T
+                    if replayed:
+                        inc_passes(replayed)
+                        for costate in live:
+                            costate.last_ran_at = last
+                            costate.passes += replayed
+                        if not null_gap:
+                            histogram.count = h_count
+                            histogram.total = h_total
+                            histogram.overflow = h_overflow
+                            histogram._memo_value = memo_value
+                            histogram._memo_index = memo_index
+                    if do_yield:
+                        yield overhead
                 continue
             yield overhead + busy
 

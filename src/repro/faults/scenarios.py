@@ -47,6 +47,7 @@ from repro.services import (
     echo_client,
     secure_request_client,
 )
+from repro.services.redirector import _tick_driver
 
 #: Per-handler record buffer carved from the no-free xmem pool.
 _BUFFER_BYTES = 4096
@@ -736,13 +737,7 @@ def scenario_echo_loss(seed: int) -> dict:
     scheduler = CostateScheduler(sim, name="echo")
     stack.sock_init()
     scheduler.add(dync_echo_costate(stack, 7, once=True), name="echo")
-
-    def tick_driver():
-        while True:
-            stack.tcp_tick(None)
-            yield
-
-    scheduler.add(tick_driver(), name="tick-driver")
+    scheduler.add(_tick_driver(stack), name="tick-driver")
     scheduler.start()
     results: dict = {}
     client = hosts["c0"].spawn(echo_client(

@@ -16,6 +16,7 @@ parks on TCP events like any Unix process.
 
 from __future__ import annotations
 
+from repro.dync.runtime.costate import IDLE, idle_until
 from repro.net.bsd import BsdSocket, SocketError
 from repro.net.dynctcp import DyncSocket, DyncTcpStack
 
@@ -109,6 +110,13 @@ class DyncTransport:
     def recv_exactly(self, nbytes: int, timeout: float | None = None):
         sim = self._stack.host.sim
         deadline = None if timeout is None else sim.now + timeout
+        # A poll pass that found no bytes is a declared event-wait: new
+        # bytes only arrive through simulator events (frames delivered,
+        # then drained by a tcp_tick), EOF/CLOSED only flip on the same
+        # events, and the timeout path is pinned by the token's
+        # deadline -- so the big loop may bulk-replay these passes
+        # without resuming this generator.
+        token = IDLE if deadline is None else idle_until(deadline)
         while len(self._buffer) < nbytes:
             chunk = self._stack.sock_read(self._sock, nbytes - len(self._buffer))
             if chunk:
@@ -123,7 +131,7 @@ class DyncTransport:
                 raise TransportError("connection closed")
             if deadline is not None and sim.now >= deadline:
                 raise TransportTimeout("recv timed out")
-            yield  # one pass of the big loop
+            yield token  # one pass of the big loop
         data, self._buffer = self._buffer[:nbytes], self._buffer[nbytes:]
         return data
 

@@ -79,6 +79,17 @@ class DyncTcpStack:
         self.syns_deferred = 0
         host.ip.register_protocol(IPPROTO_TCP, self._enqueue)
 
+    @property
+    def quiescent(self) -> bool:
+        """True when a ``tcp_tick`` would be a pure no-op (apart from the
+        diagnostic ``ticks`` counter): no queued inbound segments to
+        drain and no accept-queue attachment pending.  Both can only
+        change through simulator events (frame delivery) or API calls
+        (``tcp_listen``), never by ticking an idle stack -- which is
+        what lets a tick-driver costatement declare its pass IDLE and
+        make the big loop's bulk replay eligible."""
+        return not self._rx_queue and not self._attach_dirty
+
     # -- NIC-side ------------------------------------------------------------
     def _enqueue(self, packet: IpPacket) -> None:
         # Capture the delivery-instant trace context with the packet:

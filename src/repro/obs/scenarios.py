@@ -155,6 +155,29 @@ def run_aes_scenario(obs: Obs | None = None, *, implementation: str = "asm",
                 board.cpu.sample_telemetry(ts_cycles, CLOCK_HZ)
     obs.metrics.counter("aes.blocks.encrypted").inc(blocks)
     obs.metrics.gauge("aes.total_cycles").set(profiler.total_cycles)
+    # One uninstrumented encrypt after the profiler uninstalls: the
+    # exact profiler shadows Cpu.step, so only now does the workload go
+    # through the block cache and (once blocks cross the translation
+    # threshold) the translated tier whose counters we publish below.
+    # Runs after the last telemetry sample, so the deterministic
+    # profiled numbers above are untouched.
+    impl.encrypt_block(bytes(16))
+    cache = board.cpu._cache
+    if cache is not None:
+        metrics = obs.metrics
+        metrics.counter("emulator.blocks.decoded").inc(cache.decoded_blocks)
+        metrics.counter("emulator.blocks.executed").inc(cache.executed_blocks)
+        metrics.counter("emulator.blocks.translated").inc(
+            cache.translated_blocks)
+        metrics.counter("emulator.blocks.translated_execs").inc(
+            cache.translated_execs)
+        metrics.gauge("emulator.cache.blocks").set(len(cache.blocks))
+        metrics.counter("emulator.invalidations.smc").inc(
+            cache.invalidated_smc)
+        metrics.counter("emulator.invalidations.flush").inc(
+            cache.invalidated_flush)
+        metrics.counter("emulator.invalidations.restore").inc(
+            cache.invalidated_restore)
     return {
         "obs": obs,
         "profiler": profiler,

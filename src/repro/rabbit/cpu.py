@@ -493,6 +493,7 @@ class Cpu:
         memory = self.memory
         blocks = cache.blocks
         listener = self.block_listener
+        threshold = cache.translate_threshold
         remaining = max_instructions
         while remaining > 0:
             if self.halted:
@@ -518,10 +519,21 @@ class Cpu:
             cache.executed_blocks += 1
             cache.bail = False
             before = self.instructions
-            for op in ops:
-                op(self, memory)
-                if cache.bail:
-                    break
+            fn = block[3]
+            if fn is not None:
+                cache.translated_execs += 1
+                fn(self, memory)
+            else:
+                count = block[2] + 1
+                block[2] = count
+                if count >= threshold:
+                    cache.translated_execs += 1
+                    cache.translate(key, block)(self, memory)
+                else:
+                    for op in ops:
+                        op(self, memory)
+                        if cache.bail:
+                            break
             remaining -= self.instructions - before
             if listener is not None:
                 listener(pc)
@@ -551,6 +563,7 @@ class Cpu:
         memory = self.memory
         blocks = cache.blocks
         listener = self.block_listener
+        threshold = cache.translate_threshold
         remaining = max_instructions
         while remaining > 0:
             if self.pc == stop_address:
@@ -577,10 +590,21 @@ class Cpu:
             cache.executed_blocks += 1
             cache.bail = False
             before = self.instructions
-            for op in ops:
-                op(self, memory)
-                if cache.bail:
-                    break
+            fn = block[3]
+            if fn is not None:
+                cache.translated_execs += 1
+                fn(self, memory)
+            else:
+                count = block[2] + 1
+                block[2] = count
+                if count >= threshold:
+                    cache.translated_execs += 1
+                    cache.translate(key, block)(self, memory)
+                else:
+                    for op in ops:
+                        op(self, memory)
+                        if cache.bail:
+                            break
             remaining -= self.instructions - before
             if listener is not None:
                 listener(pc)

@@ -32,6 +32,17 @@ byte-identical to the single-step core):
 The repeating block ops (LDIR/LDDR/CPIR/CPDR) execute one iteration per
 dispatch, rewinding PC like the slow path does, so cycle-budget
 boundaries (``run_cycles``) land on identical instruction boundaries.
+
+On top of the closure-list tier sits the *translated tier*
+(:meth:`BlockCache.translate`): once a block has dispatched
+``translate_threshold`` times, it is compiled into one specialized
+function with the per-opcode dispatch loop eliminated and the counter
+updates of template-able instruction runs fused into batched epilogues.
+SMC write-watching, flush invalidation and the ``bail`` protocol extend
+unchanged to translated blocks -- the write that invalidates a page
+drops the block (translated function included) and the in-flight
+execution returns at the next post-write check, exactly where the
+closure-list tier would have broken out of its loop.
 """
 
 from __future__ import annotations
@@ -75,6 +86,7 @@ def _op_simple(body, length, base, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("simple", body, length, base, np, fw)
     return op
 
 
@@ -90,6 +102,7 @@ def _op_mem(body, length, base, np, fw):
         cpu.cycles += base + fw + (memory.wait_cycles - before)
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("mem", body, length, base, np, fw)
     return op
 
 
@@ -109,6 +122,7 @@ def _op_ld_rr_fused(dst, src, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("rr", dst, src, 1, 4, np, fw)
     return op
 
 
@@ -123,6 +137,7 @@ def _op_ld_rn_fused(dst, value, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("rn", dst, value, 2, 7, np, fw)
     return op
 
 
@@ -136,6 +151,7 @@ def _op_ld_r_mhl_fused(dst, np, fw):
         cpu.cycles += 7 + fw + (memory.wait_cycles - before)
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("mhl_read", dst, None, 1, 7, np, fw)
     return op
 
 
@@ -149,6 +165,7 @@ def _op_ld_mhl_r_fused(src, np, fw):
         cpu.cycles += 7 + fw + (memory.wait_cycles - before)
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("mhl_write", src, None, 1, 7, np, fw)
     return op
 
 
@@ -163,6 +180,7 @@ def _op_incdec_r_fused(name, is_inc, np, fw):
             cpu.cycles += total
             cpu.r = (cpu.r + 1) & 0x7F
             cpu.instructions += 1
+        op._tmpl = ("incdec", name, True, 1, 4, np, fw)
         return op
 
     def op(cpu, memory):
@@ -173,6 +191,7 @@ def _op_incdec_r_fused(name, is_inc, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("incdec", name, False, 1, 4, np, fw)
     return op
 
 
@@ -197,6 +216,7 @@ def _op_logic_r_fused(operation, src, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("logic_r", operation, src, 1, 4, np, fw)
     return op
 
 
@@ -220,6 +240,7 @@ def _op_logic_n_fused(operation, value, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("logic_n", operation, value, 2, 7, np, fw)
     return op
 
 
@@ -243,6 +264,7 @@ def _op_logic_mhl_fused(operation, np, fw):
         cpu.cycles += 7 + fw + (memory.wait_cycles - before)
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("mhl_logic", operation, None, 1, 7, np, fw)
     return op
 
 
@@ -258,6 +280,7 @@ def _op_arith_r_fused(operation, src, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("arith_r", operation, src, 1, 4, np, fw)
     return op
 
 
@@ -272,6 +295,7 @@ def _op_arith_n_fused(operation, value, np, fw):
         cpu.cycles += total
         cpu.r = (cpu.r + 1) & 0x7F
         cpu.instructions += 1
+    op._tmpl = ("arith_n", operation, value, 2, 7, np, fw)
     return op
 
 
@@ -840,9 +864,63 @@ def _decode_one(memory, pc, limit, pages):
                 return _step_op, pc + 2, True
             if z == 5:          # RETN/RETI: control flow, ender
                 return _step_op, pc + 2, True
+            if z == 2:          # ADC/SBC HL, rp (compiled C's workhorse)
+                pair = y >> 1
+                if pair == 3:
+                    def get_rp(cpu):
+                        return cpu.sp
+                else:
+                    hi, lo = _RP[pair]
+
+                    def get_rp(cpu):
+                        return (getattr(cpu, hi) << 8) | getattr(cpu, lo)
+                if y & 1:
+                    def body(cpu):
+                        result = cpu._adc16((cpu.h << 8) | cpu.l,
+                                            get_rp(cpu))
+                        cpu.h = result >> 8
+                        cpu.l = result & 0xFF
+                else:
+                    def body(cpu):
+                        result = cpu._sbc16((cpu.h << 8) | cpu.l,
+                                            get_rp(cpu))
+                        cpu.h = result >> 8
+                        cpu.l = result & 0xFF
+                return _op_simple(body, 2, 15, pc + 2, fw), pc + 2, False
             if z == 3:          # LD rp,(nn) / LD (nn),rp
-                _fetch_bytes(memory, pc, 4, limit, pages)
-                return _step_op, pc + 4, False
+                data, fw = _fetch_bytes(memory, pc, 4, limit, pages)
+                nn = data[2] | (data[3] << 8)
+                hi_addr = (nn + 1) & 0xFFFF
+                np = pc + 4
+                pair = y >> 1
+                if y & 1:       # LD rp, (nn)
+                    if pair == 3:
+                        def body(cpu, memory):
+                            cpu.sp = (memory.read8(nn)
+                                      | (memory.read8(hi_addr) << 8))
+                    else:
+                        hi, lo = _RP[pair]
+
+                        # Both reads land before either register half
+                        # moves, like _read16 -> _set_rp on the slow
+                        # path (exception-exact).
+                        def body(cpu, memory):
+                            lo_v = memory.read8(nn)
+                            hi_v = memory.read8(hi_addr)
+                            setattr(cpu, lo, lo_v)
+                            setattr(cpu, hi, hi_v)
+                    return _op_mem(body, 4, 20, np, fw), np, False
+                if pair == 3:   # LD (nn), SP
+                    def body(cpu, memory):
+                        memory.write8(nn, cpu.sp & 0xFF)
+                        memory.write8(hi_addr, (cpu.sp >> 8) & 0xFF)
+                else:
+                    hi, lo = _RP[pair]
+
+                    def body(cpu, memory):
+                        memory.write8(nn, getattr(cpu, lo))
+                        memory.write8(hi_addr, getattr(cpu, hi))
+                return _op_mem(body, 4, 20, np, fw), np, False
             return _step_op, pc + 2, False
         return _step_op, pc + 2, False  # ED NOP space
     if b0 in (0xDD, 0xFD):
@@ -1018,23 +1096,43 @@ def _decode_x3(memory, pc, b0, y, z, limit, pages):
 # The cache.
 # ---------------------------------------------------------------------------
 
+#: ALU logic operation index -> Python operator spelling (codegen).
+_LOGIC_CHARS = {4: "&", 5: "^", 6: "|"}
+
+
 class BlockCache:
     """Decoded basic blocks plus the invalidation machinery.
 
-    Blocks are ``(ops, end)`` tuples: the closures, and the logical
-    address one past the last decoded byte (used by ``call_subroutine``
-    to detect a stop address interior to the block).
+    Blocks are mutable ``[ops, end, exec_count, translated]`` records:
+    the closures; the logical address one past the last decoded byte
+    (used by ``call_subroutine`` to detect a stop address interior to
+    the block); how many times the block has dispatched through the
+    closure-list tier; and -- once ``exec_count`` crosses
+    :attr:`translate_threshold` -- one ``compile()``d function that runs
+    the whole block with the per-opcode dispatch loop eliminated and the
+    bookkeeping of template-able instruction runs batched (the
+    *translated tier*).  Executors index ``block[0]``/``block[1]`` the
+    same as the historical tuple layout.
     """
+
+    #: Closure-list executions before a block is template-translated.
+    translate_threshold = 16
 
     def __init__(self, cpu):
         self.cpu = cpu
         self.memory = cpu.memory
-        self.blocks: dict[int, tuple] = {}
+        self.blocks: dict[int, list] = {}
         self._page_blocks: dict[int, set] = {}
         #: Raised by invalidation; executors re-dispatch when set.
         self.bail = False
         self.decoded_blocks = 0
         self.executed_blocks = 0
+        #: Translated-tier telemetry (surfaced through ``repro.obs``).
+        self.translated_blocks = 0
+        self.translated_execs = 0
+        self.invalidated_smc = 0
+        self.invalidated_flush = 0
+        self.invalidated_restore = 0
         self._wait_states = (self.memory.flash_wait_states,
                              self.memory.sram_wait_states)
         self.memory.block_cache = self
@@ -1048,7 +1146,11 @@ class BlockCache:
             self._wait_states = wait_states
             self.invalidate_all()
 
-    def invalidate_all(self) -> None:
+    def invalidate_all(self, cause: str = "flush") -> None:
+        if cause == "restore":
+            self.invalidated_restore += 1
+        else:
+            self.invalidated_flush += 1
         self.blocks.clear()
         pages = self.memory._code_pages
         for page in self._page_blocks:
@@ -1065,9 +1167,10 @@ class BlockCache:
             for key in keys:
                 blocks.pop(key, None)
         self.memory._code_pages[page] = 0
+        self.invalidated_smc += 1
         self.bail = True
 
-    def build_block(self, pc: int, key: int) -> tuple:
+    def build_block(self, pc: int, key: int) -> list:
         memory = self.memory
         ops: list = []
         pages: set = set()
@@ -1087,11 +1190,11 @@ class BlockCache:
             # Undecodable in place (crosses a mapping boundary, or an
             # unpopulated fetch): one generic step, re-fetched at run
             # time -- content-independent, so no pages to watch.
-            block = ((_step_op,), pc + 1)
+            block = [(_step_op,), pc + 1, 0, None]
             self.blocks[key] = block
             self.decoded_blocks += 1
             return block
-        block = (tuple(ops), cursor)
+        block = [tuple(ops), cursor, 0, None]
         page_map = memory._code_pages
         page_blocks = self._page_blocks
         for page in pages:
@@ -1103,3 +1206,165 @@ class BlockCache:
         self.blocks[key] = block
         self.decoded_blocks += 1
         return block
+
+    def translate(self, key: int, block: list):
+        """Compile ``block`` into one specialized function.
+
+        Template-able closures (the register/flag instruction classes --
+        LD r,r' / LD r,n / INC/DEC r / AND/XOR/OR / ADD..CP /
+        ``_op_simple`` bodies) are fused into straight-line runs whose
+        counter bookkeeping (``memory.reads``/``wait_cycles``,
+        ``cpu.pc``/``cycles``/``r``/``instructions``) commits as one
+        batched epilogue per run; integer sums make the batch exact.
+        Everything else stays an opaque closure call.  Ordering rules
+        that keep the tallies byte-identical to the closure-list tier:
+
+        * a run's epilogue flushes *before* any opaque op, because
+          memory-class closures measure data wait states via a
+          before/after ``memory.wait_cycles`` delta;
+        * fused instructions never touch data memory, so
+          :attr:`bail` cannot newly rise inside a run -- the mid-block
+          ``bail`` check only needs to follow opaque ops (the only ones
+          that can write, hence invalidate);
+        * the ``(HL)`` accessor classes (``mhl_read`` / ``mhl_write`` /
+          ``mhl_logic``) are inlined too, but commit their own
+          bookkeeping in the closures' exact statement order (they sit
+          on a potential raise/bail point, so nothing of theirs may be
+          deferred into a batch, and the run before them must flush).
+        """
+        ops = block[0]
+        ns = {"_c": self, "_PARITY": _PARITY}
+        lines = []
+        seg_reads = seg_fw = seg_cycles = seg_count = 0
+        seg_np = 0
+
+        def flush():
+            nonlocal seg_reads, seg_fw, seg_cycles, seg_count
+            if not seg_count:
+                return
+            lines.append(f"    memory.reads += {seg_reads}")
+            if seg_fw:
+                lines.append(f"    memory.wait_cycles += {seg_fw}")
+            lines.append(f"    cpu.pc = {seg_np}")
+            lines.append(f"    cpu.cycles += {seg_cycles}")
+            lines.append(f"    cpu.r = (cpu.r + {seg_count}) & 0x7F")
+            lines.append(f"    cpu.instructions += {seg_count}")
+            seg_reads = seg_fw = seg_cycles = seg_count = 0
+
+        last = len(ops) - 1
+        for i, op in enumerate(ops):
+            t = getattr(op, "_tmpl", None)
+            if t is None:
+                flush()
+                name = f"_o{i}"
+                ns[name] = op
+                lines.append(f"    {name}(cpu, memory)")
+                if i != last:
+                    lines.append("    if _c.bail:")
+                    lines.append("        return")
+                continue
+            kind = t[0]
+            if kind == "mem":
+                # Inline the wrapper, keep the body call: one Python
+                # call per memory op instead of two.  Self-committing
+                # (raise/bail point), in the wrapper's statement order.
+                flush()
+                _, body, length, base, np, fw = t
+                name = f"_b{i}"
+                ns[name] = body
+                lines.append(f"    memory.reads += {length}")
+                if fw:
+                    lines.append(f"    memory.wait_cycles += {fw}")
+                lines.append("    _w = memory.wait_cycles")
+                lines.append(f"    {name}(cpu, memory)")
+                lines.append(f"    cpu.pc = {np}")
+                lines.append(
+                    f"    cpu.cycles += {base + fw} + "
+                    f"memory.wait_cycles - _w")
+                lines.append("    cpu.r = (cpu.r + 1) & 0x7F")
+                lines.append("    cpu.instructions += 1")
+                if i != last:
+                    lines.append("    if _c.bail:")
+                    lines.append("        return")
+                continue
+            if kind in ("mhl_read", "mhl_write", "mhl_logic"):
+                # Inline, but self-committing: the data access can add
+                # wait states (measured via delta), raise, or -- for the
+                # write -- land on a code page and set bail.
+                flush()
+                _, p1, _unused, length, base, np, fw = t
+                lines.append(f"    memory.reads += {length}")
+                if fw:
+                    lines.append(f"    memory.wait_cycles += {fw}")
+                lines.append("    _w = memory.wait_cycles")
+                if kind == "mhl_read":
+                    lines.append(
+                        f"    cpu.{p1} = memory.read8((cpu.h << 8) | cpu.l)")
+                elif kind == "mhl_write":
+                    lines.append(
+                        f"    memory.write8((cpu.h << 8) | cpu.l, cpu.{p1})")
+                else:
+                    half = FLAG_H if p1 == 4 else 0
+                    lines.append(
+                        f"    _a = cpu.a {_LOGIC_CHARS[p1]} "
+                        f"memory.read8((cpu.h << 8) | cpu.l)")
+                    lines.append("    cpu.a = _a")
+                    lines.append(f"    _f = (_a & 0x80) | {half}")
+                    lines.append("    if _a == 0:")
+                    lines.append(f"        _f |= {FLAG_Z}")
+                    lines.append("    if _PARITY[_a]:")
+                    lines.append(f"        _f |= {FLAG_PV}")
+                    lines.append("    cpu.f = _f")
+                lines.append(f"    cpu.pc = {np}")
+                lines.append(
+                    f"    cpu.cycles += {base + fw} + "
+                    f"memory.wait_cycles - _w")
+                lines.append("    cpu.r = (cpu.r + 1) & 0x7F")
+                lines.append("    cpu.instructions += 1")
+                if kind == "mhl_write" and i != last:
+                    lines.append("    if _c.bail:")
+                    lines.append("        return")
+                continue
+            if kind == "simple":
+                _, body, length, base, np, fw = t
+                name = f"_b{i}"
+                ns[name] = body
+                lines.append(f"    {name}(cpu)")
+            else:
+                _, p1, p2, length, base, np, fw = t
+                if kind == "rr":
+                    lines.append(f"    cpu.{p1} = cpu.{p2}")
+                elif kind == "rn":
+                    lines.append(f"    cpu.{p1} = {p2}")
+                elif kind == "incdec":
+                    helper = "_inc8" if p2 else "_dec8"
+                    lines.append(f"    cpu.{p1} = cpu.{helper}(cpu.{p1})")
+                elif kind == "arith_r":
+                    lines.append(f"    cpu._alu({p1}, cpu.{p2})")
+                elif kind == "arith_n":
+                    lines.append(f"    cpu._alu({p1}, {p2})")
+                else:   # logic_r / logic_n: inline flag math
+                    operand = f"cpu.{p2}" if kind == "logic_r" else f"{p2}"
+                    half = FLAG_H if p1 == 4 else 0
+                    lines.append(
+                        f"    _a = cpu.a {_LOGIC_CHARS[p1]} {operand}")
+                    lines.append("    cpu.a = _a")
+                    lines.append(f"    _f = (_a & 0x80) | {half}")
+                    lines.append("    if _a == 0:")
+                    lines.append(f"        _f |= {FLAG_Z}")
+                    lines.append("    if _PARITY[_a]:")
+                    lines.append(f"        _f |= {FLAG_PV}")
+                    lines.append("    cpu.f = _f")
+            seg_reads += length
+            seg_fw += fw
+            seg_cycles += base + fw
+            seg_count += 1
+            seg_np = np
+        flush()
+        source = "def _tr(cpu, memory):\n" + "\n".join(lines) + "\n"
+        code = compile(source, f"<translated:{key:#x}>", "exec")
+        exec(code, ns)
+        fn = ns["_tr"]
+        block[3] = fn
+        self.translated_blocks += 1
+        return fn

@@ -1,0 +1,216 @@
+"""Whole-machine snapshot/fork: clone a warmed-up board in O(1).
+
+A :class:`MachineSnapshot` captures everything observable about a
+:class:`~repro.rabbit.board.Board` -- CPU registers and counters,
+memory banks and MMU state, serial ports, watchdog, I/O bus
+diagnostics, installed interrupt vectors.  The banks are *not* copied:
+:meth:`RabbitMemory.mark_cow` freezes the live bytearrays and the
+snapshot keeps references, so capturing and forking cost O(1) in the
+memory size; the first post-fork write to a bank pays for one bank copy
+(see :meth:`repro.rabbit.memory.RabbitMemory.fork` for the granularity
+rationale).
+
+The warm-template registry at the bottom is what the harnesses use:
+:func:`warm_monitor_snapshot` boots the Section 5.1 serial debug
+monitor once per process and memoizes the post-boot snapshot keyed by
+firmware identity; :func:`fork_warm_monitor` then stamps out fresh,
+fully-booted machines from it.  Fault-campaign scenarios and scaling
+points fork one of these instead of re-booting, and report
+``forks``/``cold_boots`` counts -- a fork is never a cold boot, so the
+per-scenario record is byte-identical no matter how work is fanned out
+across processes.
+
+A forked machine never shares mutable state with its template: banks
+are copy-on-write, the block cache starts empty (restoring into a
+machine that has one invalidates it with cause ``"restore"``), and
+peripheral queues/logs are rebuilt from the frozen capture.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.rabbit.board import Board
+
+#: Every scalar CPU field; ``_int_pending`` (a list) is handled apart.
+_CPU_FIELDS = (
+    "a", "f", "b", "c", "d", "e", "h", "l",
+    "a2", "f2", "b2", "c2", "d2", "e2", "h2", "l2",
+    "ix", "iy", "sp", "pc", "i", "r",
+    "iff1", "iff2", "im", "halted", "cycles", "instructions",
+)
+
+#: MMU / accounting scalars on :class:`RabbitMemory`.
+_MEMORY_FIELDS = (
+    "xpc", "flash_wait_states", "sram_wait_states", "flash_writable",
+    "strict", "wait_cycles", "reads", "writes",
+)
+
+
+def _capture_serial(port) -> dict:
+    return {
+        "rx_queue": tuple(port.rx_queue),
+        "tx_log": bytes(port.tx_log),
+        "rx_interrupt_enabled": port.rx_interrupt_enabled,
+        "rx_overruns": port.rx_overruns,
+    }
+
+
+def _restore_serial(port, state: dict) -> None:
+    port.rx_queue = deque(state["rx_queue"])
+    port.tx_log = bytearray(state["tx_log"])
+    port.rx_interrupt_enabled = state["rx_interrupt_enabled"]
+    port.rx_overruns = state["rx_overruns"]
+
+
+class MachineSnapshot:
+    """Frozen full state of one board; build via :func:`snapshot`."""
+
+    __slots__ = ("firmware", "flash", "sram", "memory_state", "cpu_state",
+                 "int_pending", "serial_a", "serial_b", "watchdog",
+                 "io_state", "vectors")
+
+    def __init__(self, firmware, flash, sram, memory_state, cpu_state,
+                 int_pending, serial_a, serial_b, watchdog, io_state,
+                 vectors):
+        self.firmware = firmware
+        self.flash = flash
+        self.sram = sram
+        self.memory_state = memory_state
+        self.cpu_state = cpu_state
+        self.int_pending = int_pending
+        self.serial_a = serial_a
+        self.serial_b = serial_b
+        self.watchdog = watchdog
+        self.io_state = io_state
+        self.vectors = vectors
+
+    def __repr__(self) -> str:
+        return (
+            f"MachineSnapshot(firmware={self.firmware!r}, "
+            f"pc={self.cpu_state['pc']:#06x}, "
+            f"cycles={self.cpu_state['cycles']})"
+        )
+
+
+def snapshot(board: Board, firmware: str = "firmware") -> MachineSnapshot:
+    """Capture ``board`` completely; O(1) in memory size (bank COW).
+
+    The board stays usable: its next write to a bank copies it, so the
+    snapshot's view never changes underneath it.
+    """
+    memory = board.memory
+    memory.mark_cow()
+    cpu = board.cpu
+    watchdog = board.watchdog
+    return MachineSnapshot(
+        firmware=firmware,
+        flash=memory.flash,
+        sram=memory.sram,
+        memory_state={name: getattr(memory, name)
+                      for name in _MEMORY_FIELDS},
+        cpu_state={name: getattr(cpu, name) for name in _CPU_FIELDS},
+        int_pending=tuple(cpu._int_pending),
+        serial_a=_capture_serial(board.serial_a),
+        serial_b=_capture_serial(board.serial_b),
+        watchdog={
+            "budget_cycles": watchdog.budget_cycles,
+            "kicks": watchdog.kicks,
+            "expired": watchdog.expired,
+            "_last_kick_cycle": watchdog._last_kick_cycle,
+            "_current_cycles": watchdog._current_cycles,
+        },
+        io_state={
+            "unclaimed_reads": board.io.unclaimed_reads,
+            "unclaimed_writes": board.io.unclaimed_writes,
+        },
+        vectors=dict(board._external_vectors),
+    )
+
+
+def restore(snap: MachineSnapshot, board: Board | None = None) -> Board:
+    """Materialize ``snap`` -- into ``board``, or into a fresh one.
+
+    The returned machine is byte-for-byte the captured one: the
+    full-state diff against the original (or against a fresh boot that
+    produced the template) is empty.  Restoring into a board that has a
+    block cache drops the cache with cause ``"restore"`` -- decoded
+    closures may bake in bytes the restored banks no longer hold.
+    """
+    if board is None:
+        board = Board()
+    memory = board.memory
+    cache = board.cpu._cache
+    if cache is not None:
+        cache.invalidate_all(cause="restore")
+    memory.flash = snap.flash
+    memory.sram = snap.sram
+    memory._cow_flash = True
+    memory._cow_sram = True
+    for name, value in snap.memory_state.items():
+        setattr(memory, name, value)
+    cpu = board.cpu
+    for name, value in snap.cpu_state.items():
+        setattr(cpu, name, value)
+    cpu._int_pending = list(snap.int_pending)
+    _restore_serial(board.serial_a, snap.serial_a)
+    _restore_serial(board.serial_b, snap.serial_b)
+    for name, value in snap.watchdog.items():
+        setattr(board.watchdog, name, value)
+    board.io.unclaimed_reads = snap.io_state["unclaimed_reads"]
+    board.io.unclaimed_writes = snap.io_state["unclaimed_writes"]
+    board._external_vectors = dict(snap.vectors)
+    return board
+
+
+def fork(snap: MachineSnapshot) -> Board:
+    """A fresh machine stamped out of ``snap`` (alias for restore-new)."""
+    return restore(snap)
+
+
+# ---------------------------------------------------------------------------
+# Warm templates: boot once per process, fork per consumer.
+# ---------------------------------------------------------------------------
+
+#: Post-boot snapshots keyed by firmware identity.  Process-local; the
+#: counts reported by consumers are per-fork and never depend on which
+#: process happened to populate this cache first.
+_TEMPLATES: dict[str, MachineSnapshot] = {}
+
+
+def warm_monitor_snapshot(boot_cycles: int = 2000) -> MachineSnapshot:
+    """The serial debug monitor, booted and snapshotted once per process."""
+    key = f"serial-debug-monitor:{boot_cycles}"
+    snap = _TEMPLATES.get(key)
+    if snap is None:
+        from repro.rabbit.programs.serial_debug import SerialDebugMonitor
+
+        board = Board()
+        monitor = SerialDebugMonitor(board)
+        monitor.boot(boot_cycles)
+        snap = snapshot(board, firmware=key)
+        _TEMPLATES[key] = snap
+    return snap
+
+
+def fork_warm_monitor(boot_cycles: int = 2000) -> Board:
+    """A fresh, already-booted serial-monitor machine (no cold boot)."""
+    return fork(warm_monitor_snapshot(boot_cycles))
+
+
+def probe_liveness(board: Board, run_cycles: int = 2000) -> dict:
+    """Drive the monitor's 's' command on a forked machine.
+
+    A live machine answers ``b"S"`` + its 16-bit work counter.  The
+    forked state is identical on every fork, so the reply and the cycle
+    cost are deterministic -- safe for byte-stable reports.
+    """
+    before = board.cpu.cycles
+    board.serial_a.clear_tx()
+    board.serial_a.inject(b"s")
+    board.run_cycles(run_cycles)
+    reply = board.serial_a.transmitted()
+    return {
+        "ok": int(len(reply) == 3 and reply[:1] == b"S"),
+        "probe_cycles": board.cpu.cycles - before,
+    }

@@ -9,6 +9,7 @@ and diffs the API surface they consumed.
 
 from __future__ import annotations
 
+from repro.dync.runtime.costate import IDLE
 from repro.net.bsd import LISTENQ, SocketError, socket
 from repro.net.dynctcp import (
     DyncTcpStack,
@@ -69,9 +70,14 @@ def dync_echo_costate(stack: DyncTcpStack, port: int, once: bool = True):
             line = stack.sock_gets(sock, LEN)
             if line is not None:
                 stack.sock_puts(sock, line)
+                yield
             elif sock.conn is not None and sock.conn.at_eof:
                 break
-            yield
+            else:
+                # Nothing buffered and nothing queued: the pass was a
+                # pure poll (idle tcp_tick + empty sock_gets), so it is
+                # a declared event-wait until the next inbound frame.
+                yield IDLE if stack.quiescent else None
         stack.sock_close(sock)
         if once:
             return

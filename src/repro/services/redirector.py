@@ -30,7 +30,12 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.dync.runtime.costate import CostateScheduler, IndexedCofunctionPool
+from repro.dync.runtime.costate import (
+    CostateScheduler,
+    IDLE,
+    IndexedCofunctionPool,
+    idle_until,
+)
 from repro.dync.runtime.xalloc import XallocError, XmemBufferPool
 from repro.issl.api import issl_bind
 from repro.issl.session import (
@@ -274,6 +279,23 @@ def unix_plain_redirector(host: Host, backend_ip: Ipv4Address | str,
 # The RMC2000 port (Figure 3: costatements + tick driver)
 # ---------------------------------------------------------------------------
 
+def _tick_driver(stack: DyncTcpStack):
+    """The dedicated stack-driver costatement (Figure 3's fourth process).
+
+    When the stack is quiescent a tick would be a pure no-op, so the
+    pass is declared IDLE -- new segments arrive as simulator events,
+    which end the big loop's bulk replay before the next resume.  A
+    non-quiescent pass ticks and yields bare so the pass after it runs
+    live and the handlers see the freshly drained bytes.
+    """
+    while True:
+        if stack.quiescent:
+            yield IDLE
+        else:
+            stack.tcp_tick(None)
+            yield
+
+
 def _sock_dead(sock) -> bool:
     """True once an attached connection can never serve a request."""
     conn = sock.conn
@@ -314,17 +336,23 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
     sock = make_socket(stack)
     while True:
         # tcp_listen refuses while the previous connection is still
-        # tearing down; keep trying, one big-loop pass at a time.
+        # tearing down; keep trying, one big-loop pass at a time.  The
+        # failure path is a pure state check and teardown only advances
+        # through simulator events, so the retry is a declared
+        # event-wait the big loop may bulk-replay past.
         while not stack.tcp_listen(sock, listen_port):
-            yield
+            yield IDLE
         # Wait for establishment -- or for the embryonic connection to
         # die under us (lost handshake, immediate RST).  Without the
         # second arm this handler would wedge forever on a connection
         # that will never establish.  Inlined waitfor: this poll runs
         # every big-loop pass for every idle handler, and the generator
         # plus lambda indirection dominated fault-campaign profiles.
+        # Both arms read connection state that only the tick driver's
+        # drain (itself a non-idle pass) or a timer event can change,
+        # so the poll yields IDLE.
         while not (stack.sock_established(sock) or _sock_dead(sock)):
-            yield
+            yield IDLE
         if not stack.sock_established(sock):
             log(f"redirector: {label}: connection died before established")
             recorder.warn(CAT_SERVICE, tid, "connection died before established")
@@ -388,12 +416,18 @@ def _rmc_handler(stack: DyncTcpStack, context: IsslContext,
             None if backend_timeout_s is None
             else sim.now + backend_timeout_s
         )
+        # Event-wait: the SYN/ACK arrives as a simulator event and the
+        # timeout arm is pinned by the token's deadline.
+        backend_token = (
+            IDLE if backend_deadline is None
+            else idle_until(backend_deadline)
+        )
         while not (
             stack.sock_established(backend) or _sock_dead(backend)
             or (backend_deadline is not None
                 and sim.now >= backend_deadline)
         ):
-            yield
+            yield backend_token
         if not stack.sock_established(backend):
             ctr_backend_errors.inc()
             log(f"redirector: {label}: backend unreachable")
@@ -518,6 +552,11 @@ def _rmc_serve(stack, sock, backend, session, stats, tid="svc:handler",
 def _dync_read_line(stack, sock, deadline=None):
     sim = stack.host.sim
     buffer = b""
+    # Declared event-wait: an empty poll only turns non-empty after a
+    # frame event plus a tick-driver drain (a non-idle pass), EOF/CLOSED
+    # flip on the same events, and the deadline arm is pinned by the
+    # token -- so the big loop may bulk-replay these passes.
+    token = IDLE if deadline is None else idle_until(deadline)
     while b"\n" not in buffer:
         chunk = stack.sock_read(sock, _LINE_MAX)
         if chunk:
@@ -528,7 +567,7 @@ def _dync_read_line(stack, sock, deadline=None):
             return None
         if deadline is not None and sim.now >= deadline:
             raise TransportTimeout("line read deadline expired")
-        yield
+        yield token
     line, _rest = buffer.split(b"\n", 1)
     return line
 
@@ -582,13 +621,7 @@ def build_rmc_redirector(stack: DyncTcpStack, context: IsslContext,
                          buffer_pool=buffer_pool),
             name=f"handler{index + 1}",
         )
-
-    def tick_driver():
-        while True:
-            stack.tcp_tick(None)
-            yield
-
-    scheduler.add(tick_driver(), name="tick-driver")
+    scheduler.add(_tick_driver(stack), name="tick-driver")
     return scheduler
 
 
@@ -656,8 +689,12 @@ def _pool_slot(stack: DyncTcpStack, context: IsslContext,
         ts_occupied.record(gauge_occupied.value)
 
     while True:
+        # The mailbox is only filled by the admission step, which runs
+        # in this same pool driver and declares its own pass non-idle
+        # when it hands off -- so an empty-mailbox poll is a pure
+        # event-wait the big loop may bulk-replay past.
         while mailbox.sock is None:
-            yield
+            yield IDLE
         sock = mailbox.sock
         span = tracer.begin("service.connection", cat=CAT_SERVICE, tid=tid)
         buffer = None
@@ -718,12 +755,17 @@ def _pool_slot(stack: DyncTcpStack, context: IsslContext,
             None if backend_timeout_s is None
             else sim.now + backend_timeout_s
         )
+        # Event-wait, same contract as the static handler's.
+        backend_token = (
+            IDLE if backend_deadline is None
+            else idle_until(backend_deadline)
+        )
         while not (
             stack.sock_established(backend) or _sock_dead(backend)
             or (backend_deadline is not None
                 and sim.now >= backend_deadline)
         ):
-            yield
+            yield backend_token
         if not stack.sock_established(backend):
             ctr_backend_errors.inc()
             log(f"redirector: {label}: backend unreachable")
@@ -837,13 +879,7 @@ def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
                 stats, secure, label=f"slot{index + 1}", **handler_kwargs,
             ))
         scheduler.add_pool(pool)
-
-        def tick_driver():
-            while True:
-                stack.tcp_tick(None)
-                yield
-
-        scheduler.add(tick_driver(), name="tick-driver")
+        scheduler.add(_tick_driver(stack), name="tick-driver")
         return scheduler
 
     sim = stack.host.sim
@@ -873,14 +909,18 @@ def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
 
     def admission_step():
         # One non-blocking admission decision per big-loop pass.
+        # Returns True when the decision was a pure "still listening"
+        # check -- the one branch that is a declared event-wait (an
+        # attachment only happens in a tick-driver drain, itself a
+        # non-idle pass); every other branch does work.
         sock = acceptor[0]
         if sock.waiting:
-            return  # listening; nothing attached yet
+            return True  # listening; nothing attached yet
         conn = sock.conn
         if conn is None or conn.state.value in ("CLOSED", "TIME_WAIT"):
             # (Re-)arm the listener; always succeeds from these states.
             stack.tcp_listen(sock, listen_port)
-            return
+            return False
         if stack.sock_established(sock):
             for mailbox, slot in table:
                 if not slot.busy:
@@ -891,7 +931,7 @@ def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
                     gauge_occupied.set(gauge_occupied.value + 1)
                     ts_occupied.record(gauge_occupied.value)
                     acceptor[0] = free_socks.popleft()
-                    return
+                    return False
             # Every slot busy: refuse instead of queueing unboundedly --
             # the pool's capacity is the budget, and the refusal is the
             # observable (counter + recorder event), not a wedge.
@@ -901,7 +941,7 @@ def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
             recorder.warn(CAT_SERVICE, admission_tid, "refused: no idle slot")
             stack.sock_abort(sock)
             ctr_recovered.inc()
-            return
+            return False
         if _sock_dead(sock):
             # Died while queued for admission (lost handshake, RST);
             # the abort lands the conn in CLOSED, so the next pass
@@ -911,23 +951,22 @@ def build_pooled_redirector(stack: DyncTcpStack, context: IsslContext,
                           "connection died before established")
             stack.sock_abort(sock)
             ctr_recovered.inc()
-            return
+            return False
         # A teardown-in-flight socket off the free list: rotate it to
         # the back so one lingering close never stalls admission.
         free_socks.append(sock)
         acceptor[0] = free_socks.popleft()
+        return False
 
     def pool_driver():
+        # The driver's pass is idle only when the admission decision was
+        # the pure listening check AND every live slot declared idle --
+        # sweep_yield folds the slots' tokens into one.
         while True:
-            admission_step()
-            yield pool.step_all()
+            admission_idle = admission_step()
+            yield pool.sweep_yield(pool.step_all(),
+                                   extra_idle=admission_idle)
 
     scheduler.add_pool(pool, driver=pool_driver())
-
-    def tick_driver():
-        while True:
-            stack.tcp_tick(None)
-            yield
-
-    scheduler.add(tick_driver(), name="tick-driver")
+    scheduler.add(_tick_driver(stack), name="tick-driver")
     return scheduler

@@ -2,6 +2,7 @@
 
 from repro.bench.gate import (
     CLAIMS,
+    FAST_BATTERY_WALL_SECONDS,
     SCALING_CLAIMS,
     SLOW_PATH_WALL_SECONDS,
     Claim,
@@ -122,12 +123,22 @@ class TestSpeedWarning:
     def test_slow_full_run_warns_without_failing(self, snapshot):
         snapshot["wall_seconds"]["total"] = SLOW_PATH_WALL_SECONDS + 1.0
         report = evaluate_gate(snapshot)
-        assert len(report.speed_warnings) == 1
+        # Above the slow-path sentinel it is also above the (smaller)
+        # translated-tier budget: both warn-only notices fire.
+        assert len(report.speed_warnings) == 2
         assert "fast" in report.speed_warnings[0]
+        assert "translation tier" in report.speed_warnings[1]
         assert report.ok  # warn-only: wall clock never fails the gate
         text = report.format()
         assert "warning (speed, non-fatal)" in text
         assert "verdict: PASS" in text
+
+    def test_over_translated_budget_warns_once(self, snapshot):
+        snapshot["wall_seconds"]["total"] = FAST_BATTERY_WALL_SECONDS + 1.0
+        report = evaluate_gate(snapshot)
+        assert len(report.speed_warnings) == 1
+        assert "translation tier" in report.speed_warnings[0]
+        assert report.ok
 
     def test_quick_workload_never_warns(self, snapshot):
         snapshot["workload"] = "quick"

@@ -1,0 +1,167 @@
+"""Snapshot/fork equivalence: forked machines vs freshly booted ones.
+
+The O(1) snapshot/fork layer (``repro.rabbit.machine``) promises that a
+machine stamped out of a warm template is byte-for-byte the machine a
+cold boot would have produced, that sibling forks never share writes
+(bank copy-on-write), and that restoring over a live board drops its
+block cache -- including blocks already promoted to the translated
+tier.  These tests diff the complete machine state the same way the
+fast-core equivalence suite does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rabbit import machine
+from repro.rabbit.board import Board
+from repro.rabbit.cpu import CpuError
+from repro.rabbit.fastcore import BlockCache
+from repro.rabbit.programs.serial_debug import SerialDebugMonitor
+from tests.rabbit.test_fastpath import _load_stub, _machine_state
+
+BOOT_CYCLES = 2000
+
+
+def _peripheral_state(board: Board) -> dict:
+    """Serial/watchdog/io state, beyond the CPU+memory core diff."""
+    return {
+        "a_rx": tuple(board.serial_a.rx_queue),
+        "a_tx": bytes(board.serial_a.tx_log),
+        "a_irq": board.serial_a.rx_interrupt_enabled,
+        "a_overruns": board.serial_a.rx_overruns,
+        "b_rx": tuple(board.serial_b.rx_queue),
+        "b_tx": bytes(board.serial_b.tx_log),
+        "wd_kicks": board.watchdog.kicks,
+        "wd_expired": board.watchdog.expired,
+        "io_unclaimed": (board.io.unclaimed_reads, board.io.unclaimed_writes),
+        "int_pending": tuple(board.cpu._int_pending),
+    }
+
+
+def _fresh_booted(cycles: int = BOOT_CYCLES) -> Board:
+    board = Board()
+    SerialDebugMonitor(board).boot(cycles)
+    return board
+
+
+def _drive(board: Board, command: bytes, cycles: int = 2000) -> bytes:
+    board.serial_a.clear_tx()
+    board.serial_a.inject(command)
+    board.run_cycles(cycles)
+    return board.serial_a.transmitted()
+
+
+def test_fork_matches_fresh_boot_exactly():
+    fresh = _fresh_booted()
+    forked = machine.fork_warm_monitor(BOOT_CYCLES)
+    assert _machine_state(forked) == _machine_state(fresh)
+    assert _peripheral_state(forked) == _peripheral_state(fresh)
+
+
+def test_fork_then_run_matches_fresh_boot_then_run():
+    fresh = _fresh_booted()
+    forked = machine.fork_warm_monitor(BOOT_CYCLES)
+    assert _drive(forked, b"s") == _drive(fresh, b"s")
+    assert _machine_state(forked) == _machine_state(fresh)
+
+
+def test_sibling_forks_do_not_share_writes():
+    snap = machine.warm_monitor_snapshot(BOOT_CYCLES)
+    template_sram = bytes(snap.sram)
+    left = machine.fork(snap)
+    right = machine.fork(snap)
+    # Drive only the left fork: its main loop bumps the SRAM work
+    # counter, so the bank materializes (copy-on-write) on first write.
+    _drive(left, b"s", cycles=6000)
+    assert left.memory.sram is not snap.sram
+    assert _machine_state(left) != _machine_state(right)
+    # The untouched sibling still aliases the frozen template bank and
+    # is indistinguishable from a brand-new fork.
+    assert right.memory.sram is snap.sram
+    assert _machine_state(right) == _machine_state(machine.fork(snap))
+    # Nothing leaked into the template.
+    assert bytes(snap.sram) == template_sram
+
+
+def test_divergent_forks_answer_independently():
+    snap = machine.warm_monitor_snapshot(BOOT_CYCLES)
+    slow_start = machine.fork(snap)
+    head_start = machine.fork(snap)
+    head_start.run_cycles(20_000)  # let its work counter pull ahead
+    slow_reply = _drive(slow_start, b"s")
+    fast_reply = _drive(head_start, b"s")
+    assert slow_reply[:1] == fast_reply[:1] == b"S"
+    slow_count = slow_reply[1] | (slow_reply[2] << 8)
+    fast_count = fast_reply[1] | (fast_reply[2] << 8)
+    assert fast_count > slow_count
+
+
+def test_restore_then_run_parity_with_step_core():
+    snap = machine.warm_monitor_snapshot(BOOT_CYCLES)
+    fast = machine.fork(snap)
+    slow = machine.fork(snap)
+    slow.cpu.use_fast_core = False
+    for command in (b"s", b"r", b"s"):
+        assert _drive(fast, command) == _drive(slow, command)
+    assert _machine_state(fast) == _machine_state(slow)
+    assert _peripheral_state(fast) == _peripheral_state(slow)
+    cache = fast.cpu._cache
+    assert cache is not None and cache.executed_blocks > 0
+    assert slow.cpu._cache is None
+
+
+def test_restore_in_place_drops_block_cache():
+    snap = machine.warm_monitor_snapshot(BOOT_CYCLES)
+    board = machine.fork(snap)
+    _drive(board, b"s")
+    cache = board.cpu._cache
+    assert cache.blocks
+    restored = machine.restore(snap, board)
+    assert restored is board
+    assert not cache.blocks
+    assert cache.invalidated_restore == 1
+    # The restored machine behaves exactly like a pristine fork.
+    assert _drive(board, b"s") == _drive(machine.fork(snap), b"s")
+
+
+def test_smc_invalidation_fires_in_translated_tier(monkeypatch):
+    # Promote every block on first execution so the self-modifying
+    # store lands while the translated code object is live.
+    monkeypatch.setattr(BlockCache, "translate_threshold", 1)
+    fast_board, slow_board = Board(), Board()
+    slow_board.cpu.use_fast_core = False
+    for board in (fast_board, slow_board):
+        assembly = _load_stub(board)
+        with pytest.raises(CpuError, match="HALT"):
+            board.cpu.call_subroutine(assembly.symbols["entry"],
+                                      max_instructions=200)
+    assert fast_board.memory.sram[0x50] == 0x22  # patched value won
+    assert _machine_state(fast_board) == _machine_state(slow_board)
+    cache = fast_board.cpu._cache
+    assert cache.translated_blocks > 0
+    assert cache.translated_execs > 0
+    assert cache.invalidated_smc > 0
+
+
+def test_translated_tier_restore_parity(monkeypatch):
+    # A machine snapshotted mid-flight -- after translated blocks have
+    # already run -- must replay identically to the single-step core
+    # from the same snapshot.
+    monkeypatch.setattr(BlockCache, "translate_threshold", 1)
+    origin = Board()
+    assembly = _load_stub(origin)
+    with pytest.raises(CpuError, match="did not return"):
+        origin.cpu.call_subroutine(assembly.symbols["entry"],
+                                   max_instructions=10)
+    cache = origin.cpu._cache
+    assert cache.translated_execs > 0
+    mid = machine.snapshot(origin, firmware="mid-flight")
+    fast = machine.fork(mid)
+    slow = machine.fork(mid)
+    slow.cpu.use_fast_core = False
+    for board in (fast, slow):
+        board.cpu.run(max_instructions=200)  # returns at HALT
+        assert board.cpu.halted
+    assert fast.memory.sram[0x50] == 0x22  # patched value won
+    assert _machine_state(fast) == _machine_state(slow)
